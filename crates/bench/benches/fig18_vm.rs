@@ -1,0 +1,38 @@
+//! Fig. 18: bytecode-VM (Lua cost model) loop-style throughput across nest
+//! depths. The paper's finding: `while` slowest, `repeat-until` middle,
+//! numeric `for` fastest (≈5× over Python overall).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use beast_bench::{loop_nest_space, lower_default};
+use beast_engine::visit::CountVisitor;
+use beast_engine::vm::{Vm, VmStyle};
+
+const TOTAL: u64 = 1_000_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_vm");
+    group.sample_size(10);
+    for (label, style) in [
+        ("while", VmStyle::While),
+        ("repeat_until", VmStyle::RepeatUntil),
+        ("numeric_for", VmStyle::NumericFor),
+    ] {
+        for depth in 1..=4usize {
+            let (space, iters) = loop_nest_space(depth, TOTAL);
+            let lp = lower_default(&space);
+            let vm = Vm::compile(&lp, style);
+            group.throughput(Throughput::Elements(iters));
+            group.bench_with_input(BenchmarkId::new(label, depth), &vm, |b, vm| {
+                b.iter(|| {
+                    let out = vm.run(CountVisitor::default()).unwrap();
+                    assert_eq!(out.visitor.count, iters);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 19: compiled evaluation throughput across nest depths — the
+//! in-process compiled engine (the generated-C analog). The paper's finding:
+//! compiled languages are orders of magnitude faster than the interpreters,
+//! and deeper nests run slightly faster than a single flat loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use beast_bench::{loop_nest_space, lower_default};
+use beast_engine::compiled::Compiled;
+use beast_engine::visit::CountVisitor;
+
+const TOTAL: u64 = 4_000_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_compiled");
+    group.sample_size(10);
+    for depth in 1..=4usize {
+        let (space, iters) = loop_nest_space(depth, TOTAL);
+        let lp = lower_default(&space);
+        let compiled = Compiled::new(lp);
+        group.throughput(Throughput::Elements(iters));
+        group.bench_with_input(
+            BenchmarkId::new("compiled", depth),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    let out = compiled.run(CountVisitor::default()).unwrap();
+                    assert_eq!(out.visitor.count, iters);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

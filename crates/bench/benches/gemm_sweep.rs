@@ -1,0 +1,46 @@
+//! §XI-B/D headline: full GEMM-space sweep time per backend on a reduced
+//! device. The paper's result: 66 948 s (Python) → 264 s (generated C),
+//! ≈253×; the shape target is the orders-of-magnitude spread between the
+//! interpreted and compiled backends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_engine::compiled::Compiled;
+use beast_engine::visit::CountVisitor;
+use beast_engine::vm::{Vm, VmStyle};
+use beast_engine::walker::{LoopStyle, Walker};
+use beast_gemm::{build_gemm_space, GemmSpaceParams};
+
+const DIM: i64 = 16;
+
+fn bench(c: &mut Criterion) {
+    let params = GemmSpaceParams::reduced(DIM);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let mut group = c.benchmark_group("gemm_sweep");
+    group.sample_size(10);
+
+    group.bench_function("walker_python_model", |b| {
+        let walker = Walker::new(&plan, LoopStyle::RangeLazy);
+        b.iter(|| walker.run(CountVisitor::default()).unwrap().visitor.count);
+    });
+
+    group.bench_function("vm_lua_model", |b| {
+        let vm = Vm::compile(&lp, VmStyle::NumericFor);
+        b.iter(|| vm.run(CountVisitor::default()).unwrap().visitor.count);
+    });
+
+    group.bench_function("compiled_c_model", |b| {
+        let compiled = Compiled::new(lp.clone());
+        b.iter(|| compiled.run(CountVisitor::default()).unwrap().visitor.count);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! §X-B: multithreaded evaluation scaling — the level-0 loop chunked across
+//! worker threads. On multi-core hosts the speedup tracks the core count;
+//! the absolute ceiling is `available_parallelism`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_engine::parallel::run_parallel;
+use beast_engine::visit::CountVisitor;
+use beast_gemm::{build_gemm_space, GemmSpaceParams};
+
+const DIM: i64 = 20;
+
+fn bench(c: &mut Criterion) {
+    let params = GemmSpaceParams::reduced(DIM);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    run_parallel(&lp, threads, CountVisitor::default)
+                        .unwrap()
+                        .visitor
+                        .count
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Extension benchmark: statistical search methods (the paper's Section XII
+//! future work) versus exhaustive enumeration on the GEMM space — cost of
+//! finding a near-optimal configuration at a fixed evaluation budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_engine::point::{Point, PointRef};
+use beast_gemm::{build_gemm_space, pointref_to_config, GemmSpaceParams};
+use beast_gpu_sim::estimate;
+use beast_search::{hill_climb, random_search, SearchBudget};
+
+const DIM: i64 = 24;
+const EVALS: usize = 100;
+
+fn bench(c: &mut Criterion) {
+    let params = GemmSpaceParams::reduced(DIM);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let device = params.device.clone();
+    let cc = params.cc();
+    let precision = params.precision;
+    let score = move |p: &Point| {
+        let names: Vec<std::sync::Arc<str>> = p.names().to_vec();
+        let slots: Vec<i64> = p.values().iter().map(|v| v.as_int().unwrap()).collect();
+        let view = PointRef::Slots { names: &names, slots: &slots };
+        estimate(&device, &cc, &pointref_to_config(&view), precision).gflops
+    };
+
+    let budget = SearchBudget { evaluations: EVALS, attempts_per_sample: 100_000 };
+    let mut group = c.benchmark_group("search_methods");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+
+    group.bench_function("random_search_100", |b| {
+        let score = score.clone();
+        b.iter(|| {
+            random_search(&lp, StdRng::seed_from_u64(1), budget, score.clone())
+                .unwrap()
+                .best_score()
+        });
+    });
+    group.bench_function("hill_climb_100", |b| {
+        let score = score.clone();
+        b.iter(|| {
+            hill_climb(&lp, StdRng::seed_from_u64(1), budget, 25, score.clone())
+                .unwrap()
+                .best_score()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,679 @@
+//! `repro` — regenerate every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! repro device            Fig. 8/9   device query + compute-capability lookup
+//! repro space             Fig. 10/11 settings and the 15 GEMM iterators
+//! repro fig16             Fig. 16    dependency DAG (DOT) + level sets
+//! repro fig17 [N]         Fig. 17    interpreter loop styles × nest depth
+//! repro fig18 [N]         Fig. 18    bytecode VM loop styles × nest depth
+//! repro fig19 [N]         Fig. 19    compiled backends × nest depth
+//! repro headline [DIM]    §XI-B/D    GEMM sweep: interpreted vs compiled
+//! repro funnel [DIM]      §VI        pruning funnel on the GEMM space
+//! repro table1            Table I    autotuned kernels vs baselines
+//! repro threads [DIM]     §X-B       multithreaded sweep scaling
+//! repro search [DIM]      §XII       statistical search vs exhaustive (extension)
+//! repro viz [DIM]         [7]        write funnel.svg / radial.svg / dag.dot
+//! repro batched [N]       ref [5]    the second model problem: batched Cholesky
+//! repro all               everything above with small defaults
+//! ```
+//!
+//! Numbers are machine-relative; the paper's *shape* (ordering, rough
+//! factors) is the reproduction target. See EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use beast_bench::{loop_nest_space, lower_default, miters_per_sec};
+use beast_codegen::{all_backends, all_toolchains, ToolchainResult};
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_cuda::{CcLimits, DeviceProps};
+use beast_engine::compiled::Compiled;
+use beast_engine::parallel::run_parallel;
+use beast_engine::visit::CountVisitor;
+use beast_engine::vm::{Vm, VmStyle};
+use beast_engine::walker::{LoopStyle, Walker};
+use beast_gemm::{build_gemm_space, GemmSpaceParams};
+use beast_gpu_sim::Transpose;
+use beast_kernels::{
+    autotune, batched_cholesky, batched_cholesky_space, blocked_gemm, cholesky_interleaved,
+    cpu_gemm_space, gemm_flops, naive_gemm, point_to_batch_params, point_to_gemm_params,
+    BatchParams, BatchStrategy, CacheModel, Dense, GemmParams, InterleavedBatch,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let arg_num = |default: u64| -> u64 {
+        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    match cmd {
+        "device" => device(),
+        "space" => space(),
+        "fig16" => fig16(),
+        "fig17" => fig17(arg_num(3_000_000)),
+        "fig18" => fig18(arg_num(10_000_000)),
+        "fig19" => fig19(arg_num(50_000_000)),
+        "headline" => headline(arg_num(32) as i64),
+        "funnel" => funnel(arg_num(32) as i64),
+        "table1" => table1(),
+        "threads" => threads(arg_num(48) as i64),
+        "search" => search(arg_num(32) as i64),
+        "viz" => viz(arg_num(24) as i64),
+        "batched" => batched(arg_num(32) as i64),
+        "all" => {
+            device();
+            space();
+            fig16();
+            fig17(1_000_000);
+            fig18(3_000_000);
+            fig19(20_000_000);
+            headline(24);
+            funnel(24);
+            table1();
+            batched(32);
+            threads(32);
+            search(24);
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`; see the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8/9: device information
+// ---------------------------------------------------------------------------
+
+fn device() {
+    header("Fig. 8/9 — device query and compute-capability lookup (Tesla K40c)");
+    let d = DeviceProps::tesla_k40c();
+    println!("max_threads_per_block             = {}", d.max_threads_per_block);
+    println!("max_threads_dim_x                 = {}", d.max_threads_dim_x);
+    println!("max_threads_dim_y                 = {}", d.max_threads_dim_y);
+    println!("max_shared_mem_per_block          = {}", d.max_shared_mem_per_block);
+    println!("warp_size                         = {}", d.warp_size);
+    println!("max_regs_per_block                = {}", d.max_regs_per_block);
+    println!("max_threads_per_multi_processor   = {}", d.max_threads_per_multi_processor);
+    println!("cudamajor                         = {}", d.cuda_major);
+    println!("cudaminor                         = {}", d.cuda_minor);
+    println!("max_registers_per_multi_processor = {}", d.max_registers_per_multi_processor);
+    println!("max_shmem_per_multi_processor     = {}", d.max_shmem_per_multi_processor);
+    println!("float_size                        = {}", d.float_size);
+    let cc = CcLimits::for_cc(d.cuda_major, d.cuda_minor).unwrap();
+    println!("max_blocks_per_multi_processor    = {}", cc.max_blocks_per_multi_processor);
+    println!("max_warps_per_multi_processor     = {}", cc.max_warps_per_multi_processor);
+    println!("max_registers_per_thread          = {}", cc.max_registers_per_thread);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10/11: settings + iterators
+// ---------------------------------------------------------------------------
+
+fn space() {
+    header("Fig. 10/11 — GEMM search space (dgemm_nn on Tesla K40c)");
+    let params = GemmSpaceParams::paper_default();
+    let s = build_gemm_space(&params).unwrap();
+    println!("space: {}", s.name());
+    println!(
+        "settings: precision={} arithmetic={} trans_a={} trans_b={}",
+        params.precision.precision_str(),
+        params.precision.arithmetic_str(),
+        i32::from(params.transpose.a),
+        i32::from(params.transpose.b)
+    );
+    println!("{} iterators:", s.iters().len());
+    for (i, it) in s.iters().iter().enumerate() {
+        println!(
+            "  [{i:2}] {:<12} level {}  {:?}",
+            it.name,
+            s.dag().level(s.iter_node(i)),
+            it.kind
+        );
+    }
+    println!("{} derived variables, {} constraints", s.deriveds().len(), s.constraints().len());
+    for c in s.constraints() {
+        println!("  [{:<11}] {}", c.class.to_string(), c.name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 16: dependency DAG
+// ---------------------------------------------------------------------------
+
+fn fig16() {
+    header("Fig. 16 — dependency DAG of the GEMM space");
+    let s = build_gemm_space(&GemmSpaceParams::paper_default()).unwrap();
+    let dag = s.dag();
+    println!("level sets (iterators ○, derived □, constraints ⬣):");
+    for (level, nodes) in dag.level_sets().iter().enumerate() {
+        let names: Vec<String> = nodes
+            .iter()
+            .map(|&v| {
+                let marker = match dag.kind(v) {
+                    beast_core::dag::NodeKind::Iter => "○",
+                    beast_core::dag::NodeKind::Derived => "□",
+                    beast_core::dag::NodeKind::Constraint => "⬣",
+                };
+                format!("{marker}{}", dag.name(v))
+            })
+            .collect();
+        println!("  L{level}: {}", names.join("  "));
+    }
+    println!("\nGraphviz DOT (pipe into `dot -Tsvg`):\n");
+    println!("{}", dag.to_dot(s.name()));
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 17: interpreter (Python cost model) loop styles
+// ---------------------------------------------------------------------------
+
+fn fig17(total: u64) {
+    header(&format!(
+        "Fig. 17 — AST-walker loop styles (Python cost model), {total} iterations"
+    ));
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "style", "1 loop", "2 loops", "3 loops", "4 loops"
+    );
+    for (label, style) in [
+        ("while", LoopStyle::While),
+        ("range (list)", LoopStyle::RangeMaterialized),
+        ("xrange (lazy)", LoopStyle::RangeLazy),
+    ] {
+        let mut cells = Vec::new();
+        for depth in 1..=4 {
+            let (space, iters) = loop_nest_space(depth, total);
+            let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+            let walker = Walker::new(&plan, style);
+            let t0 = Instant::now();
+            let out = walker.run(CountVisitor::default()).unwrap();
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(out.visitor.count, iters);
+            cells.push(format!("{:>9.2} M/s", miters_per_sec(iters, dt)));
+        }
+        println!("{:<18} {}", label, cells.join(" "));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 18: bytecode VM (Lua cost model) loop styles
+// ---------------------------------------------------------------------------
+
+fn fig18(total: u64) {
+    header(&format!(
+        "Fig. 18 — bytecode-VM loop styles (Lua cost model), {total} iterations"
+    ));
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "style", "1 loop", "2 loops", "3 loops", "4 loops"
+    );
+    for (label, style) in [
+        ("while", VmStyle::While),
+        ("repeat-until", VmStyle::RepeatUntil),
+        ("numeric for", VmStyle::NumericFor),
+    ] {
+        let mut cells = Vec::new();
+        for depth in 1..=4 {
+            let (space, iters) = loop_nest_space(depth, total);
+            let lp = lower_default(&space);
+            let vm = Vm::compile(&lp, style);
+            let t0 = Instant::now();
+            let out = vm.run(CountVisitor::default()).unwrap();
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(out.visitor.count, iters);
+            cells.push(format!("{:>9.2} M/s", miters_per_sec(iters, dt)));
+        }
+        println!("{:<18} {}", label, cells.join(" "));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 19: compiled backends
+// ---------------------------------------------------------------------------
+
+fn fig19(total: u64) {
+    header(&format!(
+        "Fig. 19 — compiled evaluation, {total} iterations (in-process engine + generated code where toolchains exist)"
+    ));
+    println!("{:<22} {:>12} {:>12} {:>12} {:>12}", "backend", "1 loop", "2 loops", "3 loops", "4 loops");
+
+    // In-process compiled engine.
+    let mut cells = Vec::new();
+    for depth in 1..=4 {
+        let (space, iters) = loop_nest_space(depth, total);
+        let lp = lower_default(&space);
+        let compiled = Compiled::new(lp);
+        let t0 = Instant::now();
+        let out = compiled.run(CountVisitor::default()).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(out.visitor.count, iters);
+        cells.push(format!("{:>9.2} M/s", miters_per_sec(iters, dt)));
+    }
+    println!("{:<22} {}", "in-process compiled", cells.join(" "));
+
+    // Generated source through real toolchains (includes build time in a
+    // separate column-free note; rates measure the run only).
+    for (backend, toolchain) in all_backends().iter().zip(all_toolchains()) {
+        let mut cells = Vec::new();
+        let mut available = true;
+        for depth in 1..=4 {
+            let (space, iters) = loop_nest_space(depth, total);
+            let lp = lower_default(&space);
+            let program =
+                beast_codegen::lower(&beast_codegen::Program::from_lowered(&lp).unwrap());
+            match beast_codegen::generate_and_run(backend.as_ref(), &toolchain, &program) {
+                ToolchainResult::Ran { counts, run, .. } => {
+                    assert_eq!(counts.survivors, iters);
+                    cells.push(format!(
+                        "{:>9.2} M/s",
+                        miters_per_sec(iters, run.as_secs_f64())
+                    ));
+                }
+                ToolchainResult::Unavailable(_) => {
+                    available = false;
+                    break;
+                }
+                ToolchainResult::Failed { stage, detail } => {
+                    panic!("{} failed at {stage}: {detail}", backend.language())
+                }
+            }
+        }
+        if available {
+            println!(
+                "{:<22} {}   (run only; excl. compile)",
+                format!("generated {}", backend.language()),
+                cells.join(" ")
+            );
+        } else {
+            println!("{:<22} (toolchain not installed)", format!("generated {}", backend.language()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §XI-B/D headline: GEMM sweep, interpreted vs compiled
+// ---------------------------------------------------------------------------
+
+fn headline(dim: i64) {
+    header(&format!(
+        "§XI headline — GEMM space sweep on reduced({dim}) device: interpreted vs compiled"
+    ));
+    println!("(paper: 66 948 s Python → 264 s generated C, ≈253×; shape target: orders of magnitude)");
+    let params = GemmSpaceParams::reduced(dim);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let t0 = Instant::now();
+    let walker_out = Walker::new(&plan, LoopStyle::RangeLazy)
+        .run(CountVisitor::default())
+        .unwrap();
+    let t_walker = t0.elapsed().as_secs_f64();
+
+    let vm = Vm::compile(&lp, VmStyle::NumericFor);
+    let t0 = Instant::now();
+    let vm_out = vm.run(CountVisitor::default()).unwrap();
+    let t_vm = t0.elapsed().as_secs_f64();
+
+    let compiled = Compiled::new(lp.clone());
+    let t0 = Instant::now();
+    let comp_out = compiled.run(CountVisitor::default()).unwrap();
+    let t_comp = t0.elapsed().as_secs_f64();
+
+    assert_eq!(walker_out.visitor.count, comp_out.visitor.count);
+    assert_eq!(vm_out.visitor.count, comp_out.visitor.count);
+
+    println!("survivors: {}", comp_out.visitor.count);
+    println!("{:<26} {:>10} {:>10}", "backend", "seconds", "speedup");
+    println!("{:<26} {:>10.3} {:>9.1}x", "walker (Python model)", t_walker, 1.0);
+    println!("{:<26} {:>10.3} {:>9.1}x", "VM (Lua model)", t_vm, t_walker / t_vm);
+    println!("{:<26} {:>10.3} {:>9.1}x", "compiled (C model)", t_comp, t_walker / t_comp);
+
+    // Generated C through gcc, when available — the paper's actual artifact.
+    let program = beast_codegen::Program::from_lowered(&lp).unwrap();
+    let lowered = beast_codegen::lower(&program);
+    let toolchain = beast_codegen::Toolchain::c();
+    let backend = beast_codegen::CBackend;
+    match beast_codegen::generate_and_run(&backend, &toolchain, &lowered) {
+        ToolchainResult::Ran { counts, build, run } => {
+            assert_eq!(counts.survivors, comp_out.visitor.count);
+            let t_run = run.as_secs_f64();
+            println!(
+                "{:<26} {:>10.3} {:>9.1}x  (+ {:.2} s gcc -O2 compile)",
+                "generated C (gcc)",
+                t_run,
+                t_walker / t_run,
+                build.as_secs_f64()
+            );
+        }
+        ToolchainResult::Unavailable(_) => {
+            println!("{:<26} (gcc not installed)", "generated C (gcc)");
+        }
+        ToolchainResult::Failed { stage, detail } => {
+            panic!("generated C failed at {stage}: {detail}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §VI: pruning funnel
+// ---------------------------------------------------------------------------
+
+fn funnel(dim: i64) {
+    header(&format!("§VI — pruning funnel, GEMM space on reduced({dim}) device"));
+    let params = GemmSpaceParams::reduced(dim);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+    let out = Compiled::new(lp).run(CountVisitor::default()).unwrap();
+    println!("{}", out.stats.render_funnel(&space));
+}
+
+// ---------------------------------------------------------------------------
+// Table I: application-level gains
+// ---------------------------------------------------------------------------
+
+fn table1() {
+    header("Table I — performance levels achieved with the BEAST autotuner");
+    println!("(paper: GEMM 80% of peak; small batched up to 1000%; medium batched up to 300%)\n");
+
+    // Row 1: GEMM — autotune the simulated Kepler kernel; report the best
+    // configuration's fraction of the device's model peak.
+    let params = GemmSpaceParams::reduced(64);
+    let outcome = beast_gemm::tune_gemm(&params, 1, 2).unwrap();
+    let best = outcome.best.first().expect("survivors exist");
+    println!(
+        "GEMM (simulated Kepler dgemm_nn): best {:.0} GFLOP/s = {:.0}% of model peak ({:.0} GFLOP/s), {} survivors swept",
+        best.perf.gflops,
+        100.0 * best.perf.fraction_of_peak,
+        outcome.peak_gflops,
+        outcome.survivors
+    );
+    let err = beast_gemm::verify_config(&best.config, Transpose::default());
+    println!("  winning configuration numerically verified: max error {err:.2e}\n");
+
+    // Rows 2–3: batched Cholesky, small and medium, on real CPU hardware.
+    // Baseline: a general-purpose library-style kernel (blocked for large
+    // matrices, one matrix at a time) applied as-is to the batch. Tuned:
+    // the BEAST-autotuned strategy. Timing covers the factorization with
+    // batch-resident data (layout conversion excluded, as the paper's GPU
+    // numbers exclude PCIe transfer); see EXPERIMENTS.md.
+    for (label, n, count) in [
+        ("small", 16usize, 1024usize),
+        ("small", 32, 512),
+        ("medium", 128, 48),
+        ("medium", 256, 12),
+    ] {
+        let (baseline, tuned, strategy) = tune_batched_cholesky(n, count);
+        println!(
+            "Batched Cholesky ({label}, n={n} ×{count}): baseline {:>8.3} ms, tuned {:>8.3} ms → {:.0}% improvement  [{strategy}]",
+            baseline * 1e3,
+            tuned * 1e3,
+            100.0 * (baseline / tuned - 1.0)
+        );
+    }
+    println!();
+
+    // Row 4 (methodology demo): the CPU GEMM substrate tuned end-to-end.
+    let (naive_s, tuned_s, params_str, n) = tune_cpu_gemm();
+    let gf = gemm_flops(n, n, n) as f64 / 1e9;
+    println!(
+        "CPU GEMM substrate (n={n}): naive {:.1} ms ({:.2} GF/s) → tuned {:.1} ms ({:.2} GF/s), {:.1}x  [{params_str}]",
+        naive_s * 1e3,
+        gf / naive_s,
+        tuned_s * 1e3,
+        gf / tuned_s,
+        naive_s / tuned_s
+    );
+}
+
+/// Autotune batched Cholesky for one size; returns (baseline s, tuned s,
+/// winning strategy description).
+fn tune_batched_cholesky(n: usize, count: usize) -> (f64, f64, String) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mats: Vec<Dense> = (0..count).map(|_| Dense::random_spd(n, &mut rng)).collect();
+    let gemm = GemmParams::default_params();
+
+    // Library-style baseline: blocked kernel configured for large matrices,
+    // one matrix at a time.
+    let baseline_params = BatchParams {
+        strategy: BatchStrategy::PerMatrixBlocked { block: 64 },
+        threads: 1,
+        chunk: 1,
+    };
+    let baseline = best_of(3, || {
+        let mut work = mats.clone();
+        let t0 = Instant::now();
+        batched_cholesky(&mut work, &baseline_params, &gemm).unwrap();
+        t0.elapsed().as_secs_f64()
+    });
+
+    // BEAST-tuned: enumerate the strategy space, time each survivor.
+    let space = batched_cholesky_space(n as i64, count as i64, 1).unwrap();
+    let outcome = autotune(&space, 256, 2, |point| {
+        let params = point_to_batch_params(point);
+        match params.strategy {
+            BatchStrategy::Interleaved { width } => {
+                // Batch-resident layout: pack outside the timed region.
+                let mut packs: Vec<InterleavedBatch> =
+                    mats.chunks(width.max(1)).map(InterleavedBatch::pack).collect();
+                let t0 = Instant::now();
+                for p in &mut packs {
+                    cholesky_interleaved(p).unwrap();
+                }
+                t0.elapsed()
+            }
+            _ => {
+                let mut work = mats.clone();
+                let t0 = Instant::now();
+                batched_cholesky(&mut work, &params, &gemm).unwrap();
+                t0.elapsed()
+            }
+        }
+    })
+    .unwrap();
+    let best = outcome.best().expect("survivors");
+    let tuned = best.duration.as_secs_f64();
+    let strategy = format!("{:?}", point_to_batch_params(&best.point).strategy);
+    (baseline, tuned, strategy)
+}
+
+/// Autotune the CPU GEMM blocking space; returns (naive s, tuned s, params,
+/// n).
+fn tune_cpu_gemm() -> (f64, f64, String, usize) {
+    let n = 256;
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = Dense::random(n, n, &mut rng);
+    let b = Dense::random(n, n, &mut rng);
+
+    let naive = best_of(2, || {
+        let mut c = Dense::zeros(n, n);
+        let t0 = Instant::now();
+        naive_gemm(&a, &b, &mut c);
+        t0.elapsed().as_secs_f64()
+    });
+
+    let space = cpu_gemm_space(CacheModel::typical()).unwrap();
+    let outcome = autotune(&space, 64, 2, |point| {
+        let params = point_to_gemm_params(point);
+        let mut c = Dense::zeros(n, n);
+        let t0 = Instant::now();
+        blocked_gemm(&params, &a, &b, &mut c);
+        t0.elapsed()
+    })
+    .unwrap();
+    let best = outcome.best().expect("survivors");
+    let params = point_to_gemm_params(&best.point);
+    (
+        naive,
+        best.duration.as_secs_f64(),
+        format!("{params:?}"),
+        n,
+    )
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+// ---------------------------------------------------------------------------
+// Reference [5]: the second model problem — batched Cholesky on the GPU model
+// ---------------------------------------------------------------------------
+
+fn batched(n: i64) {
+    header(&format!(
+        "ref [5] — batched Cholesky GPU space, n={n}, batch=1024, Tesla K40c model"
+    ));
+    use beast_gemm::{
+        build_batched_cholesky_space, tune_batched_cholesky, BatchedCholeskyParams,
+    };
+    let params = BatchedCholeskyParams::small(n, 1024);
+    let space = build_batched_cholesky_space(&params).unwrap();
+    let (survivors, stats) = beast_engine::sweep::count(&space).unwrap();
+    println!(
+        "{} iterators, {} constraints; {survivors} survivors, {:.1}% of evaluated tuples pruned",
+        space.iters().len(),
+        space.constraints().len(),
+        100.0 * stats.pruned_fraction()
+    );
+    let best = tune_batched_cholesky(&params, 5).unwrap();
+    println!("top configurations (model matrices/µs):");
+    for (score, config) in &best {
+        println!("  {score:>8.2}  {config:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Visualization (paper companion work [7])
+// ---------------------------------------------------------------------------
+
+fn viz(dim: i64) {
+    header(&format!("[7] — pruning visualizations, GEMM on reduced({dim}) device"));
+    let params = GemmSpaceParams::reduced(dim);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+    let out = Compiled::new(lp).run(CountVisitor::default()).unwrap();
+    let funnel = beast_engine::viz::funnel_svg(&out.stats, &space);
+    let radial = beast_engine::viz::radial_svg(&out.stats, &space);
+    let dot = space.dag().to_dot(space.name());
+    for (name, contents) in
+        [("funnel.svg", funnel), ("radial.svg", radial), ("dag.dot", dot)]
+    {
+        std::fs::write(name, &contents).expect("write visualization");
+        println!("wrote {name} ({} bytes)", contents.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §XII extension: statistical search methods
+// ---------------------------------------------------------------------------
+
+fn search(dim: i64) {
+    header(&format!(
+        "§XII extension — statistical search vs exhaustive, GEMM on reduced({dim}) device"
+    ));
+    use beast_engine::point::{Point, PointRef};
+    use beast_gemm::pointref_to_config;
+    use beast_gpu_sim::estimate;
+    use beast_search::{hill_climb, random_search, simulated_annealing, SearchBudget};
+
+    let params = GemmSpaceParams::reduced(dim);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let t0 = Instant::now();
+    let exhaustive = beast_gemm::tune_gemm(&params, 1, 2).unwrap();
+    let t_exh = t0.elapsed();
+    let exhaustive_best = exhaustive.best[0].perf.gflops;
+
+    let device = params.device.clone();
+    let cc = params.cc();
+    let precision = params.precision;
+    let score = move |p: &Point| {
+        let names: Vec<std::sync::Arc<str>> = p.names().to_vec();
+        let slots: Vec<i64> = p.values().iter().map(|v| v.as_int().unwrap()).collect();
+        let view = PointRef::Slots { names: &names, slots: &slots };
+        estimate(&device, &cc, &pointref_to_config(&view), precision).gflops
+    };
+
+    let budget = SearchBudget { evaluations: 300, attempts_per_sample: 100_000 };
+    println!(
+        "{:<22} {:>12} {:>12} {:>14} {:>9}",
+        "method", "evals", "seconds", "best GFLOP/s", "vs exh."
+    );
+    println!(
+        "{:<22} {:>12} {:>12.3} {:>14.1} {:>8.1}%",
+        "exhaustive",
+        exhaustive.survivors,
+        t_exh.as_secs_f64(),
+        exhaustive_best,
+        100.0
+    );
+    let mut run = |name: &str, f: &dyn Fn() -> beast_search::SearchOutcome| {
+        let t0 = Instant::now();
+        let out = f();
+        println!(
+            "{:<22} {:>12} {:>12.3} {:>14.1} {:>8.1}%",
+            name,
+            out.evaluations,
+            t0.elapsed().as_secs_f64(),
+            out.best_score(),
+            100.0 * out.best_score() / exhaustive_best
+        );
+    };
+    run("random search", &|| {
+        random_search(&lp, StdRng::seed_from_u64(1), budget, score.clone()).unwrap()
+    });
+    run("hill climbing", &|| {
+        hill_climb(&lp, StdRng::seed_from_u64(1), budget, 25, score.clone()).unwrap()
+    });
+    run("simulated annealing", &|| {
+        simulated_annealing(
+            &lp,
+            StdRng::seed_from_u64(1),
+            budget,
+            exhaustive_best / 10.0,
+            0.995,
+            score.clone(),
+        )
+        .unwrap()
+    });
+}
+
+// ---------------------------------------------------------------------------
+// §X-B: multithreaded scaling
+// ---------------------------------------------------------------------------
+
+fn threads(dim: i64) {
+    header(&format!("§X-B — multithreaded sweep of the GEMM space, reduced({dim}) device"));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("(host has {cores} hardware thread(s); scaling saturates there)");
+    let params = GemmSpaceParams::reduced(dim);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let mut t1 = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let out = run_parallel(&lp, threads, CountVisitor::default).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        if threads == 1 {
+            t1 = dt;
+        }
+        println!(
+            "{threads:>2} thread(s): {dt:>8.3} s  speedup {:>5.2}x  ({} survivors)",
+            t1 / dt,
+            out.visitor.count
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! The backend interface and the canonical output contract.
+//!
+//! Every generated program, in every language, prints exactly:
+//!
+//! ```text
+//! survivors <u64>
+//! pruned <constraint-name> <u64>     (one line per constraint, in order)
+//! checksum <i64>
+//! ```
+//!
+//! The checksum XOR-folds every bound variable at every surviving point, so
+//! two backends agree on it only if they enumerate the *same* survivors with
+//! the same variable values — a far stronger cross-language equivalence
+//! check than survivor counts alone.
+
+use crate::lower::LoweredProgram;
+
+/// A source-code generation backend.
+pub trait Backend {
+    /// Human-readable language name.
+    fn language(&self) -> &'static str;
+    /// Source-file extension (without dot).
+    fn extension(&self) -> &'static str;
+    /// Generate a complete, self-contained program.
+    fn generate(&self, program: &LoweredProgram) -> String;
+}
+
+/// Parsed canonical output of a generated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunCounts {
+    /// Survivor count.
+    pub survivors: u64,
+    /// Per-constraint (name, pruned) pairs in program order.
+    pub pruned: Vec<(String, u64)>,
+    /// XOR-fold of all variables over all survivors.
+    pub checksum: i64,
+}
+
+impl RunCounts {
+    /// Parse the canonical output format; `None` on any deviation.
+    pub fn parse(output: &str) -> Option<RunCounts> {
+        let mut survivors = None;
+        let mut pruned = Vec::new();
+        let mut checksum = None;
+        for line in output.lines() {
+            let mut it = line.split_whitespace();
+            match it.next()? {
+                "survivors" => survivors = Some(it.next()?.parse().ok()?),
+                "pruned" => {
+                    let name = it.next()?.to_string();
+                    let count = it.next()?.parse().ok()?;
+                    pruned.push((name, count));
+                }
+                "checksum" => checksum = Some(it.next()?.parse().ok()?),
+                _ => return None,
+            }
+        }
+        Some(RunCounts { survivors: survivors?, pruned, checksum: checksum? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let text = "survivors 42\npruned over_max 7\npruned low_occ 9\nchecksum -13\n";
+        let c = RunCounts::parse(text).unwrap();
+        assert_eq!(c.survivors, 42);
+        assert_eq!(c.pruned.len(), 2);
+        assert_eq!(c.pruned[1], ("low_occ".to_string(), 9));
+        assert_eq!(c.checksum, -13);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(RunCounts::parse("hello world").is_none());
+        assert!(RunCounts::parse("survivors x\nchecksum 0").is_none());
+        assert!(RunCounts::parse("survivors 1").is_none()); // missing checksum
+    }
+}

@@ -1,0 +1,314 @@
+//! Compile-and-run harness for generated sources: the cross-language
+//! equivalence check. Each generated program prints the canonical counters;
+//! if a toolchain is missing on the host, the run is reported as
+//! [`ToolchainResult::Unavailable`] rather than failing. Build and run are
+//! timed separately so the benchmark harness can report both end-to-end and
+//! run-only figures.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use crate::backend::{Backend, RunCounts};
+use crate::java::JAVA_CLASS;
+use crate::lower::LoweredProgram;
+
+/// Result of attempting to build + run a generated program.
+#[derive(Debug)]
+pub enum ToolchainResult {
+    /// The program ran; counters parsed.
+    Ran {
+        /// Parsed canonical counters.
+        counts: RunCounts,
+        /// Compile time (zero for interpreted languages).
+        build: Duration,
+        /// Wall time of the generated program itself.
+        run: Duration,
+    },
+    /// The needed compiler/interpreter is not installed.
+    Unavailable(String),
+    /// The toolchain exists but the build or run failed — a codegen bug.
+    Failed {
+        /// Which stage failed.
+        stage: &'static str,
+        /// Captured stderr/stdout.
+        detail: String,
+    },
+}
+
+impl ToolchainResult {
+    /// The counters, if the program ran.
+    pub fn counts(&self) -> Option<&RunCounts> {
+        match self {
+            ToolchainResult::Ran { counts, .. } => Some(counts),
+            _ => None,
+        }
+    }
+}
+
+fn which(tool: &str) -> Option<PathBuf> {
+    let path = std::env::var_os("PATH")?;
+    for dir in std::env::split_paths(&path) {
+        let candidate = dir.join(tool);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+fn run_cmd(mut cmd: Command, stage: &'static str) -> Result<String, ToolchainResult> {
+    match cmd.output() {
+        Ok(out) if out.status.success() => Ok(String::from_utf8_lossy(&out.stdout).into_owned()),
+        Ok(out) => Err(ToolchainResult::Failed {
+            stage,
+            detail: format!(
+                "{}\n{}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            ),
+        }),
+        Err(e) => Err(ToolchainResult::Failed { stage, detail: e.to_string() }),
+    }
+}
+
+fn parse_or_fail(stdout: String, build: Duration, run: Duration) -> ToolchainResult {
+    match RunCounts::parse(&stdout) {
+        Some(counts) => ToolchainResult::Ran { counts, build, run },
+        None => ToolchainResult::Failed { stage: "parse", detail: stdout },
+    }
+}
+
+fn write_source(path: &Path, src: &str) -> Result<(), ToolchainResult> {
+    std::fs::write(path, src)
+        .map_err(|e| ToolchainResult::Failed { stage: "write", detail: e.to_string() })
+}
+
+/// Compile `src` with `compiler args` into `bin`, then run it.
+fn compile_and_run(
+    compiler: PathBuf,
+    args: &[&str],
+    src_path: &Path,
+    bin: &Path,
+    src: &str,
+) -> ToolchainResult {
+    if let Err(r) = write_source(src_path, src) {
+        return r;
+    }
+    let t_build = Instant::now();
+    let mut build = Command::new(compiler);
+    build.args(args).arg("-o").arg(bin).arg(src_path);
+    if let Err(r) = run_cmd(build, "compile") {
+        return r;
+    }
+    let build_time = t_build.elapsed();
+    let t_run = Instant::now();
+    match run_cmd(Command::new(bin), "run") {
+        Ok(out) => parse_or_fail(out, build_time, t_run.elapsed()),
+        Err(r) => r,
+    }
+}
+
+/// Run `src` directly through an interpreter.
+fn interpret(interpreter: PathBuf, src_path: &Path, src: &str) -> ToolchainResult {
+    if let Err(r) = write_source(src_path, src) {
+        return r;
+    }
+    let t_run = Instant::now();
+    let mut run = Command::new(interpreter);
+    run.arg(src_path);
+    match run_cmd(run, "run") {
+        Ok(out) => parse_or_fail(out, Duration::ZERO, t_run.elapsed()),
+        Err(r) => r,
+    }
+}
+
+/// A language toolchain that can build and execute one backend's output.
+pub struct Toolchain {
+    /// Language name (matches the backend).
+    pub language: &'static str,
+    build_and_run: Box<dyn Fn(&Path, &str) -> ToolchainResult + Send + Sync>,
+}
+
+impl Toolchain {
+    /// Execute generated `source` in the scratch directory `dir`.
+    pub fn execute(&self, dir: &Path, source: &str) -> ToolchainResult {
+        (self.build_and_run)(dir, source)
+    }
+
+    /// C via `gcc` (or `cc`).
+    pub fn c() -> Toolchain {
+        Toolchain {
+            language: "C",
+            build_and_run: Box::new(|dir, src| {
+                let Some(cc) = which("gcc").or_else(|| which("cc")) else {
+                    return ToolchainResult::Unavailable("gcc/cc".into());
+                };
+                compile_and_run(cc, &["-O2"], &dir.join("space.c"), &dir.join("space_c"), src)
+            }),
+        }
+    }
+
+    /// C with OpenMP via `gcc -O2 -fopenmp`; the generated program runs
+    /// with `OMP_NUM_THREADS=4` so the reduction/private structure is
+    /// actually exercised by concurrent threads.
+    pub fn c_openmp() -> Toolchain {
+        Toolchain {
+            language: "C/OpenMP",
+            build_and_run: Box::new(|dir, src| {
+                let Some(cc) = which("gcc") else {
+                    return ToolchainResult::Unavailable("gcc".into());
+                };
+                let src_path = dir.join("space_omp.c");
+                let bin = dir.join("space_omp");
+                if let Err(r) = write_source(&src_path, src) {
+                    return r;
+                }
+                let t_build = Instant::now();
+                let mut build = Command::new(cc);
+                build.arg("-O2").arg("-fopenmp").arg("-o").arg(&bin).arg(&src_path);
+                if let Err(r) = run_cmd(build, "compile") {
+                    return r;
+                }
+                let build_time = t_build.elapsed();
+                let t_run = Instant::now();
+                let mut run = Command::new(&bin);
+                run.env("OMP_NUM_THREADS", "4");
+                match run_cmd(run, "run") {
+                    Ok(out) => parse_or_fail(out, build_time, t_run.elapsed()),
+                    Err(r) => r,
+                }
+            }),
+        }
+    }
+
+    /// Rust via `rustc -O`.
+    pub fn rust() -> Toolchain {
+        Toolchain {
+            language: "Rust",
+            build_and_run: Box::new(|dir, src| {
+                let Some(rustc) = which("rustc") else {
+                    return ToolchainResult::Unavailable("rustc".into());
+                };
+                compile_and_run(
+                    rustc,
+                    &["-O"],
+                    &dir.join("space.rs"),
+                    &dir.join("space_rs"),
+                    src,
+                )
+            }),
+        }
+    }
+
+    /// Python via `python3`.
+    pub fn python() -> Toolchain {
+        Toolchain {
+            language: "Python",
+            build_and_run: Box::new(|dir, src| {
+                let Some(py) = which("python3").or_else(|| which("python")) else {
+                    return ToolchainResult::Unavailable("python3".into());
+                };
+                interpret(py, &dir.join("space.py"), src)
+            }),
+        }
+    }
+
+    /// Lua via `lua5.4` / `lua5.3` / `lua`.
+    pub fn lua() -> Toolchain {
+        Toolchain {
+            language: "Lua",
+            build_and_run: Box::new(|dir, src| {
+                let Some(lua) = which("lua5.4")
+                    .or_else(|| which("lua5.3"))
+                    .or_else(|| which("lua"))
+                else {
+                    return ToolchainResult::Unavailable("lua".into());
+                };
+                interpret(lua, &dir.join("space.lua"), src)
+            }),
+        }
+    }
+
+    /// Fortran via `gfortran`.
+    pub fn fortran() -> Toolchain {
+        Toolchain {
+            language: "Fortran",
+            build_and_run: Box::new(|dir, src| {
+                let Some(fc) = which("gfortran") else {
+                    return ToolchainResult::Unavailable("gfortran".into());
+                };
+                compile_and_run(
+                    fc,
+                    &["-O2"],
+                    &dir.join("space.f90"),
+                    &dir.join("space_f90"),
+                    src,
+                )
+            }),
+        }
+    }
+
+    /// Java via `javac` + `java`.
+    pub fn java() -> Toolchain {
+        Toolchain {
+            language: "Java",
+            build_and_run: Box::new(|dir, src| {
+                let (Some(javac), Some(java)) = (which("javac"), which("java")) else {
+                    return ToolchainResult::Unavailable("javac/java".into());
+                };
+                let src_path = dir.join(format!("{JAVA_CLASS}.java"));
+                if let Err(r) = write_source(&src_path, src) {
+                    return r;
+                }
+                let t_build = Instant::now();
+                let mut build = Command::new(javac);
+                build.arg(&src_path);
+                if let Err(r) = run_cmd(build, "compile") {
+                    return r;
+                }
+                let build_time = t_build.elapsed();
+                let t_run = Instant::now();
+                let mut run = Command::new(java);
+                run.arg("-cp").arg(dir).arg(JAVA_CLASS);
+                match run_cmd(run, "run") {
+                    Ok(out) => parse_or_fail(out, build_time, t_run.elapsed()),
+                    Err(r) => r,
+                }
+            }),
+        }
+    }
+}
+
+/// Generate, build and run a program for one backend, in a fresh scratch
+/// directory under the system temp dir.
+pub fn generate_and_run(
+    backend: &dyn Backend,
+    toolchain: &Toolchain,
+    program: &LoweredProgram,
+) -> ToolchainResult {
+    let dir = std::env::temp_dir().join(format!(
+        "beast-codegen-{}-{}-{}",
+        program.name,
+        backend.extension(),
+        std::process::id()
+    ));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return ToolchainResult::Failed { stage: "mkdir", detail: e.to_string() };
+    }
+    let source = backend.generate(program);
+    let result = toolchain.execute(&dir, &source);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn which_finds_sh() {
+        assert!(which("sh").is_some());
+        assert!(which("definitely-not-a-real-tool-xyz").is_none());
+    }
+}

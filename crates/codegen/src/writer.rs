@@ -1,0 +1,88 @@
+//! A tiny indentation-aware code writer shared by all backends.
+
+/// Accumulates generated source with indentation management.
+#[derive(Debug, Default)]
+pub struct CodeWriter {
+    buf: String,
+    indent: usize,
+    /// Indentation unit (defaults to four spaces).
+    pub unit: &'static str,
+}
+
+impl CodeWriter {
+    /// New writer with four-space indentation.
+    pub fn new() -> CodeWriter {
+        CodeWriter { buf: String::new(), indent: 0, unit: "    " }
+    }
+
+    /// Append one indented line.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        for _ in 0..self.indent {
+            self.buf.push_str(self.unit);
+        }
+        self.buf.push_str(s.as_ref());
+        self.buf.push('\n');
+    }
+
+    /// Append a blank line.
+    pub fn blank(&mut self) {
+        self.buf.push('\n');
+    }
+
+    /// Append a line and increase indentation (block open).
+    pub fn open(&mut self, s: impl AsRef<str>) {
+        self.line(s);
+        self.indent += 1;
+    }
+
+    /// Decrease indentation and append a line (block close).
+    pub fn close(&mut self, s: impl AsRef<str>) {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(s);
+    }
+
+    /// Decrease indentation, append the line, and increase again — for
+    /// `} else {`-style hinges.
+    pub fn hinge(&mut self, s: impl AsRef<str>) {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(s);
+        self.indent += 1;
+    }
+
+    /// Current indentation depth.
+    pub fn depth(&self) -> usize {
+        self.indent
+    }
+
+    /// Finish and return the source.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indentation_tracks_blocks() {
+        let mut w = CodeWriter::new();
+        w.open("fn main() {");
+        w.line("let x = 1;");
+        w.open("if x > 0 {");
+        w.line("println!(\"hi\");");
+        w.close("}");
+        w.close("}");
+        assert_eq!(
+            w.finish(),
+            "fn main() {\n    let x = 1;\n    if x > 0 {\n        println!(\"hi\");\n    }\n}\n"
+        );
+    }
+
+    #[test]
+    fn close_never_underflows() {
+        let mut w = CodeWriter::new();
+        w.close("}");
+        assert_eq!(w.depth(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Cross-language equivalence: every generated program must report exactly
+//! the same survivors, per-constraint prune counts, and variable checksum as
+//! the in-process compiled engine. Backends whose toolchain is missing on
+//! the host are skipped (reported in the test output), never failed.
+
+use std::sync::Arc;
+
+use beast_codegen::{all_backends, all_toolchains, generate, Program, ToolchainResult};
+use beast_core::constraint::ConstraintClass;
+use beast_core::expr::{lit, min2, ternary, var};
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_core::space::Space;
+use beast_engine::compiled::Compiled;
+use beast_engine::point::PointRef;
+use beast_engine::visit::Visitor;
+
+/// Visitor that mirrors the generated programs' checksum.
+#[derive(Default)]
+struct ChecksumVisitor {
+    survivors: u64,
+    checksum: i64,
+}
+
+impl Visitor for ChecksumVisitor {
+    fn visit(&mut self, point: &PointRef<'_>) {
+        self.survivors += 1;
+        for i in 0..point.names().len() {
+            self.checksum ^= point.value(i).as_int().unwrap();
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.survivors += other.survivors;
+        self.checksum ^= other.checksum;
+    }
+}
+
+fn cross_check(space: Arc<Space>) {
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    // Ground truth from the in-process engine.
+    let compiled = Compiled::new(lp.clone());
+    let truth = compiled.run(ChecksumVisitor::default()).unwrap();
+
+    let program = Program::from_lowered(&lp).unwrap();
+    let lowered = beast_codegen::lower(&program);
+
+    let mut ran_any = false;
+    for (backend, toolchain) in all_backends().iter().zip(all_toolchains()) {
+        let src = generate(&lp, backend.as_ref()).unwrap();
+        assert!(!src.is_empty());
+        let result = beast_codegen::generate_and_run(backend.as_ref(), &toolchain, &lowered);
+        match result {
+            ToolchainResult::Unavailable(tool) => {
+                eprintln!("[skip] {}: {tool} not installed", backend.language());
+            }
+            ToolchainResult::Failed { stage, detail } => {
+                panic!(
+                    "{} backend failed at {stage} for space `{}`:\n{detail}\n--- source ---\n{src}",
+                    backend.language(),
+                    space.name()
+                );
+            }
+            ToolchainResult::Ran { counts, .. } => {
+                ran_any = true;
+                assert_eq!(
+                    counts.survivors,
+                    truth.visitor.survivors,
+                    "{}: survivor mismatch for `{}`",
+                    backend.language(),
+                    space.name()
+                );
+                assert_eq!(
+                    counts.checksum,
+                    truth.visitor.checksum,
+                    "{}: checksum mismatch for `{}`",
+                    backend.language(),
+                    space.name()
+                );
+                for (i, (name, pruned)) in counts.pruned.iter().enumerate() {
+                    assert_eq!(&**name, &*space.constraints()[i].name);
+                    assert_eq!(
+                        *pruned,
+                        truth.stats.pruned[i],
+                        "{}: prune-count mismatch for `{}`/{name}",
+                        backend.language(),
+                        space.name()
+                    );
+                }
+            }
+        }
+    }
+    assert!(ran_any, "no toolchain available to cross-check at all");
+}
+
+#[test]
+fn simple_dependent_space() {
+    let space = Space::builder("simple_dep")
+        .constant("cap", 40)
+        .range("a", 1, 9)
+        .range_step("b", var("a"), 33, var("a"))
+        .derived("ab", var("a") * var("b"))
+        .constraint("over", ConstraintClass::Hard, var("ab").gt(var("cap")))
+        .build()
+        .unwrap();
+    cross_check(space);
+}
+
+#[test]
+fn guarded_short_circuit_and_ternary() {
+    // Exercises the flattener: the `%` is only legal when x != 0, and the
+    // ternary branches must stay lazy.
+    let space = Space::builder("guards")
+        .range("x", 0, 20)
+        .range("y", 1, 8)
+        .derived(
+            "pick",
+            ternary(var("x").gt(10), var("x") - var("y"), var("x") + var("y")),
+        )
+        .constraint(
+            "not_multiple",
+            ConstraintClass::Generic,
+            var("x").ne(0).and((lit(60) % var("x")).eq(0)).not(),
+        )
+        .constraint("pick_odd", ConstraintClass::Soft, (var("pick") % 2).ne(0))
+        .build()
+        .unwrap();
+    cross_check(space);
+}
+
+#[test]
+fn negative_steps_and_value_pools() {
+    let space = Space::builder("negpool")
+        .list("mode", [0i64, 1, 3])
+        .range_step("down", 12, 0, -3)
+        .derived("m", min2(var("mode") * var("down"), 9))
+        .constraint("small", ConstraintClass::Soft, var("m").lt(3))
+        .build()
+        .unwrap();
+    cross_check(space);
+}
+
+#[test]
+fn preamble_constraint_empties_space() {
+    let space = Space::builder("preamble")
+        .constant("enabled", 0)
+        .range("x", 0, 1000)
+        .constraint("off", ConstraintClass::Generic, var("enabled").eq(0))
+        .build()
+        .unwrap();
+    cross_check(space);
+}
+
+#[test]
+fn gemm_reduced_space_cross_check() {
+    // The real model problem on a reduced device — the strongest test: 15
+    // loops, 14 derived variables, 12 constraints, folded string settings.
+    let params = beast_gemm::GemmSpaceParams::reduced(12);
+    let space = beast_gemm::build_gemm_space(&params).unwrap();
+    cross_check(space);
+}

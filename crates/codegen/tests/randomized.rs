@@ -1,0 +1,162 @@
+//! Randomized cross-language validation: pseudo-random spaces (seeded, so
+//! failures reproduce) are generated, translated by every backend, executed
+//! by every installed toolchain, and compared against the in-process engine
+//! — survivors, per-constraint counts and the XOR checksum must all match.
+
+use std::sync::Arc;
+
+use beast_codegen::{all_backends, all_toolchains, ToolchainResult};
+use beast_core::constraint::ConstraintClass;
+use beast_core::expr::{lit, max2, min2, ternary, var, E};
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_core::space::{Space, SpaceBuilder};
+use beast_engine::compiled::Compiled;
+use beast_engine::point::PointRef;
+use beast_engine::visit::Visitor;
+
+/// Tiny deterministic PRNG (xorshift64*), independent of `rand` so the test
+/// is self-contained and stable across dependency upgrades.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random pure expression over the currently visible variables.
+fn random_expr(rng: &mut XorShift, vars: &[String], depth: usize) -> E {
+    if depth == 0 || rng.below(3) == 0 {
+        return if !vars.is_empty() && rng.below(2) == 0 {
+            var(&vars[rng.below(vars.len() as u64) as usize])
+        } else {
+            lit(rng.below(9) as i64 - 2)
+        };
+    }
+    let a = random_expr(rng, vars, depth - 1);
+    let b = random_expr(rng, vars, depth - 1);
+    match rng.below(8) {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        3 => min2(a, b),
+        4 => max2(a, b),
+        5 => ternary(a.gt(0), b, lit(1)),
+        // Guarded remainder: divisor forced >= 1.
+        6 => a % max2(b, 1),
+        _ => a.lt(b),
+    }
+}
+
+fn random_space(seed: u64) -> Arc<Space> {
+    let mut rng = XorShift(seed | 1);
+    let n_iters = 2 + rng.below(3) as usize; // 2..4 loops
+    let mut builder: SpaceBuilder = Space::builder("randomized");
+    let mut vars: Vec<String> = Vec::new();
+    for i in 0..n_iters {
+        let name = format!("v{i}");
+        match rng.below(3) {
+            0 if !vars.is_empty() => {
+                // Dependent range: from a previous var's value.
+                let dep = &vars[rng.below(vars.len() as u64) as usize];
+                builder = builder.range_step(
+                    &name,
+                    1,
+                    var(dep) + (2 + rng.below(8) as i64),
+                    1 + rng.below(3) as i64,
+                );
+            }
+            1 => {
+                let len = 2 + rng.below(4);
+                let values: Vec<i64> = (0..len).map(|_| rng.below(12) as i64).collect();
+                builder = builder.list(&name, values);
+            }
+            _ => {
+                builder = builder.range(&name, 1, 3 + rng.below(8) as i64);
+            }
+        }
+        vars.push(name);
+    }
+    let n_derived = rng.below(3) as usize;
+    for i in 0..n_derived {
+        let name = format!("d{i}");
+        let e = random_expr(&mut rng, &vars, 2);
+        builder = builder.derived(&name, e);
+        vars.push(name);
+    }
+    for i in 0..1 + rng.below(3) as usize {
+        let e = random_expr(&mut rng, &vars, 2);
+        let threshold = rng.below(20) as i64 - 4;
+        builder = builder.constraint(
+            &format!("c{i}"),
+            ConstraintClass::Generic,
+            e.gt(threshold),
+        );
+    }
+    builder.build().expect("generated space is valid")
+}
+
+#[derive(Default)]
+struct ChecksumVisitor {
+    survivors: u64,
+    checksum: i64,
+}
+
+impl Visitor for ChecksumVisitor {
+    fn visit(&mut self, point: &PointRef<'_>) {
+        self.survivors += 1;
+        for i in 0..point.names().len() {
+            self.checksum ^= point.value(i).as_int().unwrap();
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.survivors += other.survivors;
+        self.checksum ^= other.checksum;
+    }
+}
+
+#[test]
+fn randomized_spaces_cross_check_all_toolchains() {
+    let backends = all_backends();
+    for seed in 1..=8u64 {
+        let space = random_space(seed * 7919);
+        let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+        let lp = LoweredPlan::new(&plan).unwrap();
+        let truth = Compiled::new(lp.clone()).run(ChecksumVisitor::default()).unwrap();
+        let program =
+            beast_codegen::lower(&beast_codegen::Program::from_lowered(&lp).unwrap());
+
+        for (backend, toolchain) in backends.iter().zip(all_toolchains()) {
+            match beast_codegen::generate_and_run(backend.as_ref(), &toolchain, &program) {
+                ToolchainResult::Unavailable(_) => {}
+                ToolchainResult::Failed { stage, detail } => panic!(
+                    "seed {seed}: {} failed at {stage}:\n{detail}\n--- source ---\n{}",
+                    backend.language(),
+                    backend.generate(&program)
+                ),
+                ToolchainResult::Ran { counts, .. } => {
+                    assert_eq!(
+                        (counts.survivors, counts.checksum),
+                        (truth.visitor.survivors, truth.visitor.checksum),
+                        "seed {seed}: {} disagrees with the engine",
+                        backend.language()
+                    );
+                    for (i, (_, pruned)) in counts.pruned.iter().enumerate() {
+                        assert_eq!(*pruned, truth.stats.pruned[i], "seed {seed}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Pruning constraints (`@condition` in the paper, Section VI).
+//!
+//! A constraint evaluates to a boolean for each candidate tuple; following
+//! the paper's polarity, **`true` means the point is pruned** (e.g.
+//! `over_max_threads` returns true when the block exceeds the hardware
+//! thread limit, Fig. 13).
+//!
+//! Constraints carry a *class* — hard, soft, or correctness (Section IX-E) —
+//! used for reporting and for selectively disabling classes in ablation runs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::EvalError;
+use crate::expr::{Bindings, Expr};
+
+/// The paper's three classes of pruning constraints, plus a generic bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ConstraintClass {
+    /// Tied to hardware limits; violating kernels fail to compile or launch.
+    Hard,
+    /// Performance heuristics; violating kernels run but are guaranteed slow.
+    Soft,
+    /// Algorithmic assumptions; violating kernels produce wrong results.
+    Correctness,
+    /// Unclassified.
+    Generic,
+}
+
+impl fmt::Display for ConstraintClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConstraintClass::Hard => "hard",
+            ConstraintClass::Soft => "soft",
+            ConstraintClass::Correctness => "correctness",
+            ConstraintClass::Generic => "generic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Signature of a deferred constraint body.
+pub type ConstraintFn = dyn Fn(&dyn Bindings) -> Result<bool, EvalError> + Send + Sync;
+
+/// How a constraint is computed.
+#[derive(Clone)]
+pub enum ConstraintKind {
+    /// An expression constraint; dependencies extracted automatically.
+    Expr(Expr),
+    /// A deferred constraint — an opaque function with declared dependencies,
+    /// usable in any definition order (Section VI).
+    Deferred {
+        /// Declared dependencies.
+        deps: Vec<Arc<str>>,
+        /// The body; `true` ⇒ prune.
+        f: Arc<ConstraintFn>,
+    },
+}
+
+impl fmt::Debug for ConstraintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintKind::Expr(e) => write!(f, "expr({e})"),
+            ConstraintKind::Deferred { deps, .. } => write!(f, "deferred(deps={deps:?})"),
+        }
+    }
+}
+
+impl ConstraintKind {
+    /// Collect dependency names.
+    pub fn collect_deps(&self, out: &mut BTreeSet<Arc<str>>) {
+        match self {
+            ConstraintKind::Expr(e) => e.collect_deps(out),
+            ConstraintKind::Deferred { deps, .. } => out.extend(deps.iter().cloned()),
+        }
+    }
+
+    /// Evaluate; `Ok(true)` means the current point must be pruned.
+    pub fn rejects(&self, env: &dyn Bindings) -> Result<bool, EvalError> {
+        match self {
+            ConstraintKind::Expr(e) => Ok(e.eval(env)?.truthy()),
+            ConstraintKind::Deferred { f, .. } => f(env),
+        }
+    }
+
+    /// True if the body is an opaque Rust closure.
+    pub fn is_opaque(&self) -> bool {
+        matches!(self, ConstraintKind::Deferred { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::var;
+    use crate::value::Value;
+    use std::collections::HashMap;
+
+    fn env(pairs: &[(&str, i64)]) -> HashMap<Arc<str>, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (Arc::<str>::from(*k), Value::Int(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn expression_constraint_polarity() {
+        // over_max_threads: threads_per_block > max_threads_per_block.
+        let c = ConstraintKind::Expr(
+            var("threads_per_block").gt(var("max_threads_per_block")).into_expr(),
+        );
+        assert!(c
+            .rejects(&env(&[("threads_per_block", 2048), ("max_threads_per_block", 1024)]))
+            .unwrap());
+        assert!(!c
+            .rejects(&env(&[("threads_per_block", 256), ("max_threads_per_block", 1024)]))
+            .unwrap());
+    }
+
+    #[test]
+    fn deferred_constraint() {
+        let c = ConstraintKind::Deferred {
+            deps: vec![Arc::from("threads_per_block"), Arc::from("warp_size")],
+            f: Arc::new(|env| {
+                Ok(env.require_int("threads_per_block")? % env.require_int("warp_size")? != 0)
+            }),
+        };
+        assert!(c
+            .rejects(&env(&[("threads_per_block", 48), ("warp_size", 32)]))
+            .unwrap());
+        assert!(!c
+            .rejects(&env(&[("threads_per_block", 64), ("warp_size", 32)]))
+            .unwrap());
+        assert!(c.is_opaque());
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(ConstraintClass::Hard.to_string(), "hard");
+        assert_eq!(ConstraintClass::Correctness.to_string(), "correctness");
+    }
+}

@@ -1,0 +1,327 @@
+//! Dependency DAG over iterators, derived variables and constraints —
+//! the theoretical framework of Section X of the paper.
+//!
+//! Vertices are the user's definitions (`V = I ∪ C`, plus derived variables
+//! which the paper folds into expressions); there is an edge `(v, w)` when
+//! `v` is used to express `w`. The *level sets* of the DAG — `level(v) = 0`
+//! for dependency-free vertices, otherwise `1 + max(level of deps)` — induce
+//! the weak order used to generate loop nests: loops may be reordered freely
+//! within a level, and outer levels (near `L0`) are the parallelization
+//! points.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::SpaceError;
+
+/// What a DAG vertex represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A search-space dimension (blue circle in Fig. 16).
+    Iter,
+    /// A derived variable (intermediate box).
+    Derived,
+    /// A pruning constraint (red octagon in Fig. 16).
+    Constraint,
+}
+
+/// The dependency DAG. Node ids are dense indices assigned by the
+/// [`crate::space::Space`] builder: iterators first, then derived variables,
+/// then constraints.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    names: Vec<Arc<str>>,
+    kinds: Vec<NodeKind>,
+    /// `deps[v]` = nodes that `v` depends on (edges into `v`).
+    deps: Vec<Vec<usize>>,
+    /// `rdeps[v]` = nodes that depend on `v`.
+    rdeps: Vec<Vec<usize>>,
+    /// Longest-path level of each node.
+    levels: Vec<usize>,
+    /// A topological order (stable: by level, then definition index).
+    topo: Vec<usize>,
+}
+
+impl Dag {
+    /// Build a DAG from per-node dependency lists; checks for cycles.
+    pub fn new(
+        names: Vec<Arc<str>>,
+        kinds: Vec<NodeKind>,
+        deps: Vec<Vec<usize>>,
+    ) -> Result<Dag, SpaceError> {
+        let n = names.len();
+        debug_assert_eq!(kinds.len(), n);
+        debug_assert_eq!(deps.len(), n);
+
+        let mut rdeps = vec![Vec::new(); n];
+        for (v, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                rdeps[d].push(v);
+            }
+        }
+
+        // Kahn's algorithm for cycle detection + a topological order.
+        let mut indegree: Vec<usize> = deps.iter().map(Vec::len).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+        ready.sort_unstable();
+        let mut topo = Vec::with_capacity(n);
+        let mut levels = vec![0usize; n];
+        while !ready.is_empty() {
+            // Pop the smallest ready node for determinism.
+            ready.sort_unstable();
+            let v = ready.remove(0);
+            topo.push(v);
+            for &w in &rdeps[v] {
+                levels[w] = levels[w].max(levels[v] + 1);
+                indegree[w] -= 1;
+                if indegree[w] == 0 {
+                    ready.push(w);
+                }
+            }
+        }
+
+        if topo.len() != n {
+            // A cycle exists among the unprocessed nodes; walk it for the
+            // error message.
+            let in_topo: Vec<bool> = {
+                let mut b = vec![false; n];
+                for &v in &topo {
+                    b[v] = true;
+                }
+                b
+            };
+            let start = (0..n).find(|&v| !in_topo[v]).expect("cycle node");
+            let mut path = vec![start];
+            let mut seen = HashMap::new();
+            seen.insert(start, 0usize);
+            let mut cur = start;
+            loop {
+                let next = deps[cur]
+                    .iter()
+                    .copied()
+                    .find(|&d| !in_topo[d])
+                    .expect("cycle must continue among unprocessed nodes");
+                if let Some(&pos) = seen.get(&next) {
+                    let mut cycle: Vec<String> =
+                        path[pos..].iter().map(|&v| names[v].to_string()).collect();
+                    cycle.push(names[next].to_string());
+                    return Err(SpaceError::Cycle(cycle));
+                }
+                seen.insert(next, path.len());
+                path.push(next);
+                cur = next;
+            }
+        }
+
+        // Re-sort topo stably by (level, index) to get the canonical order.
+        let mut topo: Vec<usize> = (0..n).collect();
+        topo.sort_by_key(|&v| (levels[v], v));
+
+        Ok(Dag { names, kinds, deps, rdeps, levels, topo })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The node's name.
+    pub fn name(&self, v: usize) -> &Arc<str> {
+        &self.names[v]
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, v: usize) -> NodeKind {
+        self.kinds[v]
+    }
+
+    /// Direct dependencies of `v`.
+    pub fn deps(&self, v: usize) -> &[usize] {
+        &self.deps[v]
+    }
+
+    /// Direct dependents of `v`.
+    pub fn dependents(&self, v: usize) -> &[usize] {
+        &self.rdeps[v]
+    }
+
+    /// Longest-path level of `v` (level sets of Section X-B).
+    pub fn level(&self, v: usize) -> usize {
+        self.levels[v]
+    }
+
+    /// Canonical topological order: by (level, definition index).
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// The level sets `L0, L1, ...`: nodes grouped by level.
+    pub fn level_sets(&self) -> Vec<Vec<usize>> {
+        let max = self.levels.iter().copied().max().unwrap_or(0);
+        let mut sets = vec![Vec::new(); max + 1];
+        for v in &self.topo {
+            sets[self.levels[*v]].push(*v);
+        }
+        sets
+    }
+
+    /// Transitive closure of dependencies of `v` (not including `v`).
+    pub fn transitive_deps(&self, v: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = self.deps[v].to_vec();
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if seen[u] {
+                continue;
+            }
+            seen[u] = true;
+            out.push(u);
+            stack.extend_from_slice(&self.deps[u]);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// `v ⪰ w` in the weak order: true if there is a dependency path from
+    /// `w` to `v` (i.e. `v` transitively depends on `w`).
+    pub fn succeeds(&self, v: usize, w: usize) -> bool {
+        self.transitive_deps(v).binary_search(&w).is_ok()
+    }
+
+    /// Render the DAG in Graphviz DOT, in the style of Fig. 16: iterators as
+    /// blue circles, constraints as red octagons, derived variables as gray
+    /// boxes.
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut s = String::new();
+        s.push_str("digraph \"");
+        s.push_str(title);
+        s.push_str("\" {\n  rankdir=TB;\n");
+        for v in 0..self.len() {
+            let (shape, color) = match self.kinds[v] {
+                NodeKind::Iter => ("ellipse", "lightblue"),
+                NodeKind::Derived => ("box", "lightgray"),
+                NodeKind::Constraint => ("octagon", "lightcoral"),
+            };
+            s.push_str(&format!(
+                "  \"{}\" [shape={shape}, style=filled, fillcolor={color}, label=\"{}\\nL{}\"];\n",
+                self.names[v], self.names[v], self.levels[v]
+            ));
+        }
+        for v in 0..self.len() {
+            for &d in &self.deps[v] {
+                s.push_str(&format!("  \"{}\" -> \"{}\";\n", self.names[d], self.names[v]));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    /// dim_m -> blk_m -> check, dim_n independent.
+    fn diamond() -> Dag {
+        Dag::new(
+            vec![name("dim_m"), name("dim_n"), name("blk_m"), name("check")],
+            vec![
+                NodeKind::Iter,
+                NodeKind::Iter,
+                NodeKind::Iter,
+                NodeKind::Constraint,
+            ],
+            vec![vec![], vec![], vec![0], vec![1, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn levels_and_topo() {
+        let d = diamond();
+        assert_eq!(d.level(0), 0);
+        assert_eq!(d.level(1), 0);
+        assert_eq!(d.level(2), 1);
+        assert_eq!(d.level(3), 2);
+        assert_eq!(d.topo_order(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn level_sets_group_by_level() {
+        let d = diamond();
+        let sets = d.level_sets();
+        assert_eq!(sets, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn transitive_deps_and_weak_order() {
+        let d = diamond();
+        assert_eq!(d.transitive_deps(3), vec![0, 1, 2]);
+        assert!(d.succeeds(3, 0));
+        assert!(d.succeeds(2, 0));
+        assert!(!d.succeeds(0, 3));
+        assert!(!d.succeeds(1, 0));
+    }
+
+    #[test]
+    fn cycle_detection_reports_names() {
+        let err = Dag::new(
+            vec![name("a"), name("b"), name("c")],
+            vec![NodeKind::Iter; 3],
+            vec![vec![2], vec![0], vec![1]], // a <- c <- b <- a
+        )
+        .unwrap_err();
+        match err {
+            SpaceError::Cycle(names) => {
+                assert!(names.len() >= 3);
+                assert_eq!(names.first(), names.last());
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let err = Dag::new(
+            vec![name("a")],
+            vec![NodeKind::Iter],
+            vec![vec![0]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpaceError::Cycle(_)));
+    }
+
+    #[test]
+    fn dot_contains_shapes() {
+        let d = diamond();
+        let dot = d.to_dot("test");
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("shape=octagon"));
+        assert!(dot.contains("\"dim_m\" -> \"blk_m\""));
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::new(vec![], vec![], vec![]).unwrap();
+        assert!(d.is_empty());
+        assert!(d.level_sets().len() <= 1);
+    }
+
+    #[test]
+    fn dependents_are_reverse_edges() {
+        let d = diamond();
+        assert_eq!(d.dependents(0), &[2]);
+        assert_eq!(d.dependents(2), &[3]);
+        assert!(d.dependents(3).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Derived variables — named intermediate quantities computed from iterators
+//! and other derived variables (Fig. 12 of the paper: `threads_per_block`,
+//! `regs_per_block`, `max_blocks_by_shmem`, ...).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::EvalError;
+use crate::expr::{Bindings, Expr};
+use crate::value::Value;
+
+/// Signature of a deferred derived-variable body.
+pub type DerivedFn = dyn Fn(&dyn Bindings) -> Result<Value, EvalError> + Send + Sync;
+
+/// How a derived variable is computed.
+#[derive(Clone)]
+pub enum DerivedKind {
+    /// A plain expression; dependencies are extracted automatically.
+    Expr(Expr),
+    /// An opaque function with declared dependencies (the analog of a Python
+    /// helper using statements that expressions cannot encode).
+    Deferred {
+        /// Declared dependencies.
+        deps: Vec<Arc<str>>,
+        /// The body.
+        f: Arc<DerivedFn>,
+    },
+}
+
+impl fmt::Debug for DerivedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DerivedKind::Expr(e) => write!(f, "expr({e})"),
+            DerivedKind::Deferred { deps, .. } => write!(f, "deferred(deps={deps:?})"),
+        }
+    }
+}
+
+impl DerivedKind {
+    /// Collect dependency names.
+    pub fn collect_deps(&self, out: &mut BTreeSet<Arc<str>>) {
+        match self {
+            DerivedKind::Expr(e) => e.collect_deps(out),
+            DerivedKind::Deferred { deps, .. } => out.extend(deps.iter().cloned()),
+        }
+    }
+
+    /// Evaluate against the bound variables.
+    pub fn eval(&self, env: &dyn Bindings) -> Result<Value, EvalError> {
+        match self {
+            DerivedKind::Expr(e) => e.eval(env),
+            DerivedKind::Deferred { f, .. } => f(env),
+        }
+    }
+
+    /// True if the body is an opaque Rust closure (not translatable by the
+    /// source code generators).
+    pub fn is_opaque(&self) -> bool {
+        matches!(self, DerivedKind::Deferred { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::var;
+    use std::collections::HashMap;
+
+    #[test]
+    fn expr_derived_eval_and_deps() {
+        let d = DerivedKind::Expr((var("dim_m") * var("dim_n")).into_expr());
+        let mut deps = BTreeSet::new();
+        d.collect_deps(&mut deps);
+        assert_eq!(deps.len(), 2);
+
+        let mut env: HashMap<Arc<str>, Value> = HashMap::new();
+        env.insert(Arc::from("dim_m"), Value::Int(8));
+        env.insert(Arc::from("dim_n"), Value::Int(4));
+        assert_eq!(d.eval(&env).unwrap(), Value::Int(32));
+        assert!(!d.is_opaque());
+    }
+
+    #[test]
+    fn deferred_derived() {
+        let d = DerivedKind::Deferred {
+            deps: vec![Arc::from("x")],
+            f: Arc::new(|env| Ok(Value::Int(env.require_int("x")? * 2))),
+        };
+        let mut env: HashMap<Arc<str>, Value> = HashMap::new();
+        env.insert(Arc::from("x"), Value::Int(21));
+        assert_eq!(d.eval(&env).unwrap(), Value::Int(42));
+        assert!(d.is_opaque());
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types for space construction, planning and evaluation.
+
+use std::fmt;
+
+/// Errors raised while evaluating expressions, iterators or constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An operation received a value of the wrong type.
+    TypeError {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it actually got.
+        got: &'static str,
+    },
+    /// Integer or float division by zero.
+    DivisionByZero,
+    /// Integer overflow in checked arithmetic.
+    Overflow,
+    /// Comparison involving a NaN float.
+    NanComparison,
+    /// A variable was read before any enclosing loop bound it. The paper's
+    /// expression iterators raise `NameError`/`UnboundLocalError` in the same
+    /// situation (Section V).
+    Unbound(String),
+    /// A deferred iterator/constraint closure reported a domain error.
+    Custom(String),
+}
+
+impl EvalError {
+    /// Convenience constructor for [`EvalError::TypeError`].
+    pub fn type_error(expected: &'static str, got: &'static str) -> Self {
+        EvalError::TypeError { expected, got }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeError { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::Overflow => write!(f, "integer overflow"),
+            EvalError::NanComparison => write!(f, "comparison with NaN"),
+            EvalError::Unbound(name) => write!(f, "unbound variable `{name}`"),
+            EvalError::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Errors raised while building a [`crate::space::Space`] or planning it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// Two definitions share a name.
+    DuplicateName(String),
+    /// A definition references a name that is never defined.
+    UnknownName {
+        /// The referencing definition.
+        referrer: String,
+        /// The missing dependency.
+        missing: String,
+    },
+    /// The dependency graph contains a cycle; the names form the cycle in
+    /// order.
+    Cycle(Vec<String>),
+    /// A name is not a valid identifier for code generation.
+    InvalidName(String),
+    /// The space has no iterators; there is nothing to enumerate.
+    Empty,
+    /// Lowering to the integer IR failed (e.g. a non-constant string var).
+    Lowering(String),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::DuplicateName(n) => write!(f, "duplicate definition of `{n}`"),
+            SpaceError::UnknownName { referrer, missing } => {
+                write!(f, "`{referrer}` references unknown name `{missing}`")
+            }
+            SpaceError::Cycle(names) => {
+                write!(f, "dependency cycle: {}", names.join(" -> "))
+            }
+            SpaceError::InvalidName(n) => write!(f, "invalid identifier `{n}`"),
+            SpaceError::Empty => write!(f, "search space has no iterators"),
+            SpaceError::Lowering(msg) => write!(f, "lowering failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EvalError::type_error("int", "str").to_string(),
+            "type error: expected int, got str"
+        );
+        assert_eq!(
+            SpaceError::Cycle(vec!["a".into(), "b".into(), "a".into()]).to_string(),
+            "dependency cycle: a -> b -> a"
+        );
+        assert_eq!(
+            SpaceError::UnknownName {
+                referrer: "blk_m".into(),
+                missing: "dim_q".into()
+            }
+            .to_string(),
+            "`blk_m` references unknown name `dim_q`"
+        );
+    }
+}

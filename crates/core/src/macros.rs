@@ -1,0 +1,246 @@
+//! The `space!` declarative macro — the closest Rust analog of the paper's
+//! Python-embedded surface syntax.
+//!
+//! Each declared name is introduced as a [`crate::expr::VarRef`] binding in
+//! the remainder of the block, so later definitions reference earlier ones
+//! directly, mirroring the paper's global lexical scope (Fig. 4):
+//!
+//! ```
+//! use beast_core::space;
+//! use beast_core::expr::lit;
+//!
+//! let s = space! {
+//!     "mini";
+//!     const max_threads = 64;
+//!     const warp = 32;
+//!     iter dim_m = range(1, 9);
+//!     iter dim_n = range(1, 9);
+//!     iter blk_m = range(dim_m, 33, dim_m);
+//!     derived threads = dim_m * dim_n;
+//!     constraint(hard) over_max = threads.gt(max_threads);
+//!     constraint(soft) partial_warps = (threads % warp).ne(0);
+//! }
+//! .unwrap();
+//! assert_eq!(s.iters().len(), 3);
+//! ```
+
+/// Map a class keyword to a [`crate::constraint::ConstraintClass`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __space_class {
+    (hard) => {
+        $crate::constraint::ConstraintClass::Hard
+    };
+    (soft) => {
+        $crate::constraint::ConstraintClass::Soft
+    };
+    (correctness) => {
+        $crate::constraint::ConstraintClass::Correctness
+    };
+    (generic) => {
+        $crate::constraint::ConstraintClass::Generic
+    };
+}
+
+/// Declarative search-space definition; see the module docs for an example.
+///
+/// Supported declarations, each terminated by `;`:
+///
+/// * `const NAME = value;`
+/// * `iter NAME = range(start, stop);` / `range(start, stop, step);`
+/// * `iter NAME = list(v1, v2, ...);`
+/// * `derived NAME = expression;`
+/// * `constraint(hard|soft|correctness|generic) NAME = expression;`
+///
+/// Expressions are ordinary Rust expressions producing
+/// [`crate::expr::E`]; previously declared names are in scope as
+/// [`crate::expr::VarRef`] values with overloaded operators.
+#[macro_export]
+macro_rules! space {
+    ($name:literal ; $($body:tt)*) => {{
+        let builder = $crate::space::Space::builder($name);
+        $crate::__space_body!(builder; $($body)*)
+    }};
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __space_body {
+    ($b:ident;) => { $b.build() };
+
+    ($b:ident; const $n:ident = $v:expr; $($rest:tt)*) => {{
+        let $b = $b.constant(stringify!($n), $v);
+        #[allow(unused_variables)]
+        let $n = $crate::expr::VarRef(stringify!($n));
+        $crate::__space_body!($b; $($rest)*)
+    }};
+
+    ($b:ident; iter $n:ident = range($start:expr, $stop:expr, $step:expr); $($rest:tt)*) => {{
+        let $b = $b.range_step(stringify!($n), $start, $stop, $step);
+        #[allow(unused_variables)]
+        let $n = $crate::expr::VarRef(stringify!($n));
+        $crate::__space_body!($b; $($rest)*)
+    }};
+
+    ($b:ident; iter $n:ident = range($start:expr, $stop:expr); $($rest:tt)*) => {{
+        let $b = $b.range(stringify!($n), $start, $stop);
+        #[allow(unused_variables)]
+        let $n = $crate::expr::VarRef(stringify!($n));
+        $crate::__space_body!($b; $($rest)*)
+    }};
+
+    ($b:ident; iter $n:ident = list($($v:expr),+ $(,)?); $($rest:tt)*) => {{
+        let $b = $b.list(stringify!($n), [$($v),+]);
+        #[allow(unused_variables)]
+        let $n = $crate::expr::VarRef(stringify!($n));
+        $crate::__space_body!($b; $($rest)*)
+    }};
+
+    // Deferred iterator: `iter name(dep1, dep2) = |env| { ... };` — the
+    // analog of the paper's `@iterator` function with a parameter list.
+    ($b:ident; iter $n:ident($($dep:ident),* $(,)?) = $f:expr; $($rest:tt)*) => {{
+        let $b = $b.deferred_iter(stringify!($n), &[$(stringify!($dep)),*], $f);
+        #[allow(unused_variables)]
+        let $n = $crate::expr::VarRef(stringify!($n));
+        $crate::__space_body!($b; $($rest)*)
+    }};
+
+    // Closure (generator) iterator: `closure name(deps) = |env| iterator;`.
+    ($b:ident; closure $n:ident($($dep:ident),* $(,)?) = $f:expr; $($rest:tt)*) => {{
+        let $b = $b.closure_iter(stringify!($n), &[$(stringify!($dep)),*], $f);
+        #[allow(unused_variables)]
+        let $n = $crate::expr::VarRef(stringify!($n));
+        $crate::__space_body!($b; $($rest)*)
+    }};
+
+    // Deferred derived variable: `derived name(deps) = |env| { ... };`.
+    ($b:ident; derived $n:ident($($dep:ident),* $(,)?) = $f:expr; $($rest:tt)*) => {{
+        let $b = $b.derived_fn(stringify!($n), &[$(stringify!($dep)),*], $f);
+        #[allow(unused_variables)]
+        let $n = $crate::expr::VarRef(stringify!($n));
+        $crate::__space_body!($b; $($rest)*)
+    }};
+
+    // Deferred constraint: `constraint(class) name(deps) = |env| { ... };`.
+    ($b:ident; constraint($class:ident) $n:ident($($dep:ident),* $(,)?) = $f:expr; $($rest:tt)*) => {{
+        let $b = $b.constraint_fn(
+            stringify!($n),
+            $crate::__space_class!($class),
+            &[$(stringify!($dep)),*],
+            $f,
+        );
+        $crate::__space_body!($b; $($rest)*)
+    }};
+
+    ($b:ident; derived $n:ident = $e:expr; $($rest:tt)*) => {{
+        let $b = $b.derived(stringify!($n), ::core::convert::Into::into($e));
+        #[allow(unused_variables)]
+        let $n = $crate::expr::VarRef(stringify!($n));
+        $crate::__space_body!($b; $($rest)*)
+    }};
+
+    ($b:ident; constraint($class:ident) $n:ident = $e:expr; $($rest:tt)*) => {{
+        let $b = $b.constraint(
+            stringify!($n),
+            $crate::__space_class!($class),
+            ::core::convert::Into::into($e),
+        );
+        $crate::__space_body!($b; $($rest)*)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::constraint::ConstraintClass;
+
+    #[test]
+    fn macro_builds_full_space() {
+        let s = space! {
+            "macro_test";
+            const cap = 100;
+            iter a = range(1, 11);
+            iter b = range(a, 101, a);
+            iter mode = list(0, 1);
+            derived ab = a * b + mode;
+            constraint(hard) too_big = ab.gt(cap);
+            constraint(correctness) not_divisible = (b % a).ne(0);
+        }
+        .unwrap();
+        assert_eq!(s.name(), "macro_test");
+        assert_eq!(s.consts().len(), 1);
+        assert_eq!(s.iters().len(), 3);
+        assert_eq!(s.deriveds().len(), 1);
+        assert_eq!(s.constraints().len(), 2);
+        assert_eq!(s.constraints()[0].class, ConstraintClass::Hard);
+        assert_eq!(s.constraints()[1].class, ConstraintClass::Correctness);
+    }
+
+    #[test]
+    fn macro_vars_are_reusable() {
+        // `a` used in three later declarations — VarRef is Copy.
+        let s = space! {
+            "reuse";
+            iter a = range(1, 5);
+            derived d1 = a * 2;
+            derived d2 = a * 3;
+            constraint(generic) c = a.gt(3);
+        }
+        .unwrap();
+        assert_eq!(s.deriveds().len(), 2);
+    }
+
+    #[test]
+    fn macro_deferred_and_closure_forms() {
+        use crate::iterator::Realized;
+        use crate::value::Value;
+        let s = space! {
+            "deferred_macro";
+            const max = 20;
+            iter n = range(1, 5);
+            // Deferred iterator with a declared dependency list.
+            iter countdown(n) = |env| {
+                Ok(Realized::Range { start: env.require_int("n")?, stop: 0, step: -1 })
+            };
+            // Stateful closure iterator (Fig. 3 style).
+            closure fib(max) = |env| {
+                let max = env.require_int("max").unwrap_or(0);
+                let (mut k, mut v) = (1i64, 1i64);
+                std::iter::from_fn(move || {
+                    if v > max {
+                        return None;
+                    }
+                    let out = v;
+                    let next = v + k;
+                    k = v;
+                    v = next;
+                    Some(Value::Int(out))
+                })
+            };
+            // Deferred derived + deferred constraint.
+            derived product(countdown, fib) = |env| {
+                Ok(Value::Int(env.require_int("countdown")? * env.require_int("fib")?))
+            };
+            constraint(soft) big(product) = |env| Ok(env.require_int("product")? > 12);
+        }
+        .unwrap();
+        assert_eq!(s.iters().len(), 3);
+        assert_eq!(s.deriveds().len(), 1);
+        assert_eq!(s.constraints().len(), 1);
+        assert!(s.has_opaque_nodes());
+        // DAG: countdown depends on n, product on both iterators.
+        let cd = s.iters().iter().position(|d| &*d.name == "countdown").unwrap();
+        assert_eq!(s.dag().level(s.iter_node(cd)), 1);
+    }
+
+    #[test]
+    fn macro_dependency_dag_matches_builder() {
+        let s = space! {
+            "dag";
+            iter outer = range(0, 100);
+            iter inner = range(0, outer);
+        }
+        .unwrap();
+        assert_eq!(s.dag().level(s.iter_node(0)), 0);
+        assert_eq!(s.dag().level(s.iter_node(1)), 1);
+    }
+}

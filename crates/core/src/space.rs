@@ -1,0 +1,569 @@
+//! The search space: named constants, iterators, derived variables and
+//! constraints, with the dependency DAG built at construction time.
+//!
+//! This is the Rust analog of a BEAST space description file: the user lists
+//! definitions in any order (deferred forms may even reference names defined
+//! later, Section V), and [`SpaceBuilder::build`] resolves names, extracts
+//! dependencies, checks for cycles and produces an immutable [`Space`] ready
+//! for planning and evaluation.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use crate::constraint::{ConstraintClass, ConstraintFn, ConstraintKind};
+use crate::dag::{Dag, NodeKind};
+use crate::derived::{DerivedFn, DerivedKind};
+use crate::error::{EvalError, SpaceError};
+use crate::expr::{Bindings, E};
+use crate::iterator::{IterKind, Realized};
+use crate::value::Value;
+
+/// One search-space dimension.
+#[derive(Debug, Clone)]
+pub struct IterDef {
+    /// Variable name bound by this dimension's loop.
+    pub name: Arc<str>,
+    /// How the domain is produced.
+    pub kind: IterKind,
+}
+
+/// One derived variable.
+#[derive(Debug, Clone)]
+pub struct DerivedDef {
+    /// Variable name.
+    pub name: Arc<str>,
+    /// How the value is computed.
+    pub kind: DerivedKind,
+}
+
+/// One pruning constraint.
+#[derive(Debug, Clone)]
+pub struct ConstraintDef {
+    /// Constraint name (for statistics and reports).
+    pub name: Arc<str>,
+    /// Hard / soft / correctness classification.
+    pub class: ConstraintClass,
+    /// The predicate; `true` ⇒ prune.
+    pub kind: ConstraintKind,
+}
+
+/// An immutable, validated search space.
+#[derive(Debug)]
+pub struct Space {
+    name: String,
+    consts: Vec<(Arc<str>, Value)>,
+    iters: Vec<IterDef>,
+    deriveds: Vec<DerivedDef>,
+    constraints: Vec<ConstraintDef>,
+    dag: Dag,
+}
+
+impl Space {
+    /// Start building a space.
+    pub fn builder(name: &str) -> SpaceBuilder {
+        SpaceBuilder {
+            name: name.to_string(),
+            consts: Vec::new(),
+            iters: Vec::new(),
+            deriveds: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The space's name (used in reports and generated code).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The named constants, in definition order.
+    pub fn consts(&self) -> &[(Arc<str>, Value)] {
+        &self.consts
+    }
+
+    /// The iterators, in definition order.
+    pub fn iters(&self) -> &[IterDef] {
+        &self.iters
+    }
+
+    /// The derived variables, in definition order.
+    pub fn deriveds(&self) -> &[DerivedDef] {
+        &self.deriveds
+    }
+
+    /// The constraints, in definition order.
+    pub fn constraints(&self) -> &[ConstraintDef] {
+        &self.constraints
+    }
+
+    /// The dependency DAG. Node ids: `0..iters.len()` are iterators,
+    /// then derived variables, then constraints.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// DAG node id of iterator `i`.
+    pub fn iter_node(&self, i: usize) -> usize {
+        i
+    }
+
+    /// DAG node id of derived variable `i`.
+    pub fn derived_node(&self, i: usize) -> usize {
+        self.iters.len() + i
+    }
+
+    /// DAG node id of constraint `i`.
+    pub fn constraint_node(&self, i: usize) -> usize {
+        self.iters.len() + self.deriveds.len() + i
+    }
+
+    /// Reverse of the node-id mapping.
+    pub fn node_target(&self, node: usize) -> NodeTarget {
+        if node < self.iters.len() {
+            NodeTarget::Iter(node)
+        } else if node < self.iters.len() + self.deriveds.len() {
+            NodeTarget::Derived(node - self.iters.len())
+        } else {
+            NodeTarget::Constraint(node - self.iters.len() - self.deriveds.len())
+        }
+    }
+
+    /// All variable names an engine must be able to bind: constants,
+    /// iterators and derived variables, in that order. (Constraints produce
+    /// no bindings.)
+    pub fn variable_names(&self) -> Vec<Arc<str>> {
+        let mut names =
+            Vec::with_capacity(self.consts.len() + self.iters.len() + self.deriveds.len());
+        names.extend(self.consts.iter().map(|(n, _)| n.clone()));
+        names.extend(self.iters.iter().map(|d| d.name.clone()));
+        names.extend(self.deriveds.iter().map(|d| d.name.clone()));
+        names
+    }
+
+    /// True if any definition contains an opaque Rust closure; such spaces
+    /// cannot be translated to C/Python/... source by `beast-codegen`.
+    pub fn has_opaque_nodes(&self) -> bool {
+        self.iters.iter().any(|d| d.kind.is_opaque())
+            || self.deriveds.iter().any(|d| d.kind.is_opaque())
+            || self.constraints.iter().any(|d| d.kind.is_opaque())
+    }
+
+    /// An upper bound on the raw (pre-pruning) cardinality of the space,
+    /// realizing each independent iterator and assuming dependent iterators
+    /// hit their maximal domain; `None` when a domain cannot be bounded
+    /// without bindings.
+    ///
+    /// Only level-0 iterators can be realized without bindings; for the rest
+    /// this returns `None`, which is the honest answer.
+    pub fn static_cardinality(&self) -> Option<u128> {
+        let consts = ConstBindings(&self.consts);
+        let mut total: u128 = 1;
+        for (i, def) in self.iters.iter().enumerate() {
+            if self.dag.level(self.iter_node(i)) != 0 {
+                return None;
+            }
+            let r = def.kind.realize(&consts).ok()?;
+            total = total.checked_mul(r.len() as u128)?;
+        }
+        Some(total)
+    }
+
+    /// Realize iterator `i` against the given bindings (convenience).
+    pub fn realize_iter(
+        &self,
+        i: usize,
+        env: &dyn Bindings,
+    ) -> Result<Realized, EvalError> {
+        self.iters[i].kind.realize(env)
+    }
+}
+
+/// What a DAG node id refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeTarget {
+    /// Iterator index.
+    Iter(usize),
+    /// Derived-variable index.
+    Derived(usize),
+    /// Constraint index.
+    Constraint(usize),
+}
+
+/// Bindings view over the constant table only.
+pub struct ConstBindings<'a>(pub &'a [(Arc<str>, Value)]);
+
+impl Bindings for ConstBindings<'_> {
+    fn get(&self, name: &str) -> Option<Value> {
+        self.0
+            .iter()
+            .find(|(n, _)| &**n == name)
+            .map(|(_, v)| v.clone())
+    }
+}
+
+/// Builder for [`Space`]. Definitions may be added in any order; name
+/// resolution happens in [`SpaceBuilder::build`].
+pub struct SpaceBuilder {
+    name: String,
+    consts: Vec<(Arc<str>, Value)>,
+    iters: Vec<IterDef>,
+    deriveds: Vec<DerivedDef>,
+    constraints: Vec<ConstraintDef>,
+}
+
+impl SpaceBuilder {
+    /// Add a named constant (device parameters, settings such as
+    /// `precision`, Fig. 10).
+    pub fn constant(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.consts.push((Arc::from(name), value.into()));
+        self
+    }
+
+    /// Add an iterator dimension.
+    pub fn iter(mut self, name: &str, kind: IterKind) -> Self {
+        self.iters.push(IterDef { name: Arc::from(name), kind });
+        self
+    }
+
+    /// Add a `range(start, stop)` iterator (unit step).
+    pub fn range(self, name: &str, start: impl Into<E>, stop: impl Into<E>) -> Self {
+        self.iter(name, crate::iterator::build::range(start, stop))
+    }
+
+    /// Add a `range(start, stop, step)` iterator.
+    pub fn range_step(
+        self,
+        name: &str,
+        start: impl Into<E>,
+        stop: impl Into<E>,
+        step: impl Into<E>,
+    ) -> Self {
+        self.iter(name, crate::iterator::build::range_step(start, stop, step))
+    }
+
+    /// Add an explicit value-list iterator.
+    pub fn list<V: Into<Value>>(self, name: &str, values: impl IntoIterator<Item = V>) -> Self {
+        self.iter(name, crate::iterator::build::list(values))
+    }
+
+    /// Add a deferred iterator with declared dependencies.
+    pub fn deferred_iter<F>(self, name: &str, deps: &[&str], f: F) -> Self
+    where
+        F: Fn(&dyn Bindings) -> Result<Realized, EvalError> + Send + Sync + 'static,
+    {
+        self.iter(name, crate::iterator::build::deferred(deps, f))
+    }
+
+    /// Add a closure (generator) iterator with declared dependencies.
+    pub fn closure_iter<F, I>(self, name: &str, deps: &[&str], f: F) -> Self
+    where
+        F: Fn(&dyn Bindings) -> I + Send + Sync + 'static,
+        I: Iterator<Item = Value> + Send + 'static,
+    {
+        self.iter(name, crate::iterator::build::closure(deps, f))
+    }
+
+    /// Add an expression derived variable.
+    pub fn derived(mut self, name: &str, e: E) -> Self {
+        self.deriveds.push(DerivedDef {
+            name: Arc::from(name),
+            kind: DerivedKind::Expr(e.into_expr()),
+        });
+        self
+    }
+
+    /// Add a deferred derived variable with declared dependencies.
+    pub fn derived_fn<F>(mut self, name: &str, deps: &[&str], f: F) -> Self
+    where
+        F: Fn(&dyn Bindings) -> Result<Value, EvalError> + Send + Sync + 'static,
+    {
+        self.deriveds.push(DerivedDef {
+            name: Arc::from(name),
+            kind: DerivedKind::Deferred {
+                deps: deps.iter().map(|s| Arc::from(*s)).collect(),
+                f: Arc::new(f) as Arc<DerivedFn>,
+            },
+        });
+        self
+    }
+
+    /// Add an expression constraint; `true` ⇒ prune.
+    pub fn constraint(mut self, name: &str, class: ConstraintClass, e: E) -> Self {
+        self.constraints.push(ConstraintDef {
+            name: Arc::from(name),
+            class,
+            kind: ConstraintKind::Expr(e.into_expr()),
+        });
+        self
+    }
+
+    /// Add a deferred constraint with declared dependencies; `true` ⇒ prune.
+    pub fn constraint_fn<F>(
+        mut self,
+        name: &str,
+        class: ConstraintClass,
+        deps: &[&str],
+        f: F,
+    ) -> Self
+    where
+        F: Fn(&dyn Bindings) -> Result<bool, EvalError> + Send + Sync + 'static,
+    {
+        self.constraints.push(ConstraintDef {
+            name: Arc::from(name),
+            class,
+            kind: ConstraintKind::Deferred {
+                deps: deps.iter().map(|s| Arc::from(*s)).collect(),
+                f: Arc::new(f) as Arc<ConstraintFn>,
+            },
+        });
+        self
+    }
+
+    /// Resolve names, build the dependency DAG and validate the space.
+    pub fn build(self) -> Result<Arc<Space>, SpaceError> {
+        let SpaceBuilder { name, consts, iters, deriveds, constraints } = self;
+
+        if iters.is_empty() {
+            return Err(SpaceError::Empty);
+        }
+
+        // Validate identifiers and detect duplicates across all namespaces.
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let all_names = consts
+            .iter()
+            .map(|(n, _)| n)
+            .chain(iters.iter().map(|d| &d.name))
+            .chain(deriveds.iter().map(|d| &d.name))
+            .chain(constraints.iter().map(|d| &d.name));
+        for n in all_names {
+            if !is_identifier(n) {
+                return Err(SpaceError::InvalidName(n.to_string()));
+            }
+            if !seen.insert(n) {
+                return Err(SpaceError::DuplicateName(n.to_string()));
+            }
+        }
+
+        // Name -> DAG node id for value-producing definitions. Constants are
+        // pre-bound and are not DAG nodes.
+        let n_iters = iters.len();
+        let n_derived = deriveds.len();
+        let mut node_of: HashMap<&str, usize> = HashMap::new();
+        for (i, d) in iters.iter().enumerate() {
+            node_of.insert(&d.name, i);
+        }
+        for (i, d) in deriveds.iter().enumerate() {
+            node_of.insert(&d.name, n_iters + i);
+        }
+        let const_names: BTreeSet<&str> = consts.iter().map(|(n, _)| &**n).collect();
+
+        let n_nodes = n_iters + n_derived + constraints.len();
+        let mut dag_names = Vec::with_capacity(n_nodes);
+        let mut dag_kinds = Vec::with_capacity(n_nodes);
+        let mut dag_deps: Vec<Vec<usize>> = Vec::with_capacity(n_nodes);
+
+        let resolve =
+            |referrer: &Arc<str>, raw: BTreeSet<Arc<str>>| -> Result<Vec<usize>, SpaceError> {
+                let mut out = Vec::new();
+                for dep in raw {
+                    if const_names.contains(&*dep) {
+                        continue; // constants are always bound
+                    }
+                    match node_of.get(&*dep) {
+                        Some(&id) => out.push(id),
+                        None => {
+                            return Err(SpaceError::UnknownName {
+                                referrer: referrer.to_string(),
+                                missing: dep.to_string(),
+                            })
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                Ok(out)
+            };
+
+        for d in &iters {
+            let mut raw = BTreeSet::new();
+            d.kind.collect_deps(&mut raw);
+            dag_names.push(d.name.clone());
+            dag_kinds.push(NodeKind::Iter);
+            dag_deps.push(resolve(&d.name, raw)?);
+        }
+        for d in &deriveds {
+            let mut raw = BTreeSet::new();
+            d.kind.collect_deps(&mut raw);
+            dag_names.push(d.name.clone());
+            dag_kinds.push(NodeKind::Derived);
+            dag_deps.push(resolve(&d.name, raw)?);
+        }
+        for d in &constraints {
+            let mut raw = BTreeSet::new();
+            d.kind.collect_deps(&mut raw);
+            dag_names.push(d.name.clone());
+            dag_kinds.push(NodeKind::Constraint);
+            dag_deps.push(resolve(&d.name, raw)?);
+        }
+
+        let dag = Dag::new(dag_names, dag_kinds, dag_deps)?;
+
+        Ok(Arc::new(Space { name, consts, iters, deriveds, constraints, dag }))
+    }
+}
+
+/// True for `[A-Za-z_][A-Za-z0-9_]*` — valid in every codegen backend.
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::var;
+
+    fn small_space() -> Arc<Space> {
+        // A miniature GEMM-like space.
+        Space::builder("mini")
+            .constant("max_threads", 64)
+            .range("dim_m", 1, 9)
+            .range("dim_n", 1, 9)
+            .range_step("blk_m", var("dim_m"), 33, var("dim_m"))
+            .derived("threads", var("dim_m") * var("dim_n"))
+            .constraint(
+                "over_max_threads",
+                ConstraintClass::Hard,
+                var("threads").gt(var("max_threads")),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_exposes_definitions() {
+        let s = small_space();
+        assert_eq!(s.name(), "mini");
+        assert_eq!(s.consts().len(), 1);
+        assert_eq!(s.iters().len(), 3);
+        assert_eq!(s.deriveds().len(), 1);
+        assert_eq!(s.constraints().len(), 1);
+        assert!(!s.has_opaque_nodes());
+    }
+
+    #[test]
+    fn dag_levels_follow_dependencies() {
+        let s = small_space();
+        let dag = s.dag();
+        assert_eq!(dag.level(s.iter_node(0)), 0); // dim_m
+        assert_eq!(dag.level(s.iter_node(2)), 1); // blk_m depends on dim_m
+        assert_eq!(dag.level(s.derived_node(0)), 1); // threads
+        assert_eq!(dag.level(s.constraint_node(0)), 2); // over_max_threads
+    }
+
+    #[test]
+    fn node_target_round_trip() {
+        let s = small_space();
+        assert_eq!(s.node_target(s.iter_node(1)), NodeTarget::Iter(1));
+        assert_eq!(s.node_target(s.derived_node(0)), NodeTarget::Derived(0));
+        assert_eq!(s.node_target(s.constraint_node(0)), NodeTarget::Constraint(0));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let err = Space::builder("dup")
+            .range("x", 0, 4)
+            .derived("x", var("x") + 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        let err = Space::builder("bad")
+            .range("x", 0, var("missing"))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SpaceError::UnknownName { referrer: "x".into(), missing: "missing".into() }
+        );
+    }
+
+    #[test]
+    fn empty_space_rejected() {
+        assert_eq!(Space::builder("e").build().unwrap_err(), SpaceError::Empty);
+    }
+
+    #[test]
+    fn invalid_identifier_rejected() {
+        let err = Space::builder("bad")
+            .range("2x", 0, 4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::InvalidName("2x".into()));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = Space::builder("cyc")
+            .range_step("a", 0, var("b"), 1)
+            .range_step("b", 0, var("a"), 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpaceError::Cycle(_)));
+    }
+
+    #[test]
+    fn deferred_definitions_out_of_order() {
+        // Deferred iterators may reference names defined later (Fig. 2).
+        let s = Space::builder("deferred")
+            .deferred_iter("inner", &["outer"], |env| {
+                Ok(Realized::Range { start: 0, stop: env.require_int("outer")?, step: 1 })
+            })
+            .range("outer", 0, 10)
+            .build()
+            .unwrap();
+        assert_eq!(s.dag().level(s.iter_node(0)), 1);
+        assert_eq!(s.dag().level(s.iter_node(1)), 0);
+        assert!(s.has_opaque_nodes());
+    }
+
+    #[test]
+    fn static_cardinality_for_independent_spaces() {
+        let s = Space::builder("card")
+            .range("a", 0, 10)
+            .range("b", 0, 5)
+            .build()
+            .unwrap();
+        assert_eq!(s.static_cardinality(), Some(50));
+        // Dependent spaces cannot be bounded statically.
+        assert_eq!(small_space().static_cardinality(), None);
+    }
+
+    #[test]
+    fn variable_names_cover_consts_iters_deriveds() {
+        let s = small_space();
+        let names = s.variable_names();
+        let strs: Vec<&str> = names.iter().map(|n| &**n).collect();
+        assert_eq!(
+            strs,
+            vec!["max_threads", "dim_m", "dim_n", "blk_m", "threads"]
+        );
+    }
+
+    #[test]
+    fn constraint_names_cannot_be_dependencies() {
+        let err = Space::builder("bad")
+            .range("x", 0, 4)
+            .constraint("c", ConstraintClass::Generic, var("x").gt(1))
+            .derived("y", var("c") + 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpaceError::UnknownName { .. }));
+    }
+}

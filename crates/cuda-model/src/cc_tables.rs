@@ -1,0 +1,138 @@
+//! Compute-capability tables — the device information that *cannot* be
+//! queried at runtime and must come from NVIDIA documentation, indexed by
+//! the compute capability's major and minor numbers (Fig. 9 of the paper).
+//!
+//! The `-1` sentinel entries of the paper's tables become `None` here; a
+//! lookup of an undefined (major, minor) pair is an error the caller sees,
+//! not a silent negative limit.
+
+/// `-1`-sentinel tables exactly as printed in Fig. 9.
+const MAX_BLOCKS_PER_MULTI_PROCESSOR: [[i64; 10]; 4] = [
+    [-1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+    [8, 8, 8, 8, -1, -1, -1, -1, -1, -1],
+    [8, 8, 8, 8, 8, 8, 8, 8, 8, 8],
+    [16, -1, -1, -1, -1, 16, -1, -1, -1, -1],
+];
+
+const MAX_WARPS_PER_MULTI_PROCESSOR: [[i64; 10]; 4] = [
+    [-1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+    [24, 24, 32, 32, -1, -1, -1, -1, -1, -1],
+    [48, 48, 48, 48, 48, 48, 48, 48, 48, 48],
+    [64, -1, -1, -1, -1, 64, -1, -1, -1, -1],
+];
+
+const MAX_REGISTERS_PER_THREAD: [[i64; 10]; 4] = [
+    [-1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+    [128, 128, 128, 128, -1, -1, -1, -1, -1, -1],
+    [63, 63, 63, 63, 63, 63, 63, 63, 63, 63],
+    [63, -1, -1, -1, -1, 255, -1, -1, -1, -1],
+];
+
+/// Maxwell extension of the paper's tables (major 5): the paper's Fig. 2
+/// dispatches on Maxwell, so the lookup covers it too. Values from NVIDIA's
+/// CUDA C Programming Guide.
+const MAXWELL: (i64, i64, i64) = (32, 64, 255);
+
+fn lookup(table: &[[i64; 10]; 4], major: usize, minor: usize) -> Option<i64> {
+    if major == 5 && (minor == 0 || minor == 2 || minor == 3) {
+        // Major 5 handled by the Maxwell extension constant.
+        return None;
+    }
+    let v = *table.get(major)?.get(minor)?;
+    (v >= 0).then_some(v)
+}
+
+/// Limits tied to a compute capability, resolved from the tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CcLimits {
+    /// Maximum resident blocks per multiprocessor.
+    pub max_blocks_per_multi_processor: i64,
+    /// Maximum resident warps per multiprocessor.
+    pub max_warps_per_multi_processor: i64,
+    /// Maximum 32-bit registers addressable by one thread.
+    pub max_registers_per_thread: i64,
+}
+
+impl CcLimits {
+    /// Resolve the limits for compute capability `major.minor`; `None` when
+    /// the pair does not exist (the paper's `-1` entries).
+    pub fn for_cc(major: usize, minor: usize) -> Option<CcLimits> {
+        if major == 5 && (minor == 0 || minor == 2 || minor == 3) {
+            let (b, w, r) = MAXWELL;
+            return Some(CcLimits {
+                max_blocks_per_multi_processor: b,
+                max_warps_per_multi_processor: w,
+                max_registers_per_thread: r,
+            });
+        }
+        Some(CcLimits {
+            max_blocks_per_multi_processor: lookup(
+                &MAX_BLOCKS_PER_MULTI_PROCESSOR,
+                major,
+                minor,
+            )?,
+            max_warps_per_multi_processor: lookup(
+                &MAX_WARPS_PER_MULTI_PROCESSOR,
+                major,
+                minor,
+            )?,
+            max_registers_per_thread: lookup(&MAX_REGISTERS_PER_THREAD, major, minor)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_35_matches_fig9() {
+        // The paper's example: cudamajor=3, cudaminor=5 (Tesla K40c).
+        let l = CcLimits::for_cc(3, 5).unwrap();
+        assert_eq!(l.max_blocks_per_multi_processor, 16);
+        assert_eq!(l.max_warps_per_multi_processor, 64);
+        assert_eq!(l.max_registers_per_thread, 255);
+    }
+
+    #[test]
+    fn kepler_30() {
+        let l = CcLimits::for_cc(3, 0).unwrap();
+        assert_eq!(l.max_blocks_per_multi_processor, 16);
+        assert_eq!(l.max_warps_per_multi_processor, 64);
+        assert_eq!(l.max_registers_per_thread, 63);
+    }
+
+    #[test]
+    fn fermi_20() {
+        let l = CcLimits::for_cc(2, 0).unwrap();
+        assert_eq!(l.max_blocks_per_multi_processor, 8);
+        assert_eq!(l.max_warps_per_multi_processor, 48);
+        assert_eq!(l.max_registers_per_thread, 63);
+    }
+
+    #[test]
+    fn tesla_1x() {
+        let l = CcLimits::for_cc(1, 2).unwrap();
+        assert_eq!(l.max_blocks_per_multi_processor, 8);
+        assert_eq!(l.max_warps_per_multi_processor, 32);
+        assert_eq!(l.max_registers_per_thread, 128);
+    }
+
+    #[test]
+    fn maxwell_52() {
+        let l = CcLimits::for_cc(5, 2).unwrap();
+        assert_eq!(l.max_blocks_per_multi_processor, 32);
+        assert_eq!(l.max_warps_per_multi_processor, 64);
+        assert_eq!(l.max_registers_per_thread, 255);
+    }
+
+    #[test]
+    fn sentinel_entries_are_none() {
+        assert!(CcLimits::for_cc(0, 0).is_none()); // row of -1s
+        assert!(CcLimits::for_cc(1, 5).is_none()); // -1 entry
+        assert!(CcLimits::for_cc(3, 1).is_none()); // -1 entry
+        assert!(CcLimits::for_cc(9, 0).is_none()); // out of table
+        assert!(CcLimits::for_cc(3, 99).is_none()); // out of row
+    }
+}

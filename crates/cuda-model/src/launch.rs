@@ -1,0 +1,142 @@
+//! Kernel launch validity — the checks behind the paper's *hard* constraints
+//! (Fig. 13): a configuration violating them "would fail to compile due to
+//! exceeding hardware limits, or would compile, but fail to launch".
+
+use crate::cc_tables::CcLimits;
+use crate::occupancy::BlockDemand;
+use crate::props::DeviceProps;
+
+/// Why a launch would be rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchError {
+    /// `threads_per_block > max_threads_per_block` (exact limit).
+    OverMaxThreads,
+    /// Block x-dimension exceeds the device limit.
+    OverMaxDimX,
+    /// Block y-dimension exceeds the device limit.
+    OverMaxDimY,
+    /// Theoretical register demand per thread exceeds the CC limit.
+    OverMaxRegsPerThread,
+    /// Theoretical register demand per block exceeds the device limit.
+    OverMaxRegsPerBlock,
+    /// Shared memory per block exceeds the device limit (exact limit).
+    OverMaxShmem,
+}
+
+/// A 2-D block shape plus resource demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Block x-dimension.
+    pub dim_x: i64,
+    /// Block y-dimension.
+    pub dim_y: i64,
+    /// 32-bit registers per thread (theoretical demand).
+    pub regs_per_thread: i64,
+    /// Shared memory per block, bytes.
+    pub shmem_per_block: i64,
+}
+
+impl LaunchConfig {
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> i64 {
+        self.dim_x * self.dim_y
+    }
+
+    /// The equivalent [`BlockDemand`] for occupancy queries.
+    pub fn demand(&self) -> BlockDemand {
+        BlockDemand {
+            threads_per_block: self.threads_per_block(),
+            regs_per_thread: self.regs_per_thread,
+            shmem_per_block: self.shmem_per_block,
+        }
+    }
+}
+
+/// Check every hard launch limit; returns all violations (not just the
+/// first) so pruning reports can attribute rejections precisely.
+pub fn validate_launch(
+    device: &DeviceProps,
+    cc: &CcLimits,
+    config: &LaunchConfig,
+) -> Vec<LaunchError> {
+    let mut errors = Vec::new();
+    if config.threads_per_block() > device.max_threads_per_block {
+        errors.push(LaunchError::OverMaxThreads);
+    }
+    if config.dim_x > device.max_threads_dim_x {
+        errors.push(LaunchError::OverMaxDimX);
+    }
+    if config.dim_y > device.max_threads_dim_y {
+        errors.push(LaunchError::OverMaxDimY);
+    }
+    if config.regs_per_thread > cc.max_registers_per_thread {
+        errors.push(LaunchError::OverMaxRegsPerThread);
+    }
+    if config.regs_per_thread * config.threads_per_block() > device.max_regs_per_block {
+        errors.push(LaunchError::OverMaxRegsPerBlock);
+    }
+    if config.shmem_per_block > device.max_shared_mem_per_block {
+        errors.push(LaunchError::OverMaxShmem);
+    }
+    errors
+}
+
+/// True if the configuration can launch at all.
+pub fn can_launch(device: &DeviceProps, cc: &CcLimits, config: &LaunchConfig) -> bool {
+    validate_launch(device, cc, config).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k40() -> (DeviceProps, CcLimits) {
+        let d = DeviceProps::tesla_k40c();
+        let cc = CcLimits::for_cc(d.cuda_major, d.cuda_minor).unwrap();
+        (d, cc)
+    }
+
+    #[test]
+    fn valid_config_launches() {
+        let (d, cc) = k40();
+        let cfg = LaunchConfig { dim_x: 16, dim_y: 16, regs_per_thread: 32, shmem_per_block: 8192 };
+        assert!(can_launch(&d, &cc, &cfg));
+    }
+
+    #[test]
+    fn too_many_threads() {
+        let (d, cc) = k40();
+        let cfg = LaunchConfig { dim_x: 64, dim_y: 32, regs_per_thread: 16, shmem_per_block: 0 };
+        let errors = validate_launch(&d, &cc, &cfg);
+        assert!(errors.contains(&LaunchError::OverMaxThreads));
+        // 2048 threads * 16 regs = 32768 <= 65536, so regs/block is fine.
+        assert!(!errors.contains(&LaunchError::OverMaxRegsPerBlock));
+    }
+
+    #[test]
+    fn multiple_violations_reported() {
+        let (d, cc) = k40();
+        let cfg = LaunchConfig {
+            dim_x: 2048,
+            dim_y: 1,
+            regs_per_thread: 300,
+            shmem_per_block: 100_000,
+        };
+        let errors = validate_launch(&d, &cc, &cfg);
+        assert!(errors.contains(&LaunchError::OverMaxThreads));
+        assert!(errors.contains(&LaunchError::OverMaxDimX));
+        assert!(errors.contains(&LaunchError::OverMaxRegsPerThread));
+        assert!(errors.contains(&LaunchError::OverMaxShmem));
+    }
+
+    #[test]
+    fn regs_per_block_boundary() {
+        let (d, cc) = k40();
+        // 1024 threads * 64 regs = 65536 == limit: allowed.
+        let ok = LaunchConfig { dim_x: 32, dim_y: 32, regs_per_thread: 64, shmem_per_block: 0 };
+        assert!(can_launch(&d, &cc, &ok));
+        // One more register pushes it over.
+        let bad = LaunchConfig { dim_x: 32, dim_y: 32, regs_per_thread: 65, shmem_per_block: 0 };
+        assert!(validate_launch(&d, &cc, &bad).contains(&LaunchError::OverMaxRegsPerBlock));
+    }
+}

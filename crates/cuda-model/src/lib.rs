@@ -1,0 +1,31 @@
+//! # beast-cuda
+//!
+//! A CUDA *device model*: everything the BEAST GEMM search space needs to
+//! know about the GPU, with no GPU attached.
+//!
+//! The paper's search space consumes two kinds of device information
+//! (Section IX-B):
+//!
+//! 1. **queryable properties** (`cudaGetDeviceProperties`, Fig. 8) —
+//!    reproduced by [`props::DeviceProps`], with Tesla K40c tabulated
+//!    field-for-field;
+//! 2. **compute-capability tables** from NVIDIA documentation (Fig. 9) —
+//!    reproduced by [`cc_tables::CcLimits`], including the `-1` sentinel
+//!    entries (surfaced as `None`).
+//!
+//! On top of these, [`mod@occupancy`] implements the "automated occupancy
+//! calculator" the paper advocates as a pruning constraint (Section II), and
+//! [`launch`] implements the hard launch-validity limits behind Fig. 13.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cc_tables;
+pub mod launch;
+pub mod occupancy;
+pub mod props;
+
+pub use cc_tables::CcLimits;
+pub use launch::{can_launch, validate_launch, LaunchConfig, LaunchError};
+pub use occupancy::{occupancy, BlockDemand, LimitingResource, Occupancy};
+pub use props::DeviceProps;

@@ -1,0 +1,220 @@
+//! Occupancy calculation — the paper's flagship example of a *derived*
+//! pruning constraint (Section II): "GPU occupancy … is a function of
+//! multiple variables, including the number of threads in a block, the
+//! number of registers required by each thread and the amount of shared
+//! memory required by each block. Occupancy threshold is a very effective
+//! and safe pruning constraint."
+//!
+//! This module is the stand-alone "automated occupancy calculator"; the GEMM
+//! space expresses the same arithmetic as derived variables (Fig. 12) so it
+//! can be pruned *during* enumeration.
+
+use crate::cc_tables::CcLimits;
+use crate::props::DeviceProps;
+
+/// Resource demand of one kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDemand {
+    /// Threads per block.
+    pub threads_per_block: i64,
+    /// 32-bit registers per thread.
+    pub regs_per_thread: i64,
+    /// Shared memory per block, bytes.
+    pub shmem_per_block: i64,
+}
+
+/// Result of an occupancy query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per multiprocessor.
+    pub blocks_per_mp: i64,
+    /// Resident threads per multiprocessor.
+    pub threads_per_mp: i64,
+    /// Resident warps per multiprocessor.
+    pub warps_per_mp: i64,
+    /// Fraction of the hardware thread capacity occupied, in `[0, 1]`.
+    pub fraction: f64,
+    /// Which resource limits the block count.
+    pub limited_by: LimitingResource,
+}
+
+/// The resource that bounds occupancy for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitingResource {
+    /// Register file exhausted first.
+    Registers,
+    /// Shared memory exhausted first.
+    SharedMemory,
+    /// Hardware cap on resident warps.
+    Warps,
+    /// Hardware cap on resident blocks.
+    Blocks,
+    /// The configuration cannot run at all (zero blocks fit).
+    None,
+}
+
+/// Compute the achievable occupancy of a configuration on a device, using
+/// the same arithmetic as the paper's derived variables `max_blocks_by_regs`
+/// / `max_blocks_by_shmem` (Fig. 12), extended with the warp cap.
+pub fn occupancy(device: &DeviceProps, cc: &CcLimits, demand: &BlockDemand) -> Occupancy {
+    let BlockDemand { threads_per_block, regs_per_thread, shmem_per_block } = *demand;
+    if threads_per_block <= 0 {
+        return Occupancy {
+            blocks_per_mp: 0,
+            threads_per_mp: 0,
+            warps_per_mp: 0,
+            fraction: 0.0,
+            limited_by: LimitingResource::None,
+        };
+    }
+
+    let regs_per_block = regs_per_thread * threads_per_block;
+    let by_regs = if regs_per_block > 0 {
+        device.max_registers_per_multi_processor / regs_per_block
+    } else {
+        i64::MAX
+    };
+    let by_shmem = if shmem_per_block > 0 {
+        device.max_shmem_per_multi_processor / shmem_per_block
+    } else {
+        i64::MAX
+    };
+    let warps_per_block =
+        (threads_per_block + device.warp_size - 1) / device.warp_size;
+    let by_warps = cc.max_warps_per_multi_processor / warps_per_block;
+    let by_blocks = cc.max_blocks_per_multi_processor;
+    let by_threads = device.max_threads_per_multi_processor / threads_per_block;
+
+    let blocks = by_regs.min(by_shmem).min(by_warps).min(by_blocks).min(by_threads);
+    let limited_by = if blocks <= 0 {
+        LimitingResource::None
+    } else if blocks == by_regs {
+        LimitingResource::Registers
+    } else if blocks == by_shmem {
+        LimitingResource::SharedMemory
+    } else if blocks == by_warps || blocks == by_threads {
+        LimitingResource::Warps
+    } else {
+        LimitingResource::Blocks
+    };
+
+    let blocks = blocks.max(0);
+    let threads = blocks * threads_per_block;
+    Occupancy {
+        blocks_per_mp: blocks,
+        threads_per_mp: threads,
+        warps_per_mp: blocks * warps_per_block,
+        fraction: threads as f64 / device.max_threads_per_multi_processor as f64,
+        limited_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k40() -> (DeviceProps, CcLimits) {
+        let d = DeviceProps::tesla_k40c();
+        let cc = CcLimits::for_cc(d.cuda_major, d.cuda_minor).unwrap();
+        (d, cc)
+    }
+
+    #[test]
+    fn full_occupancy_config() {
+        let (d, cc) = k40();
+        // 256 threads, 32 regs/thread, 16 KiB shmem: 8 blocks by regs,
+        // 3 by shmem → shmem limits at 3 blocks = 768 threads.
+        let occ = occupancy(
+            &d,
+            &cc,
+            &BlockDemand {
+                threads_per_block: 256,
+                regs_per_thread: 32,
+                shmem_per_block: 16384,
+            },
+        );
+        assert_eq!(occ.blocks_per_mp, 3);
+        assert_eq!(occ.threads_per_mp, 768);
+        assert_eq!(occ.limited_by, LimitingResource::SharedMemory);
+        assert!((occ.fraction - 768.0 / 2048.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_limited() {
+        let (d, cc) = k40();
+        let occ = occupancy(
+            &d,
+            &cc,
+            &BlockDemand {
+                threads_per_block: 256,
+                regs_per_thread: 128,
+                shmem_per_block: 0,
+            },
+        );
+        // regs/block = 32768 → 2 blocks by regs.
+        assert_eq!(occ.blocks_per_mp, 2);
+        assert_eq!(occ.limited_by, LimitingResource::Registers);
+    }
+
+    #[test]
+    fn warp_limited_small_blocks() {
+        let (d, cc) = k40();
+        let occ = occupancy(
+            &d,
+            &cc,
+            &BlockDemand { threads_per_block: 32, regs_per_thread: 8, shmem_per_block: 0 },
+        );
+        // 1 warp/block, 64 warps max, but only 16 blocks/SM → block-limited.
+        assert_eq!(occ.blocks_per_mp, 16);
+        assert_eq!(occ.limited_by, LimitingResource::Blocks);
+        assert_eq!(occ.threads_per_mp, 512);
+    }
+
+    #[test]
+    fn oversized_block_fits_zero() {
+        let (d, cc) = k40();
+        let occ = occupancy(
+            &d,
+            &cc,
+            &BlockDemand {
+                threads_per_block: 1024,
+                regs_per_thread: 200,
+                shmem_per_block: 0,
+            },
+        );
+        // 204800 regs/block > 65536 per SM → zero blocks.
+        assert_eq!(occ.blocks_per_mp, 0);
+        assert_eq!(occ.limited_by, LimitingResource::None);
+        assert_eq!(occ.fraction, 0.0);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_register_pressure() {
+        let (d, cc) = k40();
+        let mut last = i64::MAX;
+        for regs in [16, 32, 64, 128, 255] {
+            let occ = occupancy(
+                &d,
+                &cc,
+                &BlockDemand {
+                    threads_per_block: 256,
+                    regs_per_thread: regs,
+                    shmem_per_block: 0,
+                },
+            );
+            assert!(occ.blocks_per_mp <= last);
+            last = occ.blocks_per_mp;
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_threads() {
+        let (d, cc) = k40();
+        let occ = occupancy(
+            &d,
+            &cc,
+            &BlockDemand { threads_per_block: 0, regs_per_thread: 0, shmem_per_block: 0 },
+        );
+        assert_eq!(occ.blocks_per_mp, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Device properties — the model of `cudaGetDeviceProperties` (Fig. 8 of the
+//! paper) plus derived hardware facts.
+//!
+//! No GPU is required: known devices are tabulated from NVIDIA's published
+//! specifications, with Tesla K40c (the paper's platform) reproduced
+//! field-for-field from Fig. 8.
+
+/// Queryable device properties, mirroring the fields the paper's Fig. 8
+/// retrieves through `cudaGetDeviceProperties` (plus the device name and
+/// peak arithmetic throughput used by the performance model).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceProps {
+    /// Marketing name, e.g. `"Tesla K40c"`.
+    pub name: &'static str,
+    /// Maximum threads per block (1024 on Kepler).
+    pub max_threads_per_block: i64,
+    /// Maximum block dimension in x.
+    pub max_threads_dim_x: i64,
+    /// Maximum block dimension in y.
+    pub max_threads_dim_y: i64,
+    /// Shared memory per block, bytes (49152 on Kepler).
+    pub max_shared_mem_per_block: i64,
+    /// Threads per warp (32 on every CUDA device to date).
+    pub warp_size: i64,
+    /// 32-bit registers per block.
+    pub max_regs_per_block: i64,
+    /// Maximum resident threads per multiprocessor.
+    pub max_threads_per_multi_processor: i64,
+    /// Compute-capability major number.
+    pub cuda_major: usize,
+    /// Compute-capability minor number.
+    pub cuda_minor: usize,
+    /// 32-bit registers per multiprocessor.
+    pub max_registers_per_multi_processor: i64,
+    /// Shared memory per multiprocessor, bytes.
+    pub max_shmem_per_multi_processor: i64,
+    /// Size of `float` in bytes (the paper's `float_size`).
+    pub float_size: i64,
+    /// Number of multiprocessors (for whole-device throughput estimates).
+    pub multi_processor_count: i64,
+    /// Peak double-precision throughput in GFLOP/s (model peak for Table I).
+    pub peak_dp_gflops: f64,
+    /// Peak single-precision throughput in GFLOP/s.
+    pub peak_sp_gflops: f64,
+}
+
+impl DeviceProps {
+    /// Tesla K40c — the paper's device, Fig. 8 values verbatim.
+    pub fn tesla_k40c() -> DeviceProps {
+        DeviceProps {
+            name: "Tesla K40c",
+            max_threads_per_block: 1024,
+            max_threads_dim_x: 1024,
+            max_threads_dim_y: 1024,
+            max_shared_mem_per_block: 49152,
+            warp_size: 32,
+            max_regs_per_block: 65536,
+            max_threads_per_multi_processor: 2048,
+            cuda_major: 3,
+            cuda_minor: 5,
+            max_registers_per_multi_processor: 65536,
+            max_shmem_per_multi_processor: 49152,
+            float_size: 4,
+            multi_processor_count: 15,
+            peak_dp_gflops: 1430.0,
+            peak_sp_gflops: 4290.0,
+        }
+    }
+
+    /// GeForce GTX 680 — the first Kepler consumer card, tuned in the
+    /// paper's earlier work (reference \[3\]).
+    pub fn gtx_680() -> DeviceProps {
+        DeviceProps {
+            name: "GeForce GTX 680",
+            max_threads_per_block: 1024,
+            max_threads_dim_x: 1024,
+            max_threads_dim_y: 1024,
+            max_shared_mem_per_block: 49152,
+            warp_size: 32,
+            max_regs_per_block: 65536,
+            max_threads_per_multi_processor: 2048,
+            cuda_major: 3,
+            cuda_minor: 0,
+            max_registers_per_multi_processor: 65536,
+            max_shmem_per_multi_processor: 49152,
+            float_size: 4,
+            multi_processor_count: 8,
+            peak_dp_gflops: 128.8,
+            peak_sp_gflops: 3090.0,
+        }
+    }
+
+    /// Tesla M2090 — Fermi, the architecture of the paper's references
+    /// \[1\], \[2\].
+    pub fn tesla_m2090() -> DeviceProps {
+        DeviceProps {
+            name: "Tesla M2090",
+            max_threads_per_block: 1024,
+            max_threads_dim_x: 1024,
+            max_threads_dim_y: 1024,
+            max_shared_mem_per_block: 49152,
+            warp_size: 32,
+            max_regs_per_block: 32768,
+            max_threads_per_multi_processor: 1536,
+            cuda_major: 2,
+            cuda_minor: 0,
+            max_registers_per_multi_processor: 32768,
+            max_shmem_per_multi_processor: 49152,
+            float_size: 4,
+            multi_processor_count: 16,
+            peak_dp_gflops: 665.0,
+            peak_sp_gflops: 1331.0,
+        }
+    }
+
+    /// GeForce GTX 980 — Maxwell, mentioned in the paper's deferred-iterator
+    /// example (Fig. 2).
+    pub fn gtx_980() -> DeviceProps {
+        DeviceProps {
+            name: "GeForce GTX 980",
+            max_threads_per_block: 1024,
+            max_threads_dim_x: 1024,
+            max_threads_dim_y: 1024,
+            max_shared_mem_per_block: 49152,
+            warp_size: 32,
+            max_regs_per_block: 65536,
+            max_threads_per_multi_processor: 2048,
+            cuda_major: 5,
+            cuda_minor: 2,
+            max_registers_per_multi_processor: 65536,
+            max_shmem_per_multi_processor: 98304,
+            float_size: 4,
+            multi_processor_count: 16,
+            peak_dp_gflops: 144.1,
+            peak_sp_gflops: 4612.0,
+        }
+    }
+
+    /// A reduced synthetic device: identical architecture shape but smaller
+    /// dimension limits, so that full sweeps finish quickly in tests and
+    /// benchmark defaults. Documented in DESIGN.md as the scaled stand-in
+    /// for the paper's full K40c sweep.
+    pub fn reduced(max_dim: i64) -> DeviceProps {
+        DeviceProps {
+            name: "Reduced synthetic Kepler",
+            max_threads_dim_x: max_dim,
+            max_threads_dim_y: max_dim,
+            ..DeviceProps::tesla_k40c()
+        }
+    }
+
+    /// All built-in devices.
+    pub fn known_devices() -> Vec<DeviceProps> {
+        vec![
+            DeviceProps::tesla_k40c(),
+            DeviceProps::gtx_680(),
+            DeviceProps::tesla_m2090(),
+            DeviceProps::gtx_980(),
+        ]
+    }
+
+    /// Look up a built-in device by (case-insensitive) substring.
+    pub fn by_name(name: &str) -> Option<DeviceProps> {
+        let lower = name.to_lowercase();
+        DeviceProps::known_devices()
+            .into_iter()
+            .find(|d| d.name.to_lowercase().contains(&lower))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40c_matches_fig8() {
+        let d = DeviceProps::tesla_k40c();
+        assert_eq!(d.max_threads_per_block, 1024);
+        assert_eq!(d.max_threads_dim_x, 1024);
+        assert_eq!(d.max_threads_dim_y, 1024);
+        assert_eq!(d.max_shared_mem_per_block, 49152);
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.max_regs_per_block, 65536);
+        assert_eq!(d.max_threads_per_multi_processor, 2048);
+        assert_eq!((d.cuda_major, d.cuda_minor), (3, 5));
+        assert_eq!(d.max_registers_per_multi_processor, 65536);
+        assert_eq!(d.max_shmem_per_multi_processor, 49152);
+        assert_eq!(d.float_size, 4);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(DeviceProps::by_name("k40").unwrap().name, "Tesla K40c");
+        assert_eq!(DeviceProps::by_name("680").unwrap().name, "GeForce GTX 680");
+        assert!(DeviceProps::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn reduced_device_shrinks_dims_only() {
+        let d = DeviceProps::reduced(64);
+        assert_eq!(d.max_threads_dim_x, 64);
+        assert_eq!(d.max_threads_per_block, 1024);
+        assert_eq!((d.cuda_major, d.cuda_minor), (3, 5));
+    }
+
+    #[test]
+    fn all_devices_have_sane_invariants() {
+        for d in DeviceProps::known_devices() {
+            assert_eq!(d.warp_size, 32, "{}", d.name);
+            assert!(d.max_threads_per_block <= d.max_threads_per_multi_processor);
+            assert!(d.max_regs_per_block <= d.max_registers_per_multi_processor);
+            assert!(d.max_shared_mem_per_block <= d.max_shmem_per_multi_processor);
+            assert!(d.peak_sp_gflops > d.peak_dp_gflops);
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! The *compiled* backend: the in-process analog of the paper's generated C.
+//!
+//! A [`LoweredPlan`] — constants folded, variables assigned to dense `i64`
+//! slots, expressions reduced to integer IR — is reshaped into a loop-nest
+//! tree and executed with plain machine integers for loop control: no name
+//! lookups, no boxed values, no per-iteration allocation. This is the backend
+//! that turns the paper's 18.5-hour Python sweep into minutes (Section XI-D),
+//! and the one the multithreaded driver parallelizes.
+//!
+//! Opaque (deferred/closure) definitions are supported by calling back into
+//! the Rust closures through a slot-backed [`Bindings`] view; such calls
+//! happen once per realization, not per point, so they do not change the
+//! asymptotic cost profile.
+
+use std::sync::Arc;
+
+use beast_core::error::EvalError;
+use beast_core::expr::Bindings;
+use beast_core::ir::{LBody, LIter, LStep, LoweredPlan};
+use beast_core::iterator::Realized;
+use beast_core::value::Value;
+
+use crate::point::PointRef;
+use crate::postfix::Postfix;
+use crate::stats::PruneStats;
+use crate::visit::Visitor;
+use crate::walker::SweepOutcome;
+
+/// A loop domain in the executable tree.
+#[derive(Debug, Clone)]
+enum CDomain {
+    /// Static range with postfix-compiled bounds evaluated at loop entry.
+    Range { start: Postfix, stop: Postfix, step: Postfix },
+    /// Static list of values.
+    Values(Vec<i64>),
+    /// Opaque: realize through the space's iterator definition.
+    Opaque { iter: usize },
+}
+
+/// Executable node tree (the "generated code").
+#[derive(Debug, Clone)]
+enum CNode {
+    Loop { slot: u32, domain: CDomain, body: Vec<CNode> },
+    Define { slot: u32, expr: Postfix },
+    DefineOpaque { slot: u32, derived: usize },
+    Check { constraint: u32, expr: Postfix },
+    CheckOpaque { constraint: u32 },
+    Visit,
+}
+
+/// The compiled evaluation backend.
+pub struct Compiled {
+    lp: LoweredPlan,
+    /// Preamble nodes (before the first loop) + the loop nest.
+    roots: Vec<CNode>,
+    point_names: Arc<[Arc<str>]>,
+}
+
+/// Signal used to implement `continue` on constraint rejection.
+enum Flow {
+    /// Keep executing the current body.
+    Continue,
+    /// A constraint rejected: unwind to the innermost loop.
+    Pruned,
+}
+
+impl Compiled {
+    /// Build the executable tree from a lowered plan.
+    pub fn new(lp: LoweredPlan) -> Compiled {
+        let mut steps = lp.steps.iter();
+        let mut stack: Vec<Vec<CNode>> = vec![Vec::new()];
+        let mut open: Vec<(u32, CDomain)> = Vec::new();
+        for step in steps.by_ref() {
+            match step {
+                LStep::Bind { slot, domain, iter, .. } => {
+                    let d = match domain {
+                        LIter::Range { start, stop, step } => CDomain::Range {
+                            start: Postfix::compile(start),
+                            stop: Postfix::compile(stop),
+                            step: Postfix::compile(step),
+                        },
+                        LIter::Values(v) => CDomain::Values(v.clone()),
+                        LIter::Opaque { .. } => CDomain::Opaque { iter: *iter },
+                    };
+                    open.push((*slot, d));
+                    stack.push(Vec::new());
+                }
+                LStep::Define { slot, body, derived } => {
+                    let node = match body {
+                        LBody::Expr(e) => {
+                            CNode::Define { slot: *slot, expr: Postfix::compile(e) }
+                        }
+                        LBody::Opaque => {
+                            CNode::DefineOpaque { slot: *slot, derived: *derived }
+                        }
+                    };
+                    stack.last_mut().expect("stack").push(node);
+                }
+                LStep::Check { constraint, body } => {
+                    let node = match body {
+                        LBody::Expr(e) => CNode::Check {
+                            constraint: *constraint as u32,
+                            expr: Postfix::compile(e),
+                        },
+                        LBody::Opaque => CNode::CheckOpaque { constraint: *constraint as u32 },
+                    };
+                    stack.last_mut().expect("stack").push(node);
+                }
+                LStep::Visit => stack.last_mut().expect("stack").push(CNode::Visit),
+            }
+        }
+        // Close all open loops, innermost first.
+        while let Some((slot, domain)) = open.pop() {
+            let body = stack.pop().expect("loop body");
+            stack
+                .last_mut()
+                .expect("outer body")
+                .push(CNode::Loop { slot, domain, body });
+        }
+        let roots = stack.pop().expect("roots");
+        debug_assert!(stack.is_empty());
+
+        let point_names: Arc<[Arc<str>]> =
+            Arc::from(lp.slot_names.clone().into_boxed_slice());
+        Compiled { lp, roots, point_names }
+    }
+
+    /// Names reported for visited points (slot order).
+    pub fn point_names(&self) -> &Arc<[Arc<str>]> {
+        &self.point_names
+    }
+
+    /// The lowered plan this backend executes.
+    pub fn lowered(&self) -> &LoweredPlan {
+        &self.lp
+    }
+
+    /// Run the full sweep.
+    pub fn run<V: Visitor>(&self, visitor: V) -> Result<SweepOutcome<V>, EvalError> {
+        let space = self.lp.plan.space();
+        let mut slots = vec![0i64; self.lp.n_slots as usize];
+        let mut state = State {
+            stats: PruneStats::new(space.constraints().len()),
+            visitor,
+            stack: Vec::new(),
+        };
+        self.exec_body(&self.roots, &mut slots, &mut state)?;
+        Ok(SweepOutcome { stats: state.stats, visitor: state.visitor })
+    }
+
+    /// Run only a chunk of the outermost loop's domain — the parallel driver
+    /// realizes the outer domain once, splits it, and calls this per worker.
+    ///
+    /// Preamble nodes (defines/checks before the first loop) are re-executed
+    /// per chunk; they are loop-invariant so this is correct, and they are
+    /// evaluated against constants so it is cheap. Their constraint counters
+    /// are *not* re-recorded to keep merged statistics meaningful.
+    pub(crate) fn run_outer_chunk<V: Visitor>(
+        &self,
+        outer_values: &[i64],
+        visitor: V,
+    ) -> Result<SweepOutcome<V>, EvalError> {
+        let space = self.lp.plan.space();
+        let mut slots = vec![0i64; self.lp.n_slots as usize];
+        let mut state = State {
+            stats: PruneStats::new(space.constraints().len()),
+            visitor,
+            stack: Vec::new(),
+        };
+        // Execute the preamble without recording, find the outermost loop.
+        let mut outer: Option<&CNode> = None;
+        for node in &self.roots {
+            match node {
+                CNode::Loop { .. } => {
+                    outer = Some(node);
+                    break;
+                }
+                _ => {
+                    // Preamble define/check: execute silently.
+                    match self.exec_node_quiet(node, &mut slots)? {
+                        Flow::Continue => {}
+                        Flow::Pruned => {
+                            // A constants-only constraint rejected everything.
+                            return Ok(SweepOutcome {
+                                stats: state.stats,
+                                visitor: state.visitor,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let Some(CNode::Loop { slot, body, .. }) = outer else {
+            // No loops at all (cannot happen: spaces require iterators).
+            return Ok(SweepOutcome { stats: state.stats, visitor: state.visitor });
+        };
+        for &v in outer_values {
+            slots[*slot as usize] = v;
+            self.exec_body(body, &mut slots, &mut state)?;
+        }
+        Ok(SweepOutcome { stats: state.stats, visitor: state.visitor })
+    }
+
+    /// Execute the preamble (pre-loop defines/checks) once, *recording* the
+    /// constraint evaluations into `stats`. Returns `false` if a preamble
+    /// constraint rejected, in which case the whole space is empty. The
+    /// parallel driver calls this once so that merged statistics match a
+    /// serial run (workers execute the preamble quietly).
+    pub(crate) fn preamble_record(&self, stats: &mut PruneStats) -> Result<bool, EvalError> {
+        let mut slots = vec![0i64; self.lp.n_slots as usize];
+        let mut stack = Vec::new();
+        for node in &self.roots {
+            match node {
+                CNode::Loop { .. } => break,
+                CNode::Check { constraint, expr } => {
+                    let rejected = expr.eval(&slots, &mut stack)? != 0;
+                    stats.record(*constraint as usize, rejected);
+                    if rejected {
+                        return Ok(false);
+                    }
+                }
+                CNode::CheckOpaque { constraint } => {
+                    let rejected = {
+                        let view = self.bindings_view(&slots);
+                        self.lp.plan.space().constraints()[*constraint as usize]
+                            .kind
+                            .rejects(&view)?
+                    };
+                    stats.record(*constraint as usize, rejected);
+                    if rejected {
+                        return Ok(false);
+                    }
+                }
+                other => {
+                    let _ = self.exec_node_quiet(other, &mut slots)?;
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Realize the outermost loop's domain (for the parallel driver).
+    pub(crate) fn outer_domain(&self) -> Result<Vec<i64>, EvalError> {
+        let slots = vec![0i64; self.lp.n_slots as usize];
+        for node in &self.roots {
+            if let CNode::Loop { domain, .. } = node {
+                return match domain {
+                    CDomain::Range { start, stop, step } => {
+                        let mut stack = Vec::new();
+                        let r = Realized::Range {
+                            start: start.eval(&slots, &mut stack)?,
+                            stop: stop.eval(&slots, &mut stack)?,
+                            step: step.eval(&slots, &mut stack)?,
+                        };
+                        r.iter().map(|v| v.as_int()).collect()
+                    }
+                    CDomain::Values(v) => Ok(v.clone()),
+                    CDomain::Opaque { iter } => {
+                        let view = self.bindings_view(&slots);
+                        let r = self.lp.plan.space().realize_iter(*iter, &view)?;
+                        r.iter().map(|v| v.as_int()).collect()
+                    }
+                };
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    fn bindings_view<'a>(&'a self, slots: &'a [i64]) -> SlotBindings<'a> {
+        SlotBindings {
+            names: &self.lp.slot_names,
+            slots,
+            consts: self.lp.plan.space().consts(),
+        }
+    }
+
+    /// Execute a preamble node without recording statistics.
+    fn exec_node_quiet(&self, node: &CNode, slots: &mut [i64]) -> Result<Flow, EvalError> {
+        let mut stack = Vec::new();
+        match node {
+            CNode::Define { slot, expr } => {
+                slots[*slot as usize] = expr.eval(slots, &mut stack)?;
+                Ok(Flow::Continue)
+            }
+            CNode::DefineOpaque { slot, derived } => {
+                let v = {
+                    let view = self.bindings_view(slots);
+                    self.lp.plan.space().deriveds()[*derived].kind.eval(&view)?
+                };
+                slots[*slot as usize] = v.as_int()?;
+                Ok(Flow::Continue)
+            }
+            CNode::Check { expr, .. } => {
+                if expr.eval(slots, &mut stack)? != 0 {
+                    Ok(Flow::Pruned)
+                } else {
+                    Ok(Flow::Continue)
+                }
+            }
+            CNode::CheckOpaque { constraint } => {
+                let rejected = {
+                    let view = self.bindings_view(slots);
+                    self.lp.plan.space().constraints()[*constraint as usize]
+                        .kind
+                        .rejects(&view)?
+                };
+                if rejected {
+                    Ok(Flow::Pruned)
+                } else {
+                    Ok(Flow::Continue)
+                }
+            }
+            CNode::Visit | CNode::Loop { .. } => Ok(Flow::Continue),
+        }
+    }
+
+    fn exec_body<V: Visitor>(
+        &self,
+        body: &[CNode],
+        slots: &mut Vec<i64>,
+        state: &mut State<V>,
+    ) -> Result<Flow, EvalError> {
+        for node in body {
+            match node {
+                CNode::Loop { slot, domain, body } => {
+                    match domain {
+                        CDomain::Range { start, stop, step } => {
+                            // The tight path: loop control on locals.
+                            let start = start.eval(slots, &mut state.stack)?;
+                            let stop = stop.eval(slots, &mut state.stack)?;
+                            let step = step.eval(slots, &mut state.stack)?;
+                            if step > 0 {
+                                let mut x = start;
+                                while x < stop {
+                                    slots[*slot as usize] = x;
+                                    self.exec_body(body, slots, state)?;
+                                    x += step;
+                                }
+                            } else if step < 0 {
+                                let mut x = start;
+                                while x > stop {
+                                    slots[*slot as usize] = x;
+                                    self.exec_body(body, slots, state)?;
+                                    x += step;
+                                }
+                            }
+                        }
+                        CDomain::Values(values) => {
+                            for &v in values {
+                                slots[*slot as usize] = v;
+                                self.exec_body(body, slots, state)?;
+                            }
+                        }
+                        CDomain::Opaque { iter } => {
+                            let realized = {
+                                let view = self.bindings_view(slots);
+                                self.lp.plan.space().realize_iter(*iter, &view)?
+                            };
+                            let mut cursor = realized.iter();
+                            while let Some(v) = cursor.next() {
+                                slots[*slot as usize] = v.as_int()?;
+                                self.exec_body(body, slots, state)?;
+                            }
+                        }
+                    }
+                    // A loop consumes prunes from its body; continue after it.
+                }
+                CNode::Define { slot, expr } => {
+                    slots[*slot as usize] = expr.eval(slots, &mut state.stack)?;
+                }
+                CNode::DefineOpaque { slot, derived } => {
+                    let v = {
+                        let view = self.bindings_view(slots);
+                        self.lp.plan.space().deriveds()[*derived].kind.eval(&view)?
+                    };
+                    slots[*slot as usize] = v.as_int()?;
+                }
+                CNode::Check { constraint, expr } => {
+                    let rejected = expr.eval(slots, &mut state.stack)? != 0;
+                    state.stats.record(*constraint as usize, rejected);
+                    if rejected {
+                        return Ok(Flow::Pruned);
+                    }
+                }
+                CNode::CheckOpaque { constraint } => {
+                    let rejected = {
+                        let view = self.bindings_view(slots);
+                        self.lp.plan.space().constraints()[*constraint as usize]
+                            .kind
+                            .rejects(&view)?
+                    };
+                    state.stats.record(*constraint as usize, rejected);
+                    if rejected {
+                        return Ok(Flow::Pruned);
+                    }
+                }
+                CNode::Visit => {
+                    state.stats.record_survivor();
+                    let view =
+                        PointRef::Slots { names: &self.lp.slot_names, slots };
+                    state.visitor.visit(&view);
+                }
+            }
+        }
+        Ok(Flow::Continue)
+    }
+}
+
+struct State<V> {
+    stats: PruneStats,
+    visitor: V,
+    stack: Vec<i64>,
+}
+
+/// [`Bindings`] view over the compiled backend's slots plus the constant
+/// table, used when calling back into opaque closures.
+pub struct SlotBindings<'a> {
+    /// Slot names.
+    pub names: &'a [Arc<str>],
+    /// Slot values.
+    pub slots: &'a [i64],
+    /// The space's constants.
+    pub consts: &'a [(Arc<str>, Value)],
+}
+
+impl Bindings for SlotBindings<'_> {
+    fn get(&self, name: &str) -> Option<Value> {
+        if let Some(i) = self.names.iter().position(|n| &**n == name) {
+            return Some(Value::Int(self.slots[i]));
+        }
+        self.consts
+            .iter()
+            .find(|(n, _)| &**n == name)
+            .map(|(_, v)| v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beast_core::constraint::ConstraintClass;
+    use beast_core::expr::var;
+    use beast_core::plan::{Plan, PlanOptions};
+    use beast_core::space::Space;
+
+    use crate::visit::{CollectVisitor, CountVisitor};
+    use crate::walker::{LoopStyle, Walker};
+
+    fn compile(space: &std::sync::Arc<Space>) -> Compiled {
+        let plan = Plan::new(space, PlanOptions::default()).unwrap();
+        Compiled::new(LoweredPlan::new(&plan).unwrap())
+    }
+
+    fn mini_space() -> std::sync::Arc<Space> {
+        Space::builder("mini")
+            .constant("cap", 20)
+            .range("a", 1, 5)
+            .range_step("b", var("a"), 13, var("a"))
+            .derived("ab", var("a") * var("b"))
+            .constraint("over", ConstraintClass::Hard, var("ab").gt(var("cap")))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_walker_exactly() {
+        let space = mini_space();
+        let compiled = compile(&space);
+        let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+        let walker = Walker::new(&plan, LoopStyle::RangeLazy);
+
+        let w = walker
+            .run(CollectVisitor::new(walker.point_names().clone(), 10_000))
+            .unwrap();
+        let c = compiled
+            .run(CollectVisitor::new(compiled.point_names().clone(), 10_000))
+            .unwrap();
+
+        assert_eq!(w.stats, c.stats);
+        let wp: Vec<(i64, i64, i64)> = w
+            .visitor
+            .points
+            .iter()
+            .map(|p| (p.get_int("a"), p.get_int("b"), p.get_int("ab")))
+            .collect();
+        let cp: Vec<(i64, i64, i64)> = c
+            .visitor
+            .points
+            .iter()
+            .map(|p| (p.get_int("a"), p.get_int("b"), p.get_int("ab")))
+            .collect();
+        assert_eq!(wp, cp);
+    }
+
+    #[test]
+    fn opaque_iterators_through_callback() {
+        let space = Space::builder("opaque")
+            .range("n", 1, 6)
+            .deferred_iter("d", &["n"], |env| {
+                let n = env.require_int("n")?;
+                Ok(beast_core::iterator::Realized::Range { start: n, stop: 0, step: -1 })
+            })
+            .build()
+            .unwrap();
+        let compiled = compile(&space);
+        let out = compiled.run(CountVisitor::default()).unwrap();
+        // sum over n of n values = 1+2+3+4+5 = 15.
+        assert_eq!(out.visitor.count, 15);
+    }
+
+    #[test]
+    fn opaque_constraints_and_deriveds() {
+        let space = Space::builder("opq2")
+            .constant("cap", 6)
+            .range("x", 0, 10)
+            .derived_fn("x2", &["x"], |env| {
+                Ok(Value::Int(env.require_int("x")? * 2))
+            })
+            .constraint_fn("big", ConstraintClass::Soft, &["x2", "cap"], |env| {
+                Ok(env.require_int("x2")? > env.require_int("cap")?)
+            })
+            .build()
+            .unwrap();
+        let compiled = compile(&space);
+        let out = compiled.run(CountVisitor::default()).unwrap();
+        // x in 0..10, keep 2x <= 6 → x in {0,1,2,3}.
+        assert_eq!(out.visitor.count, 4);
+        assert_eq!(out.stats.pruned[0], 6);
+    }
+
+    #[test]
+    fn outer_domain_and_chunked_run_match_full_run() {
+        let space = mini_space();
+        let compiled = compile(&space);
+        let full = compiled.run(CountVisitor::default()).unwrap();
+        let outer = compiled.outer_domain().unwrap();
+        assert_eq!(outer, vec![1, 2, 3, 4]);
+
+        let mut merged = PruneStats::new(1);
+        let mut count = 0u64;
+        for chunk in outer.chunks(2) {
+            let out = compiled.run_outer_chunk(chunk, CountVisitor::default()).unwrap();
+            merged.merge(&out.stats);
+            count += out.visitor.count;
+        }
+        assert_eq!(count, full.visitor.count);
+        assert_eq!(merged, full.stats);
+    }
+
+    #[test]
+    fn preamble_constraint_can_empty_the_space() {
+        let space = Space::builder("pre")
+            .constant("enabled", 0)
+            .range("x", 0, 100)
+            .constraint("disabled", ConstraintClass::Generic, var("enabled").eq(0))
+            .build()
+            .unwrap();
+        let compiled = compile(&space);
+        let out = compiled.run(CountVisitor::default()).unwrap();
+        assert_eq!(out.visitor.count, 0);
+        assert_eq!(out.stats.pruned[0], 1);
+    }
+
+    #[test]
+    fn division_by_zero_propagates() {
+        let space = Space::builder("dz")
+            .range("x", 0, 4)
+            .derived("bad", var("x") / var("x"))
+            .build()
+            .unwrap();
+        let compiled = compile(&space);
+        let err = compiled.run(CountVisitor::default()).unwrap_err();
+        assert_eq!(err, EvalError::DivisionByZero);
+    }
+}

@@ -1,0 +1,169 @@
+//! Multithreaded sweep evaluation — the paper's Section X-B observation that
+//! parallelization "can be very beneficial at the outermost loop nests,
+//! close to level 0".
+//!
+//! The driver realizes the outermost loop's domain once (level-0 iterators
+//! depend only on constants by construction), splits it into chunks, and runs
+//! the compiled backend over each chunk on its own OS thread with a private
+//! slot array, statistics block and visitor. Results are merged on join —
+//! no shared mutable state, no locks on the hot path.
+
+use beast_core::error::EvalError;
+use beast_core::ir::LoweredPlan;
+
+use crate::compiled::Compiled;
+use crate::stats::PruneStats;
+use crate::visit::Visitor;
+use crate::walker::SweepOutcome;
+
+/// Run a lowered plan across `threads` worker threads.
+///
+/// `make_visitor` constructs one private visitor per worker; the per-worker
+/// results are merged (in chunk order, so collectors see deterministic point
+/// order) into a single outcome.
+///
+/// With `threads == 1` this degenerates to a serial run with identical
+/// statistics to [`Compiled::run`].
+pub fn run_parallel<V, F>(
+    lp: &LoweredPlan,
+    threads: usize,
+    make_visitor: F,
+) -> Result<SweepOutcome<V>, EvalError>
+where
+    V: Visitor + Send,
+    F: Fn() -> V + Sync,
+{
+    let threads = threads.max(1);
+    let compiled = Compiled::new(lp.clone());
+    let space = lp.plan.space();
+
+    let mut stats = PruneStats::new(space.constraints().len());
+    // Preamble constraints (constants only) run once, recorded here.
+    if !compiled.preamble_record(&mut stats)? {
+        return Ok(SweepOutcome { stats, visitor: make_visitor() });
+    }
+
+    let outer = compiled.outer_domain()?;
+    if outer.is_empty() {
+        return Ok(SweepOutcome { stats, visitor: make_visitor() });
+    }
+
+    // Contiguous chunks; ceil division so every value lands in a chunk.
+    let chunk_len = outer.len().div_ceil(threads);
+    let chunks: Vec<&[i64]> = outer.chunks(chunk_len).collect();
+
+    let compiled_ref = &compiled;
+    let make_ref = &make_visitor;
+    let results: Vec<Result<SweepOutcome<V>, EvalError>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        compiled_ref.run_outer_chunk(chunk, make_ref())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("thread scope");
+
+    let mut merged_visitor: Option<V> = None;
+    for result in results {
+        let out = result?;
+        stats.merge(&out.stats);
+        merged_visitor = Some(match merged_visitor {
+            None => out.visitor,
+            Some(mut acc) => {
+                acc.merge(out.visitor);
+                acc
+            }
+        });
+    }
+    Ok(SweepOutcome {
+        stats,
+        visitor: merged_visitor.unwrap_or_else(make_visitor),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beast_core::constraint::ConstraintClass;
+    use beast_core::expr::var;
+    use beast_core::plan::{Plan, PlanOptions};
+    use beast_core::space::Space;
+
+    use crate::visit::{CollectVisitor, CountVisitor};
+
+    fn lowered(space: &std::sync::Arc<Space>) -> LoweredPlan {
+        let plan = Plan::new(space, PlanOptions::default()).unwrap();
+        LoweredPlan::new(&plan).unwrap()
+    }
+
+    fn space() -> std::sync::Arc<Space> {
+        Space::builder("par")
+            .constant("cap", 300)
+            .range("a", 1, 33)
+            .range("b", 1, 33)
+            .range_step("c", var("a"), 65, var("a"))
+            .derived("abc", var("a") * var("b") + var("c"))
+            .constraint("over", ConstraintClass::Hard, var("abc").gt(var("cap")))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_thread_count() {
+        let lp = lowered(&space());
+        let serial = Compiled::new(lp.clone()).run(CountVisitor::default()).unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = run_parallel(&lp, threads, CountVisitor::default).unwrap();
+            assert_eq!(par.visitor.count, serial.visitor.count, "{threads} threads");
+            assert_eq!(par.stats, serial.stats, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn chunk_order_gives_deterministic_collection() {
+        let lp = lowered(&space());
+        let names = Compiled::new(lp.clone()).point_names().clone();
+        let serial = Compiled::new(lp.clone())
+            .run(CollectVisitor::new(names.clone(), usize::MAX))
+            .unwrap();
+        let par = run_parallel(&lp, 4, || CollectVisitor::new(names.clone(), usize::MAX))
+            .unwrap();
+        assert_eq!(par.visitor.points, serial.visitor.points);
+    }
+
+    #[test]
+    fn more_threads_than_outer_values() {
+        let s = Space::builder("tiny").range("x", 0, 3).build().unwrap();
+        let lp = lowered(&s);
+        let out = run_parallel(&lp, 16, CountVisitor::default).unwrap();
+        assert_eq!(out.visitor.count, 3);
+    }
+
+    #[test]
+    fn preamble_rejection_short_circuits() {
+        let s = Space::builder("pre")
+            .constant("off", 1)
+            .range("x", 0, 1000)
+            .constraint("disabled", ConstraintClass::Generic, var("off").eq(1))
+            .build()
+            .unwrap();
+        let lp = lowered(&s);
+        let out = run_parallel(&lp, 4, CountVisitor::default).unwrap();
+        assert_eq!(out.visitor.count, 0);
+        assert_eq!(out.stats.pruned[0], 1);
+        assert_eq!(out.stats.evaluated[0], 1);
+    }
+
+    #[test]
+    fn empty_outer_domain() {
+        let s = Space::builder("empty").range("x", 5, 5).build().unwrap();
+        let lp = lowered(&s);
+        let out = run_parallel(&lp, 4, CountVisitor::default).unwrap();
+        assert_eq!(out.visitor.count, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Surviving points of a search-space sweep.
+
+use std::fmt;
+use std::sync::Arc;
+
+use beast_core::expr::Bindings;
+use beast_core::value::Value;
+
+/// An owned surviving point: the values of every iterator and derived
+/// variable at a tuple that passed all pruning constraints.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Point {
+    names: Arc<[Arc<str>]>,
+    values: Vec<Value>,
+}
+
+impl Point {
+    /// Construct from parallel name/value lists.
+    pub fn new(names: Arc<[Arc<str>]>, values: Vec<Value>) -> Point {
+        debug_assert_eq!(names.len(), values.len());
+        Point { names, values }
+    }
+
+    /// Variable names, in slot order (iterators first, then derived).
+    pub fn names(&self) -> &[Arc<str>] {
+        &self.names
+    }
+
+    /// Variable values, parallel to [`Point::names`].
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Look up a variable by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.names
+            .iter()
+            .position(|n| &**n == name)
+            .map(|i| &self.values[i])
+    }
+
+    /// Look up an integer variable by name; panics with a clear message if
+    /// missing or non-integer (points produced by the engines are integral).
+    pub fn get_int(&self, name: &str) -> i64 {
+        self.get(name)
+            .unwrap_or_else(|| panic!("point has no variable `{name}`"))
+            .as_int()
+            .unwrap_or_else(|_| panic!("variable `{name}` is not an integer"))
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the point has no variables (never produced by the engines).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, v)) in self.names.iter().zip(&self.values).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Bindings for Point {
+    fn get(&self, name: &str) -> Option<Value> {
+        Point::get(self, name).cloned()
+    }
+}
+
+/// A borrowed view of the current point, handed to visitors without
+/// allocating. Backends expose either a flat slot array (VM / compiled) or a
+/// generic binding environment (walker).
+pub enum PointRef<'a> {
+    /// Slot-array form.
+    Slots {
+        /// Variable names in slot order.
+        names: &'a [Arc<str>],
+        /// Slot values.
+        slots: &'a [i64],
+    },
+    /// Generic environment form.
+    Env {
+        /// Variable names.
+        names: &'a [Arc<str>],
+        /// The environment to read them from.
+        env: &'a dyn Bindings,
+    },
+}
+
+impl PointRef<'_> {
+    /// Variable names.
+    pub fn names(&self) -> &[Arc<str>] {
+        match self {
+            PointRef::Slots { names, .. } | PointRef::Env { names, .. } => names,
+        }
+    }
+
+    /// Value of variable `i`.
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            PointRef::Slots { slots, .. } => Value::Int(slots[i]),
+            PointRef::Env { names, env } => env
+                .get(&names[i])
+                .expect("visited point must have all variables bound"),
+        }
+    }
+
+    /// Look up a variable by name.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        match self {
+            PointRef::Slots { names, slots } => names
+                .iter()
+                .position(|n| &**n == name)
+                .map(|i| Value::Int(slots[i])),
+            PointRef::Env { env, .. } => env.get(name),
+        }
+    }
+
+    /// Materialize into an owned [`Point`].
+    pub fn to_point(&self, names: &Arc<[Arc<str>]>) -> Point {
+        let values = (0..self.names().len()).map(|i| self.value(i)).collect();
+        Point::new(Arc::clone(names), values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Arc<[Arc<str>]> {
+        Arc::from(vec![Arc::<str>::from("a"), Arc::<str>::from("b")].into_boxed_slice())
+    }
+
+    #[test]
+    fn point_lookup_and_display() {
+        let p = Point::new(names(), vec![Value::Int(3), Value::Int(7)]);
+        assert_eq!(p.get_int("a"), 3);
+        assert_eq!(p.get("b"), Some(&Value::Int(7)));
+        assert_eq!(p.get("c"), None);
+        assert_eq!(p.to_string(), "{a=3, b=7}");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn point_is_bindings() {
+        let p = Point::new(names(), vec![Value::Int(3), Value::Int(7)]);
+        assert_eq!(Bindings::get(&p, "a"), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn slot_view_roundtrip() {
+        let ns = names();
+        let slots = [10i64, 20];
+        let view = PointRef::Slots { names: &ns, slots: &slots };
+        assert_eq!(view.get("b"), Some(Value::Int(20)));
+        let p = view.to_point(&ns);
+        assert_eq!(p.get_int("a"), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no variable")]
+    fn get_int_panics_on_missing() {
+        let p = Point::new(names(), vec![Value::Int(1), Value::Int(2)]);
+        p.get_int("zzz");
+    }
+}

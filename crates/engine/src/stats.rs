@@ -1,0 +1,205 @@
+//! Pruning statistics: how much of the search space each constraint removes.
+//!
+//! The paper motivates aggressive pruning ("sometimes by as much as 99%",
+//! Section VI) and reports the GEMM sweep counts; the companion work \[7\]
+//! visualizes how constraints carve the space. This module records, per
+//! constraint, how many tuples it evaluated and how many it rejected, and
+//! renders a textual pruning funnel.
+
+use std::fmt::Write as _;
+
+use beast_core::constraint::ConstraintClass;
+use beast_core::space::Space;
+
+/// Per-constraint pruning counters for one sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct PruneStats {
+    /// Times each constraint was evaluated (indexed like
+    /// [`Space::constraints`]).
+    pub evaluated: Vec<u64>,
+    /// Times each constraint rejected the current tuple.
+    pub pruned: Vec<u64>,
+    /// Number of surviving points.
+    pub survivors: u64,
+}
+
+impl PruneStats {
+    /// Fresh counters for a space with `n_constraints` constraints.
+    pub fn new(n_constraints: usize) -> PruneStats {
+        PruneStats {
+            evaluated: vec![0; n_constraints],
+            pruned: vec![0; n_constraints],
+            survivors: 0,
+        }
+    }
+
+    /// Record one constraint evaluation.
+    #[inline]
+    pub fn record(&mut self, constraint: usize, rejected: bool) {
+        self.evaluated[constraint] += 1;
+        self.pruned[constraint] += u64::from(rejected);
+    }
+
+    /// Record one survivor.
+    #[inline]
+    pub fn record_survivor(&mut self) {
+        self.survivors += 1;
+    }
+
+    /// Total rejections across all constraints.
+    pub fn total_pruned(&self) -> u64 {
+        self.pruned.iter().sum()
+    }
+
+    /// Merge counters from another sweep chunk (parallel workers).
+    pub fn merge(&mut self, other: &PruneStats) {
+        assert_eq!(self.evaluated.len(), other.evaluated.len());
+        for (a, b) in self.evaluated.iter_mut().zip(&other.evaluated) {
+            *a += b;
+        }
+        for (a, b) in self.pruned.iter_mut().zip(&other.pruned) {
+            *a += b;
+        }
+        self.survivors += other.survivors;
+    }
+
+    /// Kill rate of constraint `i`: rejected / evaluated (0 when never run).
+    pub fn kill_rate(&self, i: usize) -> f64 {
+        if self.evaluated[i] == 0 {
+            0.0
+        } else {
+            self.pruned[i] as f64 / self.evaluated[i] as f64
+        }
+    }
+
+    /// Overall pruning fraction: rejections / (rejections + survivors).
+    ///
+    /// With hoisted constraints a single rejection removes many raw tuples,
+    /// so this understates the raw-space pruning factor; it measures work
+    /// actually done, which is the quantity the engines optimize.
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.total_pruned() + self.survivors;
+        if total == 0 {
+            0.0
+        } else {
+            self.total_pruned() as f64 / total as f64
+        }
+    }
+
+    /// Render the pruning funnel as a text table, one row per constraint in
+    /// plan order, with class, evaluations, rejections and kill rate.
+    pub fn render_funnel(&self, space: &Space) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:<12} {:>14} {:>14} {:>9}",
+            "constraint", "class", "evaluated", "pruned", "kill%"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(78));
+        for (i, c) in space.constraints().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:<12} {:>14} {:>14} {:>8.2}%",
+                c.name,
+                c.class.to_string(),
+                self.evaluated[i],
+                self.pruned[i],
+                100.0 * self.kill_rate(i)
+            );
+        }
+        let _ = writeln!(out, "{}", "-".repeat(78));
+        let _ = writeln!(
+            out,
+            "survivors: {}   rejected tuples: {}   pruned fraction: {:.2}%",
+            self.survivors,
+            self.total_pruned(),
+            100.0 * self.pruned_fraction()
+        );
+        out
+    }
+
+    /// Totals per constraint class: (evaluated, pruned).
+    pub fn per_class(&self, space: &Space) -> Vec<(ConstraintClass, u64, u64)> {
+        let mut classes: Vec<(ConstraintClass, u64, u64)> = Vec::new();
+        for (i, c) in space.constraints().iter().enumerate() {
+            match classes.iter_mut().find(|(cl, _, _)| *cl == c.class) {
+                Some((_, e, p)) => {
+                    *e += self.evaluated[i];
+                    *p += self.pruned[i];
+                }
+                None => classes.push((c.class, self.evaluated[i], self.pruned[i])),
+            }
+        }
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beast_core::expr::var;
+    use beast_core::space::Space;
+
+    #[test]
+    fn record_and_rates() {
+        let mut s = PruneStats::new(2);
+        s.record(0, true);
+        s.record(0, false);
+        s.record(1, true);
+        s.record_survivor();
+        assert_eq!(s.evaluated, vec![2, 1]);
+        assert_eq!(s.pruned, vec![1, 1]);
+        assert_eq!(s.kill_rate(0), 0.5);
+        assert_eq!(s.total_pruned(), 2);
+        assert!((s.pruned_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = PruneStats::new(1);
+        a.record(0, true);
+        a.record_survivor();
+        let mut b = PruneStats::new(1);
+        b.record(0, false);
+        b.record_survivor();
+        a.merge(&b);
+        assert_eq!(a.evaluated, vec![2]);
+        assert_eq!(a.pruned, vec![1]);
+        assert_eq!(a.survivors, 2);
+    }
+
+    #[test]
+    fn funnel_renders_rows() {
+        let space = Space::builder("f")
+            .range("x", 0, 10)
+            .constraint(
+                "odd",
+                ConstraintClass::Soft,
+                (var("x") % 2).ne(0),
+            )
+            .build()
+            .unwrap();
+        let mut s = PruneStats::new(1);
+        for x in 0..10 {
+            s.record(0, x % 2 != 0);
+            if x % 2 == 0 {
+                s.record_survivor();
+            }
+        }
+        let text = s.render_funnel(&space);
+        assert!(text.contains("odd"));
+        assert!(text.contains("soft"));
+        assert!(text.contains("50.00%"));
+        assert!(text.contains("survivors: 5"));
+        let per_class = s.per_class(&space);
+        assert_eq!(per_class, vec![(ConstraintClass::Soft, 10, 5)]);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = PruneStats::new(0);
+        assert_eq!(s.total_pruned(), 0);
+        assert_eq!(s.pruned_fraction(), 0.0);
+    }
+}

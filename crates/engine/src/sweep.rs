@@ -1,0 +1,141 @@
+//! One-call sweep helpers: plan → lower → compile → run in a single
+//! function, for callers who do not need to reuse the intermediate
+//! artifacts.
+
+use std::sync::Arc;
+
+use beast_core::error::{EvalError, SpaceError};
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_core::space::Space;
+
+use crate::compiled::Compiled;
+use crate::parallel::run_parallel;
+use crate::point::{Point, PointRef};
+use crate::stats::PruneStats;
+use crate::visit::{BestK, CollectVisitor, CountVisitor};
+
+/// Errors from the one-call helpers.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Planning or lowering failed.
+    Space(SpaceError),
+    /// Evaluation failed.
+    Eval(EvalError),
+}
+
+impl From<SpaceError> for SweepError {
+    fn from(e: SpaceError) -> Self {
+        SweepError::Space(e)
+    }
+}
+
+impl From<EvalError> for SweepError {
+    fn from(e: EvalError) -> Self {
+        SweepError::Eval(e)
+    }
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Space(e) => write!(f, "{e}"),
+            SweepError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+fn compile(space: &Arc<Space>) -> Result<Compiled, SweepError> {
+    let plan = Plan::new(space, PlanOptions::default())?;
+    Ok(Compiled::new(LoweredPlan::new(&plan)?))
+}
+
+/// Count the survivors of a space (default plan, compiled engine).
+pub fn count(space: &Arc<Space>) -> Result<(u64, PruneStats), SweepError> {
+    let out = compile(space)?.run(CountVisitor::default())?;
+    Ok((out.visitor.count, out.stats))
+}
+
+/// Collect up to `cap` surviving points.
+pub fn collect(space: &Arc<Space>, cap: usize) -> Result<(Vec<Point>, PruneStats), SweepError> {
+    let compiled = compile(space)?;
+    let out = compiled.run(CollectVisitor::new(compiled.point_names().clone(), cap))?;
+    Ok((out.visitor.points, out.stats))
+}
+
+/// Keep the `k` best survivors under `score` (higher wins), swept across
+/// `threads` worker threads.
+pub fn best_k<F>(
+    space: &Arc<Space>,
+    k: usize,
+    threads: usize,
+    score: F,
+) -> Result<(Vec<(f64, Point)>, PruneStats), SweepError>
+where
+    F: Fn(&PointRef<'_>) -> f64 + Send + Sync + Clone + 'static,
+{
+    let plan = Plan::new(space, PlanOptions::default())?;
+    let lowered = LoweredPlan::new(&plan)?;
+    let names = Compiled::new(lowered.clone()).point_names().clone();
+    let out = run_parallel(&lowered, threads, move || {
+        BestK::new(names.clone(), k, score.clone())
+    })?;
+    Ok((out.visitor.best, out.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beast_core::constraint::ConstraintClass;
+    use beast_core::expr::var;
+
+    fn space() -> Arc<Space> {
+        Space::builder("sweep_helpers")
+            .range("x", 0, 50)
+            .range("y", 0, 10)
+            .constraint("diag", ConstraintClass::Generic, var("x").lt(var("y")))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        let (n, stats) = count(&space()).unwrap();
+        // keep x >= y: for y in 0..10, x in y..50 → sum (50 - y)
+        let expect: u64 = (0..10u64).map(|y| 50 - y).sum();
+        assert_eq!(n, expect);
+        assert_eq!(stats.survivors, n);
+    }
+
+    #[test]
+    fn collect_caps() {
+        let (points, _) = collect(&space(), 7).unwrap();
+        assert_eq!(points.len(), 7);
+        assert!(points.iter().all(|p| p.get_int("x") >= p.get_int("y")));
+    }
+
+    #[test]
+    fn best_k_finds_maximum() {
+        let (best, _) = best_k(&space(), 3, 2, |p| {
+            (p.get("x").unwrap().as_int().unwrap() + p.get("y").unwrap().as_int().unwrap())
+                as f64
+        })
+        .unwrap();
+        assert_eq!(best.len(), 3);
+        // Max of x + y subject to x >= y: (49, 9).
+        assert_eq!(best[0].0, 58.0);
+        assert_eq!(best[0].1.get_int("x"), 49);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let bad = Space::builder("dz")
+            .range("x", 0, 4)
+            .derived("boom", var("x") / var("x"))
+            .build()
+            .unwrap();
+        assert!(matches!(count(&bad), Err(SweepError::Eval(_))));
+    }
+}

@@ -1,0 +1,244 @@
+//! Pruning visualization — the textual funnel's graphical siblings,
+//! following the paper's companion work (reference \[7\], Haugen & Kurzak,
+//! VISSOFT'14: a radial space-filling view of how constraints carve the
+//! search space).
+//!
+//! Two dependency-free SVG renderers:
+//!
+//! * [`funnel_svg`] — horizontal bars, one per constraint in plan order:
+//!   bar length = tuples evaluated, filled portion = tuples rejected,
+//!   annotated with the kill rate;
+//! * [`radial_svg`] — a radial space-filling chart: one ring segment per
+//!   constraint, angular extent proportional to the share of all rejected
+//!   tuples, colored by constraint class (the Fig.-16 palette).
+
+use std::fmt::Write as _;
+
+use beast_core::constraint::ConstraintClass;
+use beast_core::space::Space;
+
+use crate::stats::PruneStats;
+
+fn class_color(class: ConstraintClass) -> &'static str {
+    match class {
+        ConstraintClass::Hard => "#d9534f",
+        ConstraintClass::Soft => "#f0ad4e",
+        ConstraintClass::Correctness => "#5bc0de",
+        ConstraintClass::Generic => "#999999",
+    }
+}
+
+/// Render the pruning funnel as an SVG bar chart.
+pub fn funnel_svg(stats: &PruneStats, space: &Space) -> String {
+    let n = space.constraints().len();
+    let row_h = 28.0;
+    let label_w = 230.0;
+    let bar_w = 520.0;
+    let width = label_w + bar_w + 130.0;
+    let height = row_h * n as f64 + 70.0;
+    let max_eval = stats.evaluated.iter().copied().max().unwrap_or(1).max(1) as f64;
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="monospace" font-size="12">"#
+    );
+    let _ = write!(
+        s,
+        r#"<text x="10" y="20" font-size="14" font-weight="bold">pruning funnel — {} ({} survivors)</text>"#,
+        space.name(),
+        stats.survivors
+    );
+    for (i, c) in space.constraints().iter().enumerate() {
+        let y = 40.0 + i as f64 * row_h;
+        let evaluated = stats.evaluated[i] as f64;
+        let pruned = stats.pruned[i] as f64;
+        // Log-ish scaling keeps small counts visible next to huge ones.
+        let scale = |v: f64| -> f64 {
+            if v <= 0.0 {
+                0.0
+            } else {
+                bar_w * (1.0 + v).ln() / (1.0 + max_eval).ln()
+            }
+        };
+        let w_eval = scale(evaluated);
+        let w_pruned = scale(pruned);
+        let color = class_color(c.class);
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}" text-anchor="end">{}</text>"#,
+            label_w - 10.0,
+            y + 14.0,
+            c.name
+        );
+        let _ = write!(
+            s,
+            r##"<rect x="{label_w}" y="{y}" width="{w_eval:.1}" height="18" fill="#e8e8e8" stroke="#bbb"/>"##
+        );
+        let _ = write!(
+            s,
+            r#"<rect x="{label_w}" y="{y}" width="{w_pruned:.1}" height="18" fill="{color}"/>"#
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}">{:.1}% of {}</text>"#,
+            label_w + bar_w + 8.0,
+            y + 14.0,
+            100.0 * stats.kill_rate(i),
+            stats.evaluated[i]
+        );
+    }
+    // Legend.
+    let ly = 40.0 + n as f64 * row_h + 8.0;
+    let mut lx = label_w;
+    for class in [
+        ConstraintClass::Hard,
+        ConstraintClass::Soft,
+        ConstraintClass::Correctness,
+        ConstraintClass::Generic,
+    ] {
+        let _ = write!(
+            s,
+            r#"<rect x="{lx}" y="{ly}" width="12" height="12" fill="{}"/><text x="{}" y="{}">{class}</text>"#,
+            class_color(class),
+            lx + 16.0,
+            ly + 11.0
+        );
+        lx += 110.0;
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// Render the rejection shares as a radial space-filling chart (one ring
+/// segment per constraint, angle ∝ share of all rejections; the inner disc
+/// area lists the survivor count).
+pub fn radial_svg(stats: &PruneStats, space: &Space) -> String {
+    let size = 460.0;
+    let cx = size / 2.0;
+    let cy = size / 2.0;
+    let r_outer = 170.0;
+    let r_inner = 80.0;
+    let total: u64 = stats.total_pruned().max(1);
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{}" font-family="monospace" font-size="11">"#,
+        size + 30.0 + 16.0 * space.constraints().len() as f64
+    );
+    let _ = write!(
+        s,
+        r#"<text x="{cx}" y="20" text-anchor="middle" font-size="14" font-weight="bold">rejection shares — {}</text>"#,
+        space.name()
+    );
+
+    let mut angle = -std::f64::consts::FRAC_PI_2; // start at 12 o'clock
+    for (i, c) in space.constraints().iter().enumerate() {
+        let share = stats.pruned[i] as f64 / total as f64;
+        if share <= 0.0 {
+            continue;
+        }
+        let sweep = share * std::f64::consts::TAU;
+        let a0 = angle;
+        let a1 = angle + sweep;
+        angle = a1;
+        let large = i64::from(sweep > std::f64::consts::PI);
+        let (x0o, y0o) = (cx + r_outer * a0.cos(), cy + r_outer * a0.sin());
+        let (x1o, y1o) = (cx + r_outer * a1.cos(), cy + r_outer * a1.sin());
+        let (x0i, y0i) = (cx + r_inner * a0.cos(), cy + r_inner * a0.sin());
+        let (x1i, y1i) = (cx + r_inner * a1.cos(), cy + r_inner * a1.sin());
+        let _ = write!(
+            s,
+            r#"<path d="M {x0i:.2} {y0i:.2} L {x0o:.2} {y0o:.2} A {r_outer} {r_outer} 0 {large} 1 {x1o:.2} {y1o:.2} L {x1i:.2} {y1i:.2} A {r_inner} {r_inner} 0 {large} 0 {x0i:.2} {y0i:.2} Z" fill="{}" stroke="white" stroke-width="1"><title>{}: {} rejections ({:.1}%)</title></path>"#,
+            class_color(c.class),
+            c.name,
+            stats.pruned[i],
+            100.0 * share
+        );
+    }
+    let _ = write!(
+        s,
+        r#"<text x="{cx}" y="{cy}" text-anchor="middle">survivors</text><text x="{cx}" y="{}" text-anchor="middle" font-weight="bold">{}</text>"#,
+        cy + 16.0,
+        stats.survivors
+    );
+    // Per-constraint legend with shares.
+    for (i, c) in space.constraints().iter().enumerate() {
+        let y = size + 12.0 + 16.0 * i as f64;
+        let _ = write!(
+            s,
+            r#"<rect x="20" y="{}" width="10" height="10" fill="{}"/><text x="36" y="{}">{} — {} rejected</text>"#,
+            y - 9.0,
+            class_color(c.class),
+            y,
+            c.name,
+            stats.pruned[i]
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beast_core::expr::var;
+    use beast_core::space::Space;
+
+    fn space_and_stats() -> (std::sync::Arc<Space>, PruneStats) {
+        let space = Space::builder("viz")
+            .range("x", 0, 100)
+            .constraint("hard_cap", ConstraintClass::Hard, var("x").gt(80))
+            .constraint("odd", ConstraintClass::Soft, (var("x") % 2).ne(0))
+            .build()
+            .unwrap();
+        let mut stats = PruneStats::new(2);
+        for x in 0..100 {
+            stats.record(0, x > 80);
+            if x > 80 {
+                continue;
+            }
+            stats.record(1, x % 2 != 0);
+            if x % 2 == 0 {
+                stats.record_survivor();
+            }
+        }
+        (space, stats)
+    }
+
+    #[test]
+    fn funnel_svg_structure() {
+        let (space, stats) = space_and_stats();
+        let svg = funnel_svg(&stats, &space);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("hard_cap"));
+        assert!(svg.contains("odd"));
+        assert!(svg.contains("survivors"));
+        // Two data bars plus two backgrounds plus legend squares.
+        assert!(svg.matches("<rect").count() >= 6);
+    }
+
+    #[test]
+    fn radial_svg_structure() {
+        let (space, stats) = space_and_stats();
+        let svg = radial_svg(&stats, &space);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One ring segment per constraint that rejected anything.
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("rejections"));
+    }
+
+    #[test]
+    fn empty_stats_render_without_panicking() {
+        let (space, _) = space_and_stats();
+        let stats = PruneStats::new(2);
+        let f = funnel_svg(&stats, &space);
+        let r = radial_svg(&stats, &space);
+        assert!(f.contains("</svg>"));
+        assert!(r.contains("</svg>"));
+        assert_eq!(r.matches("<path").count(), 0);
+    }
+}

@@ -1,0 +1,956 @@
+//! The *bytecode VM*: a register-machine evaluation backend whose cost model
+//! mirrors Lua's, used to reproduce Fig. 18 of the paper.
+//!
+//! The lowered plan is compiled to a flat instruction stream executed by a
+//! dispatch loop over `i64` registers — faster than the hash-map walker
+//! (Lua's registers vs Python's dicts, the ~5× gap the paper measures), but
+//! still paying interpreter dispatch per operation, unlike the compiled
+//! backend.
+//!
+//! Loop compilation comes in three styles, matching the paper's Lua
+//! variants:
+//!
+//! * [`VmStyle::NumericFor`] — a dedicated `ForPrep`/`ForLoop` instruction
+//!   pair keeps the control state in fixed registers (Lua's numeric `for`,
+//!   the fastest variant in Fig. 18);
+//! * [`VmStyle::While`] — the bound and stride expressions are re-evaluated
+//!   through the register file on every iteration (Lua `while`);
+//! * [`VmStyle::RepeatUntil`] — post-test loop with an explicit emptiness
+//!   pre-check (Lua `repeat ... until`).
+
+use std::sync::Arc;
+
+use beast_core::error::EvalError;
+use beast_core::expr::Builtin;
+use beast_core::ir::{IntBinOp, IntExpr, LBody, LIter, LStep, LoweredPlan};
+use beast_core::iterator::Realized;
+
+use crate::compiled::SlotBindings;
+use crate::point::PointRef;
+use crate::stats::PruneStats;
+use crate::visit::Visitor;
+use crate::walker::SweepOutcome;
+
+/// Loop-compilation strategy, the experimental variable of Fig. 18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmStyle {
+    /// Lua-style numeric `for` with dedicated control instructions.
+    #[default]
+    NumericFor,
+    /// `while` loop: condition (and stride) re-evaluated every iteration.
+    While,
+    /// `repeat ... until` post-test loop with emptiness pre-check.
+    RepeatUntil,
+}
+
+/// One VM instruction. Registers are `u16` indices; jump targets are
+/// instruction indices.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    /// `regs[dst] = k`
+    LoadK { dst: u16, k: i64 },
+    /// `regs[dst] = regs[src]`
+    Move { dst: u16, src: u16 },
+    /// `regs[dst] = regs[a] <op> regs[b]` (non-short-circuit ops only).
+    Bin { op: IntBinOp, dst: u16, a: u16, b: u16 },
+    /// `regs[dst] = -regs[a]`
+    Neg { dst: u16, a: u16 },
+    /// `regs[dst] = !regs[a]` (0/1)
+    Not { dst: u16, a: u16 },
+    /// `regs[dst] = |regs[a]|`
+    Abs { dst: u16, a: u16 },
+    /// Two-argument builtin.
+    Call2 { f: Builtin, dst: u16, a: u16, b: u16 },
+    /// Unconditional jump.
+    Jmp { to: u32 },
+    /// Jump if `regs[r] == 0`.
+    JmpIfZero { r: u16, to: u32 },
+    /// Jump if `regs[r] != 0`.
+    JmpIfNonZero { r: u16, to: u32 },
+    /// Numeric-for prologue: control block at `base` = (current, stop, step),
+    /// already initialized. If the range is empty jump `to`; else copy
+    /// current into `slot`.
+    ForPrep { base: u16, slot: u16, to: u32 },
+    /// Numeric-for back-edge: advance, test, copy into `slot`, jump `to`
+    /// (the body start) while in range.
+    ForLoop { base: u16, slot: u16, to: u32 },
+    /// Realize iterator `iter` (list/opaque) into iterator-state `state`.
+    IterInit { state: u16, iter: u32 },
+    /// Advance iterator-state `state`, writing into `dst`; jump `to` when
+    /// exhausted.
+    IterNext { state: u16, dst: u16, to: u32 },
+    /// Evaluate opaque derived `derived` into `dst` via closure callback.
+    DefineOpaque { derived: u32, dst: u16 },
+    /// Record constraint `constraint` with value `regs[r]`; if nonzero,
+    /// prune by jumping `to` (the innermost loop's continue point).
+    Check { constraint: u32, r: u16, to: u32 },
+    /// Opaque constraint via closure callback; record and prune like `Check`.
+    CheckOpaque { constraint: u32, to: u32 },
+    /// Survivor: feed the named slots to the visitor, then jump `to`
+    /// (the innermost loop's continue point).
+    Visit { to: u32 },
+    /// End of program.
+    Halt,
+}
+
+/// Placeholder jump target fixed up when the enclosing loop closes.
+const PENDING: u32 = u32::MAX;
+
+/// A compiled VM program for one lowered plan.
+pub struct Vm {
+    lp: LoweredPlan,
+    style: VmStyle,
+    ops: Vec<Op>,
+    n_regs: u16,
+    n_states: u16,
+    point_names: Arc<[Arc<str>]>,
+}
+
+impl Vm {
+    /// Compile a lowered plan with the given loop style.
+    pub fn compile(lp: &LoweredPlan, style: VmStyle) -> Vm {
+        let mut c = Compiler::new(lp, style);
+        c.compile_steps(0);
+        c.ops.push(Op::Halt);
+        // Any pruning jumps left unpatched target Halt (no enclosing loop —
+        // preamble checks).
+        let halt = (c.ops.len() - 1) as u32;
+        for op in &mut c.ops {
+            let to = match op {
+                Op::Jmp { to }
+                | Op::JmpIfZero { to, .. }
+                | Op::JmpIfNonZero { to, .. }
+                | Op::ForPrep { to, .. }
+                | Op::ForLoop { to, .. }
+                | Op::IterNext { to, .. }
+                | Op::Check { to, .. }
+                | Op::CheckOpaque { to, .. }
+                | Op::Visit { to } => to,
+                _ => continue,
+            };
+            if *to == PENDING {
+                *to = halt;
+            }
+        }
+        let point_names: Arc<[Arc<str>]> =
+            Arc::from(lp.slot_names.clone().into_boxed_slice());
+        Vm {
+            lp: lp.clone(),
+            style,
+            ops: c.ops,
+            n_regs: c.max_reg + 1,
+            n_states: c.n_states,
+            point_names,
+        }
+    }
+
+    /// Names reported for visited points (slot order).
+    pub fn point_names(&self) -> &Arc<[Arc<str>]> {
+        &self.point_names
+    }
+
+    /// The loop style this program was compiled with.
+    pub fn style(&self) -> VmStyle {
+        self.style
+    }
+
+    /// Number of instructions (useful for tests and reports).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the program is trivially empty (never: there is always Halt).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Execute the program, feeding survivors to the visitor.
+    pub fn run<V: Visitor>(&self, visitor: V) -> Result<SweepOutcome<V>, EvalError> {
+        let space = self.lp.plan.space();
+        let n_slots = self.lp.n_slots as usize;
+        let mut regs = vec![0i64; self.n_regs as usize];
+        let mut states: Vec<Cursor> = (0..self.n_states).map(|_| Cursor::empty()).collect();
+        let mut stats = PruneStats::new(space.constraints().len());
+        let mut visitor = visitor;
+
+        let ops = &self.ops[..];
+        let mut pc: usize = 0;
+        loop {
+            match ops[pc] {
+                Op::LoadK { dst, k } => {
+                    regs[dst as usize] = k;
+                    pc += 1;
+                }
+                Op::Move { dst, src } => {
+                    regs[dst as usize] = regs[src as usize];
+                    pc += 1;
+                }
+                Op::Bin { op, dst, a, b } => {
+                    let x = regs[a as usize];
+                    let y = regs[b as usize];
+                    regs[dst as usize] = match op {
+                        IntBinOp::Add => x.wrapping_add(y),
+                        IntBinOp::Sub => x.wrapping_sub(y),
+                        IntBinOp::Mul => x.wrapping_mul(y),
+                        IntBinOp::Div => {
+                            if y == 0 {
+                                return Err(EvalError::DivisionByZero);
+                            }
+                            x.wrapping_div(y)
+                        }
+                        IntBinOp::FloorDiv => {
+                            if y == 0 {
+                                return Err(EvalError::DivisionByZero);
+                            }
+                            x.div_euclid(y)
+                        }
+                        IntBinOp::Rem => {
+                            if y == 0 {
+                                return Err(EvalError::DivisionByZero);
+                            }
+                            x.wrapping_rem(y)
+                        }
+                        IntBinOp::Lt => i64::from(x < y),
+                        IntBinOp::Le => i64::from(x <= y),
+                        IntBinOp::Gt => i64::from(x > y),
+                        IntBinOp::Ge => i64::from(x >= y),
+                        IntBinOp::Eq => i64::from(x == y),
+                        IntBinOp::Ne => i64::from(x != y),
+                        IntBinOp::And | IntBinOp::Or => {
+                            unreachable!("short-circuit ops compile to jumps")
+                        }
+                    };
+                    pc += 1;
+                }
+                Op::Neg { dst, a } => {
+                    regs[dst as usize] = regs[a as usize].wrapping_neg();
+                    pc += 1;
+                }
+                Op::Not { dst, a } => {
+                    regs[dst as usize] = i64::from(regs[a as usize] == 0);
+                    pc += 1;
+                }
+                Op::Abs { dst, a } => {
+                    regs[dst as usize] = regs[a as usize].wrapping_abs();
+                    pc += 1;
+                }
+                Op::Call2 { f, dst, a, b } => {
+                    let x = regs[a as usize];
+                    let y = regs[b as usize];
+                    regs[dst as usize] = match f {
+                        Builtin::Min => x.min(y),
+                        Builtin::Max => x.max(y),
+                        Builtin::DivCeil => {
+                            if y == 0 {
+                                return Err(EvalError::DivisionByZero);
+                            }
+                            (x + y - 1).div_euclid(y)
+                        }
+                        Builtin::Gcd => {
+                            let (mut a, mut b) = (x.unsigned_abs(), y.unsigned_abs());
+                            while b != 0 {
+                                let t = a % b;
+                                a = b;
+                                b = t;
+                            }
+                            a as i64
+                        }
+                        Builtin::RoundUp => {
+                            if y == 0 {
+                                return Err(EvalError::DivisionByZero);
+                            }
+                            (x + y - 1).div_euclid(y) * y
+                        }
+                        Builtin::Abs => unreachable!("unary"),
+                    };
+                    pc += 1;
+                }
+                Op::Jmp { to } => pc = to as usize,
+                Op::JmpIfZero { r, to } => {
+                    pc = if regs[r as usize] == 0 { to as usize } else { pc + 1 };
+                }
+                Op::JmpIfNonZero { r, to } => {
+                    pc = if regs[r as usize] != 0 { to as usize } else { pc + 1 };
+                }
+                Op::ForPrep { base, slot, to } => {
+                    let cur = regs[base as usize];
+                    let stop = regs[base as usize + 1];
+                    let step = regs[base as usize + 2];
+                    let runnable =
+                        (step > 0 && cur < stop) || (step < 0 && cur > stop);
+                    if runnable {
+                        regs[slot as usize] = cur;
+                        pc += 1;
+                    } else {
+                        pc = to as usize;
+                    }
+                }
+                Op::ForLoop { base, slot, to } => {
+                    let step = regs[base as usize + 2];
+                    let next = regs[base as usize].wrapping_add(step);
+                    regs[base as usize] = next;
+                    let stop = regs[base as usize + 1];
+                    let in_range = (step > 0 && next < stop) || (step < 0 && next > stop);
+                    if in_range {
+                        regs[slot as usize] = next;
+                        pc = to as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Op::IterInit { state, iter } => {
+                    let realized = {
+                        let view = SlotBindings {
+                            names: &self.lp.slot_names,
+                            slots: &regs[..n_slots],
+                            consts: space.consts(),
+                        };
+                        space.realize_iter(iter as usize, &view)?
+                    };
+                    states[state as usize] = Cursor::new(realized);
+                    pc += 1;
+                }
+                Op::IterNext { state, dst, to } => match states[state as usize].next()? {
+                    Some(v) => {
+                        regs[dst as usize] = v;
+                        pc += 1;
+                    }
+                    None => pc = to as usize,
+                },
+                Op::DefineOpaque { derived, dst } => {
+                    let v = {
+                        let view = SlotBindings {
+                            names: &self.lp.slot_names,
+                            slots: &regs[..n_slots],
+                            consts: space.consts(),
+                        };
+                        space.deriveds()[derived as usize].kind.eval(&view)?
+                    };
+                    regs[dst as usize] = v.as_int()?;
+                    pc += 1;
+                }
+                Op::Check { constraint, r, to } => {
+                    let rejected = regs[r as usize] != 0;
+                    stats.record(constraint as usize, rejected);
+                    pc = if rejected { to as usize } else { pc + 1 };
+                }
+                Op::CheckOpaque { constraint, to } => {
+                    let rejected = {
+                        let view = SlotBindings {
+                            names: &self.lp.slot_names,
+                            slots: &regs[..n_slots],
+                            consts: space.consts(),
+                        };
+                        space.constraints()[constraint as usize].kind.rejects(&view)?
+                    };
+                    stats.record(constraint as usize, rejected);
+                    pc = if rejected { to as usize } else { pc + 1 };
+                }
+                Op::Visit { to } => {
+                    stats.record_survivor();
+                    let view = PointRef::Slots {
+                        names: &self.lp.slot_names,
+                        slots: &regs[..n_slots],
+                    };
+                    visitor.visit(&view);
+                    pc = to as usize;
+                }
+                Op::Halt => break,
+            }
+        }
+        Ok(SweepOutcome { stats, visitor })
+    }
+}
+
+/// Runtime cursor over a realized domain (list/opaque loops).
+struct Cursor {
+    realized: Realized,
+    idx: usize,
+}
+
+impl Cursor {
+    fn empty() -> Cursor {
+        Cursor { realized: Realized::Values(Vec::new()), idx: 0 }
+    }
+
+    fn new(realized: Realized) -> Cursor {
+        Cursor { realized, idx: 0 }
+    }
+
+    fn next(&mut self) -> Result<Option<i64>, EvalError> {
+        match &self.realized {
+            Realized::Range { start, stop, step } => {
+                if *step == 0 {
+                    return Ok(None);
+                }
+                let v = start.wrapping_add((self.idx as i64).wrapping_mul(*step));
+                let in_range = if *step > 0 { v < *stop } else { v > *stop };
+                if in_range {
+                    self.idx += 1;
+                    Ok(Some(v))
+                } else {
+                    Ok(None)
+                }
+            }
+            Realized::Values(values) => {
+                if self.idx < values.len() {
+                    let v = values[self.idx].as_int()?;
+                    self.idx += 1;
+                    Ok(Some(v))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+struct LoopCtx {
+    /// Instruction indices whose `to` must be patched to the continue point.
+    continue_fixups: Vec<usize>,
+    /// Instruction indices whose `to` must be patched to the loop exit.
+    exit_fixups: Vec<usize>,
+}
+
+struct Compiler<'a> {
+    lp: &'a LoweredPlan,
+    style: VmStyle,
+    ops: Vec<Op>,
+    n_states: u16,
+    max_reg: u16,
+    temp_base: u16,
+    loop_stack: Vec<LoopCtx>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(lp: &'a LoweredPlan, style: VmStyle) -> Compiler<'a> {
+        // Register layout: [0, n_slots) named variables; then 3 control regs
+        // per loop depth for numeric-for; temporaries above.
+        let n_loops = lp
+            .steps
+            .iter()
+            .filter(|s| matches!(s, LStep::Bind { .. }))
+            .count() as u16;
+        let temp_base = lp.n_slots as u16 + 3 * n_loops;
+        Compiler {
+            lp,
+            style,
+            ops: Vec::new(),
+            n_states: 0,
+            max_reg: temp_base,
+            temp_base,
+            loop_stack: Vec::new(),
+        }
+    }
+
+    fn touch(&mut self, r: u16) {
+        self.max_reg = self.max_reg.max(r);
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn patch(&mut self, idx: usize, target: u32) {
+        match &mut self.ops[idx] {
+            Op::Jmp { to }
+            | Op::JmpIfZero { to, .. }
+            | Op::JmpIfNonZero { to, .. }
+            | Op::ForPrep { to, .. }
+            | Op::ForLoop { to, .. }
+            | Op::IterNext { to, .. }
+            | Op::Check { to, .. }
+            | Op::CheckOpaque { to, .. }
+            | Op::Visit { to } => *to = target,
+            other => panic!("cannot patch {other:?}"),
+        }
+    }
+
+    /// Compile `expr` placing the result in `dst`; `tmp` is the next free
+    /// temporary register.
+    fn expr(&mut self, e: &IntExpr, dst: u16, tmp: u16) {
+        self.touch(dst);
+        self.touch(tmp);
+        match e {
+            IntExpr::Const(k) => self.ops.push(Op::LoadK { dst, k: *k }),
+            IntExpr::Slot(s) => self.ops.push(Op::Move { dst, src: *s as u16 }),
+            IntExpr::Neg(a) => {
+                self.expr(a, dst, tmp);
+                self.ops.push(Op::Neg { dst, a: dst });
+            }
+            IntExpr::Not(a) => {
+                self.expr(a, dst, tmp);
+                self.ops.push(Op::Not { dst, a: dst });
+            }
+            IntExpr::Abs(a) => {
+                self.expr(a, dst, tmp);
+                self.ops.push(Op::Abs { dst, a: dst });
+            }
+            IntExpr::Ternary(c, t, f) => {
+                self.expr(c, dst, tmp);
+                let jz = self.ops.len();
+                self.ops.push(Op::JmpIfZero { r: dst, to: PENDING });
+                self.expr(t, dst, tmp);
+                let jend = self.ops.len();
+                self.ops.push(Op::Jmp { to: PENDING });
+                let felse = self.here();
+                self.patch(jz, felse);
+                self.expr(f, dst, tmp);
+                let end = self.here();
+                self.patch(jend, end);
+            }
+            IntExpr::Call2(f, a, b) => {
+                self.expr(a, dst, tmp);
+                self.expr(b, tmp, tmp + 1);
+                self.ops.push(Op::Call2 { f: *f, dst, a: dst, b: tmp });
+            }
+            IntExpr::Bin(op, a, b) => match op {
+                IntBinOp::And => {
+                    self.expr(a, dst, tmp);
+                    let jz = self.ops.len();
+                    self.ops.push(Op::JmpIfZero { r: dst, to: PENDING });
+                    self.expr(b, dst, tmp);
+                    // Normalize to 0/1: dst = (dst != 0).
+                    self.ops.push(Op::LoadK { dst: tmp, k: 0 });
+                    self.ops.push(Op::Bin { op: IntBinOp::Ne, dst, a: dst, b: tmp });
+                    let jend = self.ops.len();
+                    self.ops.push(Op::Jmp { to: PENDING });
+                    let lfalse = self.here();
+                    self.patch(jz, lfalse);
+                    self.ops.push(Op::LoadK { dst, k: 0 });
+                    let end = self.here();
+                    self.patch(jend, end);
+                }
+                IntBinOp::Or => {
+                    self.expr(a, dst, tmp);
+                    let jnz = self.ops.len();
+                    self.ops.push(Op::JmpIfNonZero { r: dst, to: PENDING });
+                    self.expr(b, dst, tmp);
+                    self.ops.push(Op::LoadK { dst: tmp, k: 0 });
+                    self.ops.push(Op::Bin { op: IntBinOp::Ne, dst, a: dst, b: tmp });
+                    let jend = self.ops.len();
+                    self.ops.push(Op::Jmp { to: PENDING });
+                    let ltrue = self.here();
+                    self.patch(jnz, ltrue);
+                    self.ops.push(Op::LoadK { dst, k: 1 });
+                    let end = self.here();
+                    self.patch(jend, end);
+                }
+                _ => {
+                    self.expr(a, dst, tmp);
+                    self.expr(b, tmp, tmp + 1);
+                    self.ops.push(Op::Bin { op: *op, dst, a: dst, b: tmp });
+                }
+            },
+        }
+    }
+
+    fn compile_steps(&mut self, pos: usize) {
+        if pos >= self.lp.steps.len() {
+            return;
+        }
+        let tmp = self.temp_base;
+        match &self.lp.steps[pos] {
+            LStep::Bind { slot, depth, domain, iter } => {
+                let slot = *slot as u16;
+                let ctrl = self.lp.n_slots as u16 + 3 * (*depth as u16);
+                self.touch(ctrl + 2);
+                match domain {
+                    LIter::Range { start, stop, step } => {
+                        self.compile_range_loop(
+                            slot,
+                            ctrl,
+                            &start.clone(),
+                            &stop.clone(),
+                            &step.clone(),
+                            pos,
+                        );
+                    }
+                    LIter::Values(_) | LIter::Opaque { .. } => {
+                        // List/opaque domains use the generic iterator path
+                        // in every style.
+                        let state = self.n_states;
+                        self.n_states += 1;
+                        self.ops.push(Op::IterInit { state, iter: *iter as u32 });
+                        let top = self.here();
+                        let next_idx = self.ops.len();
+                        self.ops.push(Op::IterNext { state, dst: slot, to: PENDING });
+                        self.loop_stack
+                            .push(LoopCtx { continue_fixups: vec![], exit_fixups: vec![next_idx] });
+                        self.compile_steps(pos + 1);
+                        let ctx = self.loop_stack.pop().expect("loop ctx");
+                        // Continue point: jump back to IterNext.
+                        for f in ctx.continue_fixups {
+                            self.patch(f, top);
+                        }
+                        self.ops.push(Op::Jmp { to: top });
+                        let exit = self.here();
+                        for f in ctx.exit_fixups {
+                            self.patch(f, exit);
+                        }
+                    }
+                }
+            }
+            LStep::Define { slot, body, derived } => {
+                match body {
+                    LBody::Expr(e) => {
+                        let e = e.clone();
+                        self.expr(&e, *slot as u16, tmp);
+                    }
+                    LBody::Opaque => self.ops.push(Op::DefineOpaque {
+                        derived: *derived as u32,
+                        dst: *slot as u16,
+                    }),
+                }
+                self.compile_steps(pos + 1);
+            }
+            LStep::Check { constraint, body } => {
+                let cidx = *constraint as u32;
+                match body {
+                    LBody::Expr(e) => {
+                        let e = e.clone();
+                        self.expr(&e, tmp, tmp + 1);
+                        let idx = self.ops.len();
+                        self.ops.push(Op::Check { constraint: cidx, r: tmp, to: PENDING });
+                        if let Some(ctx) = self.loop_stack.last_mut() {
+                            ctx.continue_fixups.push(idx);
+                        }
+                    }
+                    LBody::Opaque => {
+                        let idx = self.ops.len();
+                        self.ops.push(Op::CheckOpaque { constraint: cidx, to: PENDING });
+                        if let Some(ctx) = self.loop_stack.last_mut() {
+                            ctx.continue_fixups.push(idx);
+                        }
+                    }
+                }
+                self.compile_steps(pos + 1);
+            }
+            LStep::Visit => {
+                let idx = self.ops.len();
+                self.ops.push(Op::Visit { to: PENDING });
+                if let Some(ctx) = self.loop_stack.last_mut() {
+                    ctx.continue_fixups.push(idx);
+                }
+            }
+        }
+    }
+
+    fn compile_range_loop(
+        &mut self,
+        slot: u16,
+        ctrl: u16,
+        start: &IntExpr,
+        stop: &IntExpr,
+        step: &IntExpr,
+        pos: usize,
+    ) {
+        let tmp = self.temp_base;
+        match self.style {
+            VmStyle::NumericFor => {
+                // Control block: ctrl = current, ctrl+1 = stop, ctrl+2 = step.
+                self.expr(start, ctrl, tmp);
+                self.expr(stop, ctrl + 1, tmp);
+                self.expr(step, ctrl + 2, tmp);
+                let prep_idx = self.ops.len();
+                self.ops.push(Op::ForPrep { base: ctrl, slot, to: PENDING });
+                let body_top = self.here();
+                self.loop_stack
+                    .push(LoopCtx { continue_fixups: vec![], exit_fixups: vec![prep_idx] });
+                self.compile_steps(pos + 1);
+                let ctx = self.loop_stack.pop().expect("ctx");
+                let cont = self.here();
+                for f in ctx.continue_fixups {
+                    self.patch(f, cont);
+                }
+                self.ops.push(Op::ForLoop { base: ctrl, slot, to: body_top });
+                let exit = self.here();
+                for f in ctx.exit_fixups {
+                    self.patch(f, exit);
+                }
+            }
+            VmStyle::While => {
+                // var = start; while in_range(var) { body; var += step } —
+                // stop and step are RE-EVALUATED each iteration, the cost
+                // signature of a `while` in the paper's measurement.
+                self.expr(start, slot, tmp);
+                let top = self.here();
+                let cond = self.emit_in_range_check(slot, stop, step);
+                let jz_idx = self.ops.len();
+                self.ops.push(Op::JmpIfZero { r: cond, to: PENDING });
+                self.loop_stack
+                    .push(LoopCtx { continue_fixups: vec![], exit_fixups: vec![jz_idx] });
+                self.compile_steps(pos + 1);
+                let ctx = self.loop_stack.pop().expect("ctx");
+                let cont = self.here();
+                for f in ctx.continue_fixups {
+                    self.patch(f, cont);
+                }
+                // var += step (re-evaluate step).
+                self.expr(step, tmp, tmp + 1);
+                self.ops.push(Op::Bin { op: IntBinOp::Add, dst: slot, a: slot, b: tmp });
+                self.ops.push(Op::Jmp { to: top });
+                let exit = self.here();
+                for f in ctx.exit_fixups {
+                    self.patch(f, exit);
+                }
+            }
+            VmStyle::RepeatUntil => {
+                // var = start; if !in_range(var) goto exit;
+                // repeat { body; var += step } until !in_range(var)
+                self.expr(start, slot, tmp);
+                let cond = self.emit_in_range_check(slot, stop, step);
+                let jz_idx = self.ops.len();
+                self.ops.push(Op::JmpIfZero { r: cond, to: PENDING });
+                let body_top = self.here();
+                self.loop_stack
+                    .push(LoopCtx { continue_fixups: vec![], exit_fixups: vec![jz_idx] });
+                self.compile_steps(pos + 1);
+                let ctx = self.loop_stack.pop().expect("ctx");
+                let cont = self.here();
+                for f in ctx.continue_fixups {
+                    self.patch(f, cont);
+                }
+                self.expr(step, tmp, tmp + 1);
+                self.ops.push(Op::Bin { op: IntBinOp::Add, dst: slot, a: slot, b: tmp });
+                let cond = self.emit_in_range_check(slot, stop, step);
+                self.ops.push(Op::JmpIfNonZero { r: cond, to: body_top });
+                let exit = self.here();
+                for f in ctx.exit_fixups {
+                    self.patch(f, exit);
+                }
+            }
+        }
+    }
+
+    /// Emit `(step > 0 && var < stop) || (step < 0 && var > stop)` handling
+    /// dynamic step signs; returns the register holding the 0/1 result.
+    fn emit_in_range_check(&mut self, var: u16, stop: &IntExpr, step: &IntExpr) -> u16 {
+        let tmp = self.temp_base;
+        let (r_stop, r_step, r_zero, r_c1, r_c2, r_res) =
+            (tmp, tmp + 1, tmp + 2, tmp + 3, tmp + 4, tmp + 5);
+        self.touch(r_res + 1);
+        self.expr(stop, r_stop, r_res + 1);
+        self.expr(step, r_step, r_res + 1);
+        // Fast path for the overwhelmingly common case of a constant,
+        // positive step: a single comparison, like real generated code.
+        if let Some(k) = step.as_const() {
+            if k > 0 {
+                self.ops.push(Op::Bin { op: IntBinOp::Lt, dst: r_res, a: var, b: r_stop });
+                return r_res;
+            }
+            if k < 0 {
+                self.ops.push(Op::Bin { op: IntBinOp::Gt, dst: r_res, a: var, b: r_stop });
+                return r_res;
+            }
+        }
+        self.ops.push(Op::LoadK { dst: r_zero, k: 0 });
+        // c1 = step > 0 && var < stop  (bitwise-style: both are 0/1, use Mul)
+        self.ops.push(Op::Bin { op: IntBinOp::Gt, dst: r_c1, a: r_step, b: r_zero });
+        self.ops.push(Op::Bin { op: IntBinOp::Lt, dst: r_c2, a: var, b: r_stop });
+        self.ops.push(Op::Bin { op: IntBinOp::Mul, dst: r_c1, a: r_c1, b: r_c2 });
+        // c2 = step < 0 && var > stop
+        self.ops.push(Op::Bin { op: IntBinOp::Lt, dst: r_res, a: r_step, b: r_zero });
+        self.ops.push(Op::Bin { op: IntBinOp::Gt, dst: r_c2, a: var, b: r_stop });
+        self.ops.push(Op::Bin { op: IntBinOp::Mul, dst: r_res, a: r_res, b: r_c2 });
+        // res = c1 | c2 (sum of disjoint 0/1 flags)
+        self.ops.push(Op::Bin { op: IntBinOp::Add, dst: r_res, a: r_res, b: r_c1 });
+        r_res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beast_core::constraint::ConstraintClass;
+    use beast_core::expr::{min2, var};
+    use beast_core::plan::{Plan, PlanOptions};
+    use beast_core::space::Space;
+    use beast_core::value::Value;
+
+    use crate::visit::{CollectVisitor, CountVisitor};
+
+    fn lowered(space: &std::sync::Arc<Space>) -> LoweredPlan {
+        let plan = Plan::new(space, PlanOptions::default()).unwrap();
+        LoweredPlan::new(&plan).unwrap()
+    }
+
+    fn mini_space() -> std::sync::Arc<Space> {
+        Space::builder("mini")
+            .constant("cap", 20)
+            .range("a", 1, 5)
+            .range_step("b", var("a"), 13, var("a"))
+            .derived("ab", var("a") * var("b"))
+            .constraint("over", ConstraintClass::Hard, var("ab").gt(var("cap")))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_styles_agree() {
+        let space = mini_space();
+        let lp = lowered(&space);
+        let mut results = Vec::new();
+        for style in [VmStyle::NumericFor, VmStyle::While, VmStyle::RepeatUntil] {
+            let vm = Vm::compile(&lp, style);
+            let out = vm
+                .run(CollectVisitor::new(vm.point_names().clone(), 10_000))
+                .unwrap();
+            let pts: Vec<(i64, i64, i64)> = out
+                .visitor
+                .points
+                .iter()
+                .map(|p| (p.get_int("a"), p.get_int("b"), p.get_int("ab")))
+                .collect();
+            results.push((out.stats, pts));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+        assert!(!results[0].1.is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let space = mini_space();
+        let lp = lowered(&space);
+        let vm = Vm::compile(&lp, VmStyle::NumericFor);
+        let out = vm.run(CountVisitor::default()).unwrap();
+        let mut expected = 0u64;
+        for a in 1..5i64 {
+            let mut b = a;
+            while b < 13 {
+                if a * b <= 20 {
+                    expected += 1;
+                }
+                b += a;
+            }
+        }
+        assert_eq!(out.visitor.count, expected);
+    }
+
+    #[test]
+    fn empty_ranges_run_zero_times() {
+        let space = Space::builder("empty")
+            .range("x", 5, 5)
+            .build()
+            .unwrap();
+        let lp = lowered(&space);
+        for style in [VmStyle::NumericFor, VmStyle::While, VmStyle::RepeatUntil] {
+            let vm = Vm::compile(&lp, style);
+            let out = vm.run(CountVisitor::default()).unwrap();
+            assert_eq!(out.visitor.count, 0, "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn negative_steps() {
+        let space = Space::builder("down")
+            .range_step("x", 9, 0, -3)
+            .build()
+            .unwrap();
+        let lp = lowered(&space);
+        for style in [VmStyle::NumericFor, VmStyle::While, VmStyle::RepeatUntil] {
+            let vm = Vm::compile(&lp, style);
+            let out = vm
+                .run(CollectVisitor::new(vm.point_names().clone(), 10))
+                .unwrap();
+            let xs: Vec<i64> = out.visitor.points.iter().map(|p| p.get_int("x")).collect();
+            assert_eq!(xs, vec![9, 6, 3], "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn list_iterators() {
+        let space = Space::builder("list")
+            .list("x", [2i64, 7, 1])
+            .build()
+            .unwrap();
+        let lp = lowered(&space);
+        let vm = Vm::compile(&lp, VmStyle::NumericFor);
+        let out = vm
+            .run(CollectVisitor::new(vm.point_names().clone(), 10))
+            .unwrap();
+        let xs: Vec<i64> = out.visitor.points.iter().map(|p| p.get_int("x")).collect();
+        assert_eq!(xs, vec![2, 7, 1]);
+    }
+
+    #[test]
+    fn opaque_iterators_deriveds_constraints() {
+        let space = Space::builder("opaque")
+            .constant("cap", 6)
+            .range("n", 1, 6)
+            .deferred_iter("d", &["n"], |env| {
+                let n = env.require_int("n")?;
+                Ok(Realized::Range { start: n, stop: 0, step: -1 })
+            })
+            .derived_fn("dd", &["d"], |env| Ok(Value::Int(env.require_int("d")? * 2)))
+            .constraint_fn("big", ConstraintClass::Soft, &["dd", "cap"], |env| {
+                Ok(env.require_int("dd")? > env.require_int("cap")?)
+            })
+            .build()
+            .unwrap();
+        let lp = lowered(&space);
+        let vm = Vm::compile(&lp, VmStyle::NumericFor);
+        let out = vm.run(CountVisitor::default()).unwrap();
+        // survivors: pairs (n, d) with d in n..1 and 2d <= 6.
+        let mut expected = 0u64;
+        for n in 1..6i64 {
+            for d in (1..=n).rev() {
+                if 2 * d <= 6 {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(out.visitor.count, expected);
+    }
+
+    #[test]
+    fn builtins_compile() {
+        let space = Space::builder("builtins")
+            .range("x", 1, 10)
+            .derived("m", min2(var("x"), 5))
+            .constraint("over", ConstraintClass::Generic, var("m").ge(5))
+            .build()
+            .unwrap();
+        let lp = lowered(&space);
+        let vm = Vm::compile(&lp, VmStyle::NumericFor);
+        let out = vm.run(CountVisitor::default()).unwrap();
+        // x in 1..10, keep min(x,5) < 5 → x in 1..=4.
+        assert_eq!(out.visitor.count, 4);
+    }
+
+    #[test]
+    fn short_circuit_logic_compiles() {
+        // x != 0 && 12 % x == 0 — division by zero must not happen at x=0.
+        let space = Space::builder("sc")
+            .range("x", 0, 13)
+            .constraint(
+                "not_divisor",
+                ConstraintClass::Generic,
+                var("x").ne(0).and((twelve() % var("x")).eq(0)).not(),
+            )
+            .build()
+            .unwrap();
+        fn twelve() -> beast_core::expr::E {
+            beast_core::expr::lit(12)
+        }
+        let lp = lowered(&space);
+        let vm = Vm::compile(&lp, VmStyle::NumericFor);
+        let out = vm.run(CountVisitor::default()).unwrap();
+        // Divisors of 12 in 1..12: 1,2,3,4,6,12 → 6 survivors.
+        assert_eq!(out.visitor.count, 6);
+    }
+
+    #[test]
+    fn program_length_reasonable() {
+        let space = mini_space();
+        let lp = lowered(&space);
+        let vm = Vm::compile(&lp, VmStyle::NumericFor);
+        assert!(vm.len() > 5);
+        assert!(!vm.is_empty());
+    }
+}

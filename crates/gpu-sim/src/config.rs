@@ -1,0 +1,324 @@
+//! The GEMM kernel configuration: the 15 tunable parameters of the paper's
+//! search space (Fig. 11) plus the global settings (Fig. 10), and the
+//! derived resource quantities of Fig. 12.
+
+use beast_cuda::DeviceProps;
+
+/// Arithmetic precision (the four standard LAPACK precisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Single real (SGEMM).
+    Single,
+    /// Double real (DGEMM).
+    Double,
+    /// Single complex (CGEMM).
+    SingleComplex,
+    /// Double complex (ZGEMM).
+    DoubleComplex,
+}
+
+impl Precision {
+    /// `"single"` / `"double"` — the paper's `precision` setting.
+    pub fn precision_str(self) -> &'static str {
+        match self {
+            Precision::Single | Precision::SingleComplex => "single",
+            Precision::Double | Precision::DoubleComplex => "double",
+        }
+    }
+
+    /// `"real"` / `"complex"` — the paper's `arithmetic` setting.
+    pub fn arithmetic_str(self) -> &'static str {
+        match self {
+            Precision::Single | Precision::Double => "real",
+            Precision::SingleComplex | Precision::DoubleComplex => "complex",
+        }
+    }
+
+    /// Element size in bytes.
+    pub fn element_bytes(self) -> i64 {
+        match self {
+            Precision::Single => 4,
+            Precision::Double | Precision::SingleComplex => 8,
+            Precision::DoubleComplex => 16,
+        }
+    }
+
+    /// BLAS-style one-letter prefix.
+    pub fn blas_letter(self) -> char {
+        match self {
+            Precision::Single => 's',
+            Precision::Double => 'd',
+            Precision::SingleComplex => 'c',
+            Precision::DoubleComplex => 'z',
+        }
+    }
+
+    /// All four precisions.
+    pub fn all() -> [Precision; 4] {
+        [
+            Precision::Single,
+            Precision::Double,
+            Precision::SingleComplex,
+            Precision::DoubleComplex,
+        ]
+    }
+}
+
+/// Transposition settings for the two input operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Transpose {
+    /// `trans_a != 0`: A is stored transposed (k × m).
+    pub a: bool,
+    /// `trans_b != 0`: B is stored transposed (n × k).
+    pub b: bool,
+}
+
+impl Transpose {
+    /// The four standard cases NN, NT, TN, TT.
+    pub fn all() -> [Transpose; 4] {
+        [
+            Transpose { a: false, b: false },
+            Transpose { a: false, b: true },
+            Transpose { a: true, b: false },
+            Transpose { a: true, b: true },
+        ]
+    }
+
+    /// BLAS-style two-letter suffix, e.g. `"nn"`.
+    pub fn suffix(self) -> &'static str {
+        match (self.a, self.b) {
+            (false, false) => "nn",
+            (false, true) => "nt",
+            (true, false) => "tn",
+            (true, true) => "tt",
+        }
+    }
+}
+
+/// One point of the GEMM search space: the 15 iterators of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmConfig {
+    /// Vertical dimension of the compute thread grid.
+    pub dim_m: i64,
+    /// Horizontal dimension of the compute thread grid.
+    pub dim_n: i64,
+    /// Vertical size of the block's C tile.
+    pub blk_m: i64,
+    /// Horizontal size of the block's C tile.
+    pub blk_n: i64,
+    /// Width of the A stripe / height of the B stripe.
+    pub blk_k: i64,
+    /// Vector width (elements) used for device→shared loads.
+    pub dim_vec: i64,
+    /// Whether the multiply reads shared memory with vector types.
+    pub vec_mul: bool,
+    /// Vertical dimension of the A read grid.
+    pub dim_m_a: i64,
+    /// Horizontal dimension of the A read grid.
+    pub dim_n_a: i64,
+    /// Vertical dimension of the B read grid.
+    pub dim_m_b: i64,
+    /// Horizontal dimension of the B read grid.
+    pub dim_n_b: i64,
+    /// Texture reads for A.
+    pub tex_a: bool,
+    /// Texture reads for B.
+    pub tex_b: bool,
+    /// Prefer shared memory over L1 (cudaFuncSetCacheConfig).
+    pub shmem_l1: bool,
+    /// 8-byte shared memory banks (cudaDeviceSetSharedMemConfig).
+    pub shmem_banks: bool,
+}
+
+/// The derived resource quantities of Fig. 12, computed for one
+/// configuration under given settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DerivedVars {
+    /// Threads per block (`dim_m * dim_n`).
+    pub threads_per_block: i64,
+    /// C rows per thread.
+    pub thr_m: i64,
+    /// C columns per thread.
+    pub thr_n: i64,
+    /// 32-bit registers per thread for the C accumulator.
+    pub regs_per_thread: i64,
+    /// 32-bit registers per block for the C accumulator.
+    pub regs_per_block: i64,
+    /// Shared memory per block, bytes, for the A and B stripes.
+    pub shmem_per_block: i64,
+    /// Max resident blocks by register demand.
+    pub max_blocks_by_regs: i64,
+    /// Max resident threads by register demand.
+    pub max_threads_by_regs: i64,
+    /// Max resident blocks by shared-memory demand.
+    pub max_blocks_by_shmem: i64,
+    /// Max resident threads by shared-memory demand.
+    pub max_threads_by_shmem: i64,
+    /// Shared→register load instructions per block per stripe.
+    pub loads_per_block: i64,
+    /// FMA instructions per block per stripe.
+    pub fmas_per_block: i64,
+}
+
+impl GemmConfig {
+    /// Compute the derived variables of Fig. 12 under the given device,
+    /// compute-capability limits, and precision — arithmetic identical to
+    /// the paper's listing (integer division included).
+    pub fn derived(
+        &self,
+        device: &DeviceProps,
+        max_blocks_per_mp: i64,
+        precision: Precision,
+    ) -> DerivedVars {
+        let threads_per_block = self.dim_m * self.dim_n;
+        let thr_m = self.blk_m / self.dim_m;
+        let thr_n = self.blk_n / self.dim_n;
+
+        let mut regs_per_thread = thr_m * thr_n;
+        if precision.precision_str() == "double" {
+            regs_per_thread *= 2;
+        }
+        if precision.arithmetic_str() == "complex" {
+            regs_per_thread *= 2;
+        }
+        let regs_per_block = regs_per_thread * threads_per_block;
+
+        let mut shmem_per_block = self.blk_k * (self.blk_m + self.blk_n) * device.float_size;
+        if precision.precision_str() == "double" {
+            shmem_per_block *= 2;
+        }
+        if precision.arithmetic_str() == "complex" {
+            shmem_per_block *= 2;
+        }
+
+        let max_blocks_by_regs = if regs_per_block > 0 {
+            (device.max_registers_per_multi_processor / regs_per_block).min(max_blocks_per_mp)
+        } else {
+            max_blocks_per_mp
+        };
+        let max_threads_by_regs = max_blocks_by_regs * threads_per_block;
+
+        let max_blocks_by_shmem = if shmem_per_block > 0 {
+            (device.max_shmem_per_multi_processor / shmem_per_block).min(max_blocks_per_mp)
+        } else {
+            max_blocks_per_mp
+        };
+        let max_threads_by_shmem = max_blocks_by_shmem * threads_per_block;
+
+        let loads_per_thread = (thr_m + thr_n) * self.blk_k / self.dim_vec;
+        let mut loads_per_block = loads_per_thread * threads_per_block;
+        if precision.arithmetic_str() == "complex" {
+            loads_per_block *= 2;
+        }
+
+        let fmas_per_thread = thr_m * thr_n * self.blk_k;
+        let mut fmas_per_block = fmas_per_thread * threads_per_block;
+        if precision.arithmetic_str() == "complex" {
+            fmas_per_block *= 4;
+        }
+
+        DerivedVars {
+            threads_per_block,
+            thr_m,
+            thr_n,
+            regs_per_thread,
+            regs_per_block,
+            shmem_per_block,
+            max_blocks_by_regs,
+            max_threads_by_regs,
+            max_blocks_by_shmem,
+            max_threads_by_shmem,
+            loads_per_block,
+            fmas_per_block,
+        }
+    }
+
+    /// A well-known good Kepler DGEMM-style configuration, used as a test
+    /// fixture and example seed.
+    pub fn kepler_dgemm_reference() -> GemmConfig {
+        GemmConfig {
+            dim_m: 16,
+            dim_n: 16,
+            blk_m: 64,
+            blk_n: 64,
+            blk_k: 16,
+            dim_vec: 1,
+            vec_mul: false,
+            dim_m_a: 16,
+            dim_n_a: 16,
+            dim_m_b: 16,
+            dim_n_b: 16,
+            tex_a: false,
+            tex_b: false,
+            shmem_l1: true,
+            shmem_banks: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_strings_match_fig10() {
+        assert_eq!(Precision::Double.precision_str(), "double");
+        assert_eq!(Precision::Double.arithmetic_str(), "real");
+        assert_eq!(Precision::SingleComplex.precision_str(), "single");
+        assert_eq!(Precision::SingleComplex.arithmetic_str(), "complex");
+        assert_eq!(Precision::Double.blas_letter(), 'd');
+    }
+
+    #[test]
+    fn transpose_suffixes() {
+        let all = Transpose::all();
+        let suffixes: Vec<&str> = all.iter().map(|t| t.suffix()).collect();
+        assert_eq!(suffixes, vec!["nn", "nt", "tn", "tt"]);
+    }
+
+    #[test]
+    fn derived_vars_match_fig12_arithmetic() {
+        let device = DeviceProps::tesla_k40c();
+        let cfg = GemmConfig::kepler_dgemm_reference();
+        let d = cfg.derived(&device, 16, Precision::Double);
+        assert_eq!(d.threads_per_block, 256);
+        assert_eq!(d.thr_m, 4);
+        assert_eq!(d.thr_n, 4);
+        // double real: 4*4 * 2 = 32 regs/thread.
+        assert_eq!(d.regs_per_thread, 32);
+        assert_eq!(d.regs_per_block, 8192);
+        // 16 * (64+64) * 4 * 2 = 16384 bytes.
+        assert_eq!(d.shmem_per_block, 16384);
+        // 65536/8192 = 8 blocks by regs.
+        assert_eq!(d.max_blocks_by_regs, 8);
+        assert_eq!(d.max_threads_by_regs, 2048);
+        // 49152/16384 = 3 blocks by shmem.
+        assert_eq!(d.max_blocks_by_shmem, 3);
+        assert_eq!(d.max_threads_by_shmem, 768);
+        // loads: (4+4)*16/1 * 256 = 32768; fmas: 4*4*16*256 = 65536.
+        assert_eq!(d.loads_per_block, 32768);
+        assert_eq!(d.fmas_per_block, 65536);
+    }
+
+    #[test]
+    fn complex_factors() {
+        let device = DeviceProps::tesla_k40c();
+        let cfg = GemmConfig::kepler_dgemm_reference();
+        let d = cfg.derived(&device, 16, Precision::DoubleComplex);
+        // regs: 16 * 2(double) * 2(complex) = 64.
+        assert_eq!(d.regs_per_thread, 64);
+        // shmem: 16384 * 2 = 32768.
+        assert_eq!(d.shmem_per_block, 32768);
+        // loads doubled, fmas quadrupled vs real.
+        assert_eq!(d.loads_per_block, 65536);
+        assert_eq!(d.fmas_per_block, 262144);
+    }
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(Precision::Single.element_bytes(), 4);
+        assert_eq!(Precision::Double.element_bytes(), 8);
+        assert_eq!(Precision::SingleComplex.element_bytes(), 8);
+        assert_eq!(Precision::DoubleComplex.element_bytes(), 16);
+    }
+}

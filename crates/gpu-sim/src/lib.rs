@@ -1,0 +1,30 @@
+//! # beast-gpu-sim
+//!
+//! A functional simulator and analytic performance model for the tiled GEMM
+//! GPU kernel of Fig. 7 in *"Search Space Generation and Pruning System for
+//! Autotuners"* (IPDPSW 2016) — the stand-in for the paper's CUDA runtime
+//! and Tesla K40c hardware.
+//!
+//! * [`config::GemmConfig`] — one point of the 15-dimensional search space,
+//!   with the derived resource arithmetic of Fig. 12;
+//! * [`exec::sim_gemm`] — executes the kernel's exact data movement
+//!   (reshaped read grids, vector widths, shared-memory staging, register
+//!   tiles) against real matrices, so correctness constraints demonstrably
+//!   separate working from broken configurations;
+//! * [`perf::estimate`] — a documented analytic throughput model used as
+//!   the tuning objective.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod exec;
+pub mod matrix;
+pub mod perf;
+pub mod scalar;
+
+pub use config::{DerivedVars, GemmConfig, Precision, Transpose};
+pub use exec::{sim_gemm, workload_compatible, SimResult, SimStats};
+pub use matrix::{reference_gemm, reference_gemm_trans, Matrix};
+pub use perf::{estimate, model_peak, PerfEstimate};
+pub use scalar::{Complex, Scalar};

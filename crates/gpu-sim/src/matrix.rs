@@ -1,0 +1,200 @@
+//! Column-major matrices and the reference GEMM, the ground truth against
+//! which simulated kernel configurations are validated.
+
+use rand::Rng;
+
+use crate::scalar::Scalar;
+
+/// A dense column-major matrix (BLAS convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix<T> {
+        Matrix { rows, cols, data: vec![T::zero(); rows * cols] }
+    }
+
+    /// Random matrix with entries from the scalar's well-conditioned range.
+    pub fn random<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix<T> {
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| T::random(rng)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension (== rows for packed column-major storage).
+    pub fn ld(&self) -> usize {
+        self.rows
+    }
+
+    /// Element (i, j).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows]
+    }
+
+    /// Mutable element (i, j).
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+
+    /// Raw column-major data.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Max-norm distance to another matrix of the same shape.
+    pub fn max_dist(&self, other: &Matrix<T>) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a.dist(*b))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Reference `C = A * B` (no transposes; operands pre-shaped): the textbook
+/// triple loop, trusted by inspection.
+pub fn reference_gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows());
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    let mut c = Matrix::zeros(m, n);
+    for j in 0..n {
+        for l in 0..k {
+            let blj = b.get(l, j);
+            for i in 0..m {
+                *c.get_mut(i, j) += a.get(i, l) * blj;
+            }
+        }
+    }
+    c
+}
+
+/// Reference GEMM with transpose flags: computes `C = op(A) * op(B)` where
+/// `op(X)` is `X` or `X^T`. `A` is stored (m × k) or (k × m), `B` (k × n) or
+/// (n × k).
+pub fn reference_gemm_trans<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    trans_a: bool,
+    trans_b: bool,
+) -> Matrix<T> {
+    let (m, k) = if trans_a { (a.cols(), a.rows()) } else { (a.rows(), a.cols()) };
+    let (kb, n) = if trans_b { (b.cols(), b.rows()) } else { (b.rows(), b.cols()) };
+    assert_eq!(k, kb);
+    let mut c = Matrix::zeros(m, n);
+    for j in 0..n {
+        for l in 0..k {
+            let blj = if trans_b { b.get(j, l) } else { b.get(l, j) };
+            for i in 0..m {
+                let ail = if trans_a { a.get(l, i) } else { a.get(i, l) };
+                *c.get_mut(i, j) += ail * blj;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Complex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_multiplication() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Matrix<f64> = Matrix::random(4, 4, &mut rng);
+        let mut eye = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            *eye.get_mut(i, i) = 1.0;
+        }
+        let c = reference_gemm(&a, &eye);
+        assert!(c.max_dist(&a) < 1e-15);
+    }
+
+    #[test]
+    fn known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let mut a = Matrix::zeros(2, 2);
+        *a.get_mut(0, 0) = 1.0;
+        *a.get_mut(0, 1) = 2.0;
+        *a.get_mut(1, 0) = 3.0;
+        *a.get_mut(1, 1) = 4.0;
+        let mut b = Matrix::zeros(2, 2);
+        *b.get_mut(0, 0) = 5.0;
+        *b.get_mut(0, 1) = 6.0;
+        *b.get_mut(1, 0) = 7.0;
+        *b.get_mut(1, 1) = 8.0;
+        let c = reference_gemm(&a, &b);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn transposed_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = 6;
+        let n = 5;
+        let k = 4;
+        let a: Matrix<f64> = Matrix::random(m, k, &mut rng);
+        let b: Matrix<f64> = Matrix::random(k, n, &mut rng);
+        let base = reference_gemm(&a, &b);
+
+        // Build A^T and B^T explicitly.
+        let mut at = Matrix::zeros(k, m);
+        for i in 0..m {
+            for l in 0..k {
+                *at.get_mut(l, i) = a.get(i, l);
+            }
+        }
+        let mut bt = Matrix::zeros(n, k);
+        for l in 0..k {
+            for j in 0..n {
+                *bt.get_mut(j, l) = b.get(l, j);
+            }
+        }
+
+        assert!(reference_gemm_trans(&a, &b, false, false).max_dist(&base) < 1e-14);
+        assert!(reference_gemm_trans(&at, &b, true, false).max_dist(&base) < 1e-14);
+        assert!(reference_gemm_trans(&a, &bt, false, true).max_dist(&base) < 1e-14);
+        assert!(reference_gemm_trans(&at, &bt, true, true).max_dist(&base) < 1e-14);
+    }
+
+    #[test]
+    fn complex_gemm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Matrix<Complex<f64>> = Matrix::random(3, 3, &mut rng);
+        let b: Matrix<Complex<f64>> = Matrix::random(3, 3, &mut rng);
+        let c = reference_gemm(&a, &b);
+        // Spot check one element against a manual dot product.
+        let mut expect = Complex::new(0.0, 0.0);
+        for l in 0..3 {
+            expect += a.get(1, l) * b.get(l, 2);
+        }
+        assert!(c.get(1, 2).dist(expect) < 1e-14);
+    }
+}

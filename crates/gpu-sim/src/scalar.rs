@@ -1,0 +1,194 @@
+//! Scalar types for the four standard LAPACK precisions the paper's kernel
+//! supports (Section IX-A): single real (S), double real (D), single complex
+//! (C), double complex (Z).
+//!
+//! A tiny hand-rolled complex type keeps the crate dependency-free; only the
+//! operations the simulator needs are implemented.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use rand::Rng;
+
+/// Minimal complex number over `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+impl<T> Complex<T> {
+    /// Construct from real and imaginary parts.
+    pub fn new(re: T, im: T) -> Complex<T> {
+        Complex { re, im }
+    }
+}
+
+impl<T: Add<Output = T>> Add for Complex<T> {
+    type Output = Complex<T>;
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Add<Output = T> + Copy> AddAssign for Complex<T> {
+    fn add_assign(&mut self, rhs: Self) {
+        self.re = self.re + rhs.re;
+        self.im = self.im + rhs.im;
+    }
+}
+
+impl<T: Sub<Output = T>> Sub for Complex<T> {
+    type Output = Complex<T>;
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: Copy + Add<Output = T> + Sub<Output = T> + Mul<Output = T>> Mul for Complex<T> {
+    type Output = Complex<T>;
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// Scalar element of a matrix: the operations the simulator and reference
+/// implementation need, plus test utilities.
+pub trait Scalar:
+    Copy + Debug + PartialEq + Default + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + AddAssign + Send + Sync + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// A random value in a well-conditioned range.
+    fn random<R: Rng>(rng: &mut R) -> Self;
+    /// Max-norm distance to another scalar, for approximate comparison.
+    fn dist(self, other: Self) -> f64;
+    /// Element size in bytes (the paper's per-precision size factors).
+    fn size_bytes() -> i64;
+    /// Floating-point operations per fused multiply-add on this type
+    /// (2 for real, 8 for complex), used by throughput accounting.
+    fn flops_per_fma() -> i64;
+}
+
+impl Scalar for f32 {
+    fn zero() -> f32 {
+        0.0
+    }
+    fn one() -> f32 {
+        1.0
+    }
+    fn random<R: Rng>(rng: &mut R) -> f32 {
+        rng.gen_range(-1.0..1.0)
+    }
+    fn dist(self, other: f32) -> f64 {
+        f64::from((self - other).abs())
+    }
+    fn size_bytes() -> i64 {
+        4
+    }
+    fn flops_per_fma() -> i64 {
+        2
+    }
+}
+
+impl Scalar for f64 {
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn random<R: Rng>(rng: &mut R) -> f64 {
+        rng.gen_range(-1.0..1.0)
+    }
+    fn dist(self, other: f64) -> f64 {
+        (self - other).abs()
+    }
+    fn size_bytes() -> i64 {
+        8
+    }
+    fn flops_per_fma() -> i64 {
+        2
+    }
+}
+
+impl Scalar for Complex<f32> {
+    fn zero() -> Self {
+        Complex::new(0.0, 0.0)
+    }
+    fn one() -> Self {
+        Complex::new(1.0, 0.0)
+    }
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    }
+    fn dist(self, other: Self) -> f64 {
+        f64::from((self.re - other.re).abs() + (self.im - other.im).abs())
+    }
+    fn size_bytes() -> i64 {
+        8
+    }
+    fn flops_per_fma() -> i64 {
+        8
+    }
+}
+
+impl Scalar for Complex<f64> {
+    fn zero() -> Self {
+        Complex::new(0.0, 0.0)
+    }
+    fn one() -> Self {
+        Complex::new(1.0, 0.0)
+    }
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    }
+    fn dist(self, other: Self) -> f64 {
+        (self.re - other.re).abs() + (self.im - other.im).abs()
+    }
+    fn size_bytes() -> i64 {
+        16
+    }
+    fn flops_per_fma() -> i64 {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0f64, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0)); // (1+2i)(3-i) = 5+5i
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Complex::new(4.0, 1.0));
+    }
+
+    #[test]
+    fn scalar_constants() {
+        assert_eq!(f64::size_bytes(), 8);
+        assert_eq!(Complex::<f64>::size_bytes(), 16);
+        assert_eq!(f32::flops_per_fma(), 2);
+        assert_eq!(Complex::<f32>::flops_per_fma(), 8);
+        assert_eq!(Complex::<f64>::one() * Complex::<f64>::one(), Complex::<f64>::one());
+    }
+
+    #[test]
+    fn dist_is_metric_like() {
+        assert_eq!(1.0f64.dist(1.0), 0.0);
+        assert!(1.0f64.dist(2.0) > 0.0);
+        assert_eq!(Complex::new(1.0, 1.0).dist(Complex::new(1.0, 1.0)), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Timing-based autotuning: the "compile, run and benchmark" tail of the
+//! BEAST recipe (Section I), for CPU kernels where we really can run every
+//! surviving configuration.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use beast_core::error::SpaceError;
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_core::space::Space;
+use beast_engine::compiled::Compiled;
+use beast_engine::point::Point;
+use beast_engine::stats::PruneStats;
+use beast_engine::visit::CollectVisitor;
+
+/// One timed configuration.
+#[derive(Debug, Clone)]
+pub struct Timed {
+    /// The surviving point.
+    pub point: Point,
+    /// Best (minimum) measured duration across repetitions.
+    pub duration: Duration,
+}
+
+/// Result of a timing sweep.
+#[derive(Debug)]
+pub struct AutotuneOutcome {
+    /// All timed configurations, fastest first.
+    pub timed: Vec<Timed>,
+    /// Pruning statistics from the enumeration.
+    pub stats: PruneStats,
+    /// True if the survivor cap truncated the candidate list.
+    pub truncated: bool,
+}
+
+impl AutotuneOutcome {
+    /// The fastest configuration.
+    pub fn best(&self) -> Option<&Timed> {
+        self.timed.first()
+    }
+}
+
+/// Enumerate the space's survivors (up to `cap`), time each with `runner`
+/// `reps` times keeping the minimum, and return them fastest-first.
+///
+/// `runner` receives the surviving point and must execute the workload once,
+/// returning its wall time. Taking the per-point *minimum* across
+/// repetitions is the standard noise filter for timing-based autotuners.
+pub fn autotune<F>(
+    space: &Arc<Space>,
+    cap: usize,
+    reps: usize,
+    mut runner: F,
+) -> Result<AutotuneOutcome, SpaceError>
+where
+    F: FnMut(&Point) -> Duration,
+{
+    let plan = Plan::new(space, PlanOptions::default())?;
+    let lowered = LoweredPlan::new(&plan)?;
+    let compiled = Compiled::new(lowered);
+    let out = compiled
+        .run(CollectVisitor::new(compiled.point_names().clone(), cap))
+        .map_err(|e| SpaceError::Lowering(format!("evaluation failed: {e}")))?;
+
+    let truncated = out.visitor.truncated();
+    let mut timed: Vec<Timed> = out
+        .visitor
+        .points
+        .into_iter()
+        .map(|point| {
+            let mut best = Duration::MAX;
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                let d = runner(&point);
+                // Allow the runner to report its own duration (e.g. to
+                // exclude setup); if it reports zero, fall back to wall time.
+                let measured = if d == Duration::ZERO { t0.elapsed() } else { d };
+                best = best.min(measured);
+            }
+            Timed { point, duration: best }
+        })
+        .collect();
+    timed.sort_by_key(|t| t.duration);
+
+    Ok(AutotuneOutcome { timed, stats: out.stats, truncated })
+}
+
+/// Convenience: time a closure's execution.
+pub fn time_it<F: FnOnce()>(f: F) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beast_core::constraint::ConstraintClass;
+    use beast_core::expr::var;
+
+    #[test]
+    fn autotune_orders_by_duration() {
+        // Synthetic space: parameter x in 1..6, "runtime" = |x - 3| ms-ish.
+        let space = Space::builder("synthetic")
+            .range("x", 1, 6)
+            .build()
+            .unwrap();
+        let out = autotune(&space, 100, 2, |p| {
+            let x = p.get_int("x");
+            Duration::from_micros(10 + (x - 3).unsigned_abs() * 50)
+        })
+        .unwrap();
+        assert_eq!(out.timed.len(), 5);
+        assert_eq!(out.best().unwrap().point.get_int("x"), 3);
+        assert!(!out.truncated);
+        // Sorted ascending.
+        for w in out.timed.windows(2) {
+            assert!(w[0].duration <= w[1].duration);
+        }
+    }
+
+    #[test]
+    fn cap_truncates_and_reports() {
+        let space = Space::builder("big")
+            .range("x", 0, 1000)
+            .build()
+            .unwrap();
+        let out = autotune(&space, 10, 1, |_| Duration::from_micros(1)).unwrap();
+        assert_eq!(out.timed.len(), 10);
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn pruned_points_are_not_timed() {
+        let space = Space::builder("pruned")
+            .range("x", 0, 10)
+            .constraint("odd", ConstraintClass::Soft, (var("x") % 2).ne(0))
+            .build()
+            .unwrap();
+        let mut calls = 0;
+        let out = autotune(&space, 100, 1, |_| {
+            calls += 1;
+            Duration::from_micros(1)
+        })
+        .unwrap();
+        assert_eq!(out.timed.len(), 5);
+        assert_eq!(calls, 5);
+        assert_eq!(out.stats.pruned[0], 5);
+    }
+
+    #[test]
+    fn time_it_measures() {
+        let d = time_it(|| std::thread::sleep(Duration::from_millis(2)));
+        assert!(d >= Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,496 @@
+//! Batched kernel execution — the substrate behind Table I's "batched
+//! factorizations" rows (paper references \[5\], \[34\]–\[36\]: very small and
+//! medium matrices in large batches).
+//!
+//! Two execution strategies, selectable by the autotuner:
+//!
+//! * **per-matrix** — factor each matrix independently (unblocked or
+//!   blocked), optionally across a pool of threads in chunks;
+//! * **interleaved** — pack `width` matrices element-interleaved
+//!   (`data[(i + j·n)·width + w]`) so every inner loop of the factorization
+//!   sweeps stride-1 across the batch and vectorizes; this is the layout
+//!   trick real batched-BLAS implementations use for very small matrices,
+//!   and the source of the large small-size speedups on a single core.
+
+use crossbeam::thread;
+
+use crate::cholesky::{cholesky_blocked, cholesky_unblocked, NotPositiveDefinite};
+use crate::cpu_gemm::GemmParams;
+use crate::dense::Dense;
+use crate::trsm::trsm_left_lower;
+
+/// How a batched factorization runs; one point of the batched-Cholesky
+/// search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStrategy {
+    /// Factor each matrix on its own, unblocked.
+    PerMatrixUnblocked,
+    /// Factor each matrix on its own with the given panel width.
+    PerMatrixBlocked {
+        /// Cholesky panel width.
+        block: usize,
+    },
+    /// Pack `width` matrices interleaved and factor them together.
+    Interleaved {
+        /// Number of matrices per interleaved pack.
+        width: usize,
+    },
+}
+
+/// Parameters of a batched run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchParams {
+    /// Execution strategy.
+    pub strategy: BatchStrategy,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+    /// Matrices handed to a worker at a time.
+    pub chunk: usize,
+}
+
+impl BatchParams {
+    /// The naive baseline: serial, unblocked, one matrix at a time.
+    pub fn naive() -> BatchParams {
+        BatchParams { strategy: BatchStrategy::PerMatrixUnblocked, threads: 1, chunk: 1 }
+    }
+}
+
+/// `width` matrices of order `n`, element-interleaved.
+#[derive(Debug, Clone)]
+pub struct InterleavedBatch {
+    n: usize,
+    width: usize,
+    data: Vec<f64>,
+}
+
+impl InterleavedBatch {
+    /// Pack a slice of equally-sized square matrices. Each source column is
+    /// scattered with a stride-`width` sweep, the transpose-free fast path.
+    pub fn pack(mats: &[Dense]) -> InterleavedBatch {
+        assert!(!mats.is_empty());
+        let n = mats[0].rows();
+        let width = mats.len();
+        let mut data = vec![0.0; n * n * width];
+        for (w, m) in mats.iter().enumerate() {
+            assert_eq!((m.rows(), m.cols()), (n, n));
+            let src = m.data();
+            for (dst, &v) in data[w..].iter_mut().step_by(width).zip(src) {
+                *dst = v;
+            }
+        }
+        InterleavedBatch { n, width, data }
+    }
+
+    /// Unpack back into per-matrix storage.
+    pub fn unpack(&self) -> Vec<Dense> {
+        let elems = self.n * self.n;
+        (0..self.width)
+            .map(|w| {
+                let mut buf = Vec::with_capacity(elems);
+                buf.extend(self.data[w..].iter().step_by(self.width).take(elems));
+                Dense::from_raw(self.n, self.n, buf)
+            })
+            .collect()
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Batch width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+}
+
+/// Cholesky-factor every matrix of an interleaved pack simultaneously: the
+/// classic unblocked loop with every scalar operation widened to a stride-1
+/// sweep across the batch.
+pub fn cholesky_interleaved(
+    batch: &mut InterleavedBatch,
+) -> Result<(), NotPositiveDefinite> {
+    let n = batch.n;
+    let width = batch.width;
+    let data = &mut batch.data[..];
+    // One reciprocal-pivot lane reused across the column; no per-element
+    // allocation anywhere in the factorization.
+    let mut inv_piv = vec![0.0; width];
+    for j in 0..n {
+        // d_w = a[j,j] - Σ_l a[j,l]²  (stride-1 sweeps across the batch)
+        {
+            let (before, rest) = data.split_at_mut((j + j * n) * width);
+            let diag = &mut rest[..width];
+            for l in 0..j {
+                let row = &before[(j + l * n) * width..(j + l * n) * width + width];
+                for (d, &v) in diag.iter_mut().zip(row) {
+                    *d -= v * v;
+                }
+            }
+            for (d, ip) in diag.iter_mut().zip(inv_piv.iter_mut()) {
+                if *d <= 0.0 {
+                    return Err(NotPositiveDefinite { pivot: j });
+                }
+                *d = d.sqrt();
+                *ip = 1.0 / *d;
+            }
+        }
+
+        // Column update: a[i,j] = (a[i,j] - Σ_l a[i,l]·a[j,l]) / a[j,j],
+        // every operation a stride-1 lane across the batch.
+        for i in j + 1..n {
+            let col_base = (i + j * n) * width;
+            let (before, target) = data.split_at_mut(col_base);
+            let lane = &mut target[..width];
+            for l in 0..j {
+                let bi = (i + l * n) * width;
+                let bj = (j + l * n) * width;
+                let row_i = &before[bi..bi + width];
+                let row_j = &before[bj..bj + width];
+                for ((s, &a), &b) in lane.iter_mut().zip(row_i).zip(row_j) {
+                    *s -= a * b;
+                }
+            }
+            for (s, &ip) in lane.iter_mut().zip(&inv_piv) {
+                *s *= ip;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A batch of right-hand-side vectors (one per matrix), element-interleaved
+/// like [`InterleavedBatch`]: `data[i * width + w]` is element `i` of
+/// vector `w`.
+#[derive(Debug, Clone)]
+pub struct InterleavedRhs {
+    n: usize,
+    width: usize,
+    data: Vec<f64>,
+}
+
+impl InterleavedRhs {
+    /// Pack per-vector storage (`vecs[w][i]`).
+    pub fn pack(vecs: &[Vec<f64>]) -> InterleavedRhs {
+        assert!(!vecs.is_empty());
+        let n = vecs[0].len();
+        let width = vecs.len();
+        let mut data = vec![0.0; n * width];
+        for (w, v) in vecs.iter().enumerate() {
+            assert_eq!(v.len(), n);
+            for (i, &x) in v.iter().enumerate() {
+                data[i * width + w] = x;
+            }
+        }
+        InterleavedRhs { n, width, data }
+    }
+
+    /// Unpack back to per-vector storage.
+    pub fn unpack(&self) -> Vec<Vec<f64>> {
+        (0..self.width)
+            .map(|w| (0..self.n).map(|i| self.data[i * self.width + w]).collect())
+            .collect()
+    }
+
+    /// Vector length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Batch width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Forward-substitute `L_w · x_w = b_w` for every lane of an interleaved
+/// batch simultaneously (`ls` holds the lower triangles, e.g. from
+/// [`cholesky_interleaved`]); every inner operation is a stride-1 sweep
+/// across the batch. This is the "solve" half of the paper's batched
+/// Cholesky-and-triangular-solve pair (reference \[5\]).
+pub fn trsm_interleaved(ls: &InterleavedBatch, rhs: &mut InterleavedRhs) {
+    let n = ls.n;
+    let width = ls.width;
+    assert_eq!(rhs.n, n, "dimension mismatch");
+    assert_eq!(rhs.width, width, "batch width mismatch");
+    for i in 0..n {
+        // x_i = b_i / L[i,i]  (lane-wise)
+        {
+            let diag_base = (i + i * n) * width;
+            let (xs, _) = rhs.data.split_at_mut((i + 1) * width);
+            let xi = &mut xs[i * width..];
+            for (x, &d) in xi.iter_mut().zip(&ls.data[diag_base..diag_base + width]) {
+                *x /= d;
+            }
+        }
+        // b_r -= L[r,i] * x_i for r > i (lane-wise)
+        let (head, tail) = rhs.data.split_at_mut((i + 1) * width);
+        let xi = &head[i * width..];
+        for r in i + 1..n {
+            let l_base = (r + i * n) * width;
+            let lane = &mut tail[(r - i - 1) * width..(r - i) * width];
+            let lrow = &ls.data[l_base..l_base + width];
+            for ((b, &l), &x) in lane.iter_mut().zip(lrow).zip(xi) {
+                *b -= l * x;
+            }
+        }
+    }
+}
+
+/// Factor a batch of SPD matrices in place under the given parameters.
+pub fn batched_cholesky(
+    mats: &mut [Dense],
+    params: &BatchParams,
+    gemm: &GemmParams,
+) -> Result<(), NotPositiveDefinite> {
+    match params.strategy {
+        BatchStrategy::Interleaved { width } => {
+            let width = width.max(1);
+            // Thread-parallel over packs of `width` matrices.
+            run_chunked(mats, params.threads, width, |pack| {
+                let mut batch = InterleavedBatch::pack(pack);
+                cholesky_interleaved(&mut batch)?;
+                for (dst, src) in pack.iter_mut().zip(batch.unpack()) {
+                    *dst = src;
+                }
+                Ok(())
+            })
+        }
+        BatchStrategy::PerMatrixUnblocked => {
+            run_chunked(mats, params.threads, params.chunk.max(1), |chunk| {
+                for m in chunk {
+                    cholesky_unblocked(m)?;
+                }
+                Ok(())
+            })
+        }
+        BatchStrategy::PerMatrixBlocked { block } => {
+            let block = block.max(1);
+            run_chunked(mats, params.threads, params.chunk.max(1), |chunk| {
+                for m in chunk {
+                    cholesky_blocked(m, block, gemm)?;
+                }
+                Ok(())
+            })
+        }
+    }
+}
+
+/// Batched forward triangular solve: `L_i · X_i = B_i` for every pair.
+pub fn batched_trsm(
+    ls: &[Dense],
+    bs: &mut [Dense],
+    threads: usize,
+    chunk: usize,
+) -> Result<(), NotPositiveDefinite> {
+    assert_eq!(ls.len(), bs.len());
+    // Pair the matrices by index for chunked dispatch.
+    let mut pairs: Vec<(usize, &mut Dense)> = bs.iter_mut().enumerate().collect();
+    run_chunked(&mut pairs, threads, chunk.max(1), |chunk| {
+        for (i, b) in chunk {
+            trsm_left_lower(&ls[*i], b);
+        }
+        Ok(())
+    })
+}
+
+/// Split `items` into chunks and run `f` over them on up to `threads`
+/// workers (scoped threads; serial fast path for one thread).
+fn run_chunked<T: Send, F>(
+    items: &mut [T],
+    threads: usize,
+    chunk: usize,
+    f: F,
+) -> Result<(), NotPositiveDefinite>
+where
+    F: Fn(&mut [T]) -> Result<(), NotPositiveDefinite> + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        for c in items.chunks_mut(chunk) {
+            f(c)?;
+        }
+        return Ok(());
+    }
+    let result = thread::scope(|scope| {
+        let chunks: Vec<&mut [T]> = items.chunks_mut(chunk).collect();
+        let n_workers = threads.min(chunks.len().max(1));
+        // Distribute chunks round-robin across workers.
+        let mut per_worker: Vec<Vec<&mut [T]>> = (0..n_workers).map(|_| Vec::new()).collect();
+        for (i, c) in chunks.into_iter().enumerate() {
+            per_worker[i % n_workers].push(c);
+        }
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|mine| {
+                let f = &f;
+                scope.spawn(move |_| {
+                    for c in mine {
+                        f(c)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Result<Vec<()>, NotPositiveDefinite>>()
+            .map(|_| ())
+    })
+    .expect("thread scope");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::reconstruct_llt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spd_batch(count: usize, n: usize, seed: u64) -> Vec<Dense> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| Dense::random_spd(n, &mut rng)).collect()
+    }
+
+    fn check_factored(original: &[Dense], factored: &[Dense]) {
+        for (a0, f) in original.iter().zip(factored) {
+            let rec = reconstruct_llt(f);
+            let n = a0.rows();
+            for j in 0..n {
+                for i in j..n {
+                    assert!(
+                        (rec.get(i, j) - a0.get(i, j)).abs() < 1e-8,
+                        "bad factorization"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_pack_roundtrip() {
+        let mats = spd_batch(7, 5, 1);
+        let batch = InterleavedBatch::pack(&mats);
+        assert_eq!(batch.n(), 5);
+        assert_eq!(batch.width(), 7);
+        let back = batch.unpack();
+        for (a, b) in mats.iter().zip(&back) {
+            assert!(a.max_dist(b) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn interleaved_cholesky_matches_per_matrix() {
+        let mats = spd_batch(9, 8, 2);
+        let mut batch = InterleavedBatch::pack(&mats);
+        cholesky_interleaved(&mut batch).unwrap();
+        let factored = batch.unpack();
+        check_factored(&mats, &factored);
+    }
+
+    #[test]
+    fn all_strategies_factor_correctly() {
+        let strategies = [
+            BatchStrategy::PerMatrixUnblocked,
+            BatchStrategy::PerMatrixBlocked { block: 4 },
+            BatchStrategy::Interleaved { width: 4 },
+            BatchStrategy::Interleaved { width: 100 }, // wider than batch
+        ];
+        for strategy in strategies {
+            for threads in [1, 3] {
+                let original = spd_batch(10, 12, 3);
+                let mut mats = original.clone();
+                let params = BatchParams { strategy, threads, chunk: 3 };
+                batched_cholesky(&mut mats, &params, &GemmParams::default_params()).unwrap();
+                check_factored(&original, &mats);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_trsm_solves() {
+        use crate::cpu_gemm::naive_gemm;
+        let mut rng = StdRng::seed_from_u64(4);
+        let count = 6;
+        let n = 10;
+        let mut ls = spd_batch(count, n, 5);
+        for l in &mut ls {
+            cholesky_unblocked(l).unwrap();
+        }
+        let xs: Vec<Dense> = (0..count).map(|_| Dense::random(n, 2, &mut rng)).collect();
+        let mut bs: Vec<Dense> = ls
+            .iter()
+            .zip(&xs)
+            .map(|(l, x)| {
+                // Zero the strict upper triangle for the multiply.
+                let mut lo = Dense::zeros(n, n);
+                for j in 0..n {
+                    for i in j..n {
+                        lo.set(i, j, l.get(i, j));
+                    }
+                }
+                let mut b = Dense::zeros(n, 2);
+                naive_gemm(&lo, x, &mut b);
+                b
+            })
+            .collect();
+        batched_trsm(&ls, &mut bs, 2, 2).unwrap();
+        for (b, x) in bs.iter().zip(&xs) {
+            assert!(b.max_dist(x) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interleaved_rhs_roundtrip() {
+        let vecs: Vec<Vec<f64>> = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let packed = InterleavedRhs::pack(&vecs);
+        assert_eq!(packed.n(), 3);
+        assert_eq!(packed.width(), 2);
+        assert_eq!(packed.unpack(), vecs);
+    }
+
+    #[test]
+    fn interleaved_trsm_matches_per_matrix_solve() {
+        let mats = spd_batch(6, 9, 11);
+        // Factor interleaved.
+        let mut ls = InterleavedBatch::pack(&mats);
+        cholesky_interleaved(&mut ls).unwrap();
+        // Build RHS b_w = L_w * x_w for known x.
+        let factored = ls.unpack();
+        let xs: Vec<Vec<f64>> = (0..6)
+            .map(|w| (0..9).map(|i| (w + i) as f64 * 0.25 - 1.0).collect())
+            .collect();
+        let bs: Vec<Vec<f64>> = factored
+            .iter()
+            .zip(&xs)
+            .map(|(l, x)| {
+                (0..9)
+                    .map(|i| (0..=i).map(|j| l.get(i, j) * x[j]).sum())
+                    .collect()
+            })
+            .collect();
+        let mut rhs = InterleavedRhs::pack(&bs);
+        trsm_interleaved(&ls, &mut rhs);
+        for (got, want) in rhs.unpack().iter().zip(&xs) {
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_spd_in_batch_reported() {
+        let mut mats = spd_batch(3, 4, 6);
+        mats[1] = Dense::zeros(4, 4); // not SPD
+        let err = batched_cholesky(
+            &mut mats,
+            &BatchParams::naive(),
+            &GemmParams::default_params(),
+        )
+        .unwrap_err();
+        assert_eq!(err.pivot, 0);
+    }
+}

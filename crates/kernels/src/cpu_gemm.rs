@@ -1,0 +1,165 @@
+//! CPU GEMM: a naive baseline and a cache-blocked, register-tiled variant
+//! whose blocking parameters form a BEAST search space.
+//!
+//! This is the Table I substrate for the "GEMM" row: the paper tunes a GPU
+//! kernel against a model peak; here the same enumerate → prune → time loop
+//! tunes the blocked kernel's `(tile_m, tile_n, tile_k, unroll)` against the
+//! naive triple loop, on real hardware, with the same BEAST machinery.
+
+use crate::dense::Dense;
+
+/// Blocking parameters for [`blocked_gemm`]; one point of the CPU GEMM
+/// search space (see [`crate::spaces::cpu_gemm_space`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmParams {
+    /// Rows of C per cache block.
+    pub tile_m: usize,
+    /// Columns of C per cache block.
+    pub tile_n: usize,
+    /// Inner dimension per cache block.
+    pub tile_k: usize,
+    /// Register-tile width in columns (micro-kernel unroll).
+    pub unroll: usize,
+}
+
+impl GemmParams {
+    /// A sensible default for small L1/L2 caches.
+    pub fn default_params() -> GemmParams {
+        GemmParams { tile_m: 64, tile_n: 64, tile_k: 64, unroll: 4 }
+    }
+}
+
+/// The naive baseline: textbook i-j-k triple loop. Strided access to B makes
+/// this cache-hostile for large sizes — exactly the behavior the tuned
+/// kernel beats.
+pub fn naive_gemm(a: &Dense, b: &Dense, c: &mut Dense) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k);
+    assert_eq!((c.rows(), c.cols()), (m, n));
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += a.get(i, l) * b.get(l, j);
+            }
+            c.add(i, j, s);
+        }
+    }
+}
+
+/// Cache-blocked GEMM: loops are tiled `(tile_m, tile_n, tile_k)` and the
+/// innermost kernel processes `unroll` columns of a C tile at a time with
+/// column-contiguous (stride-1) access to A and C.
+pub fn blocked_gemm(params: &GemmParams, a: &Dense, b: &Dense, c: &mut Dense) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k);
+    assert_eq!((c.rows(), c.cols()), (m, n));
+    let GemmParams { tile_m, tile_n, tile_k, unroll } = *params;
+    assert!(tile_m > 0 && tile_n > 0 && tile_k > 0 && unroll > 0);
+
+    for j0 in (0..n).step_by(tile_n) {
+        let j1 = (j0 + tile_n).min(n);
+        for l0 in (0..k).step_by(tile_k) {
+            let l1 = (l0 + tile_k).min(k);
+            for i0 in (0..m).step_by(tile_m) {
+                let i1 = (i0 + tile_m).min(m);
+                // Micro-kernel: `unroll` columns of C at a time; the l-loop
+                // is outermost within the tile so each B element is reused
+                // across the whole column strip of A.
+                let mut j = j0;
+                while j + unroll <= j1 {
+                    for l in l0..l1 {
+                        for u in 0..unroll {
+                            let blj = b.get(l, j + u);
+                            saxpy_col(a, c, i0, i1, l, j + u, blj);
+                        }
+                    }
+                    j += unroll;
+                }
+                // Cleanup columns.
+                for jj in j..j1 {
+                    for l in l0..l1 {
+                        let blj = b.get(l, jj);
+                        saxpy_col(a, c, i0, i1, l, jj, blj);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C[i0..i1, j] += alpha * A[i0..i1, l]` on contiguous column slices — the
+/// stride-1 inner loop the compiler vectorizes.
+#[inline(always)]
+fn saxpy_col(a: &Dense, c: &mut Dense, i0: usize, i1: usize, l: usize, j: usize, alpha: f64) {
+    let ac = &a.col(l)[i0..i1];
+    let cc = &mut c.col_mut(j)[i0..i1];
+    for (ci, ai) in cc.iter_mut().zip(ac) {
+        *ci += alpha * ai;
+    }
+}
+
+/// FLOP count of one `m×n×k` GEMM (multiply-add counted as two).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check(params: &GemmParams, m: usize, n: usize, k: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Dense::random(m, k, &mut rng);
+        let b = Dense::random(k, n, &mut rng);
+        let mut c_ref = Dense::zeros(m, n);
+        naive_gemm(&a, &b, &mut c_ref);
+        let mut c = Dense::zeros(m, n);
+        blocked_gemm(params, &a, &b, &mut c);
+        let d = c.max_dist(&c_ref);
+        assert!(d < 1e-10 * k as f64, "params {params:?} size {m}x{n}x{k}: dist {d}");
+    }
+
+    #[test]
+    fn blocked_matches_naive_square() {
+        check(&GemmParams::default_params(), 64, 64, 64, 1);
+    }
+
+    #[test]
+    fn blocked_matches_naive_awkward_sizes() {
+        // Sizes that do NOT divide by the tiles: exercises all cleanup paths.
+        for &(m, n, k) in &[(33, 17, 29), (1, 5, 7), (65, 63, 2), (10, 100, 3)] {
+            check(&GemmParams { tile_m: 16, tile_n: 8, tile_k: 8, unroll: 3 }, m, n, k, 2);
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_extreme_params() {
+        // Tiles larger than the matrix, unroll of 1, tiny tiles.
+        check(&GemmParams { tile_m: 512, tile_n: 512, tile_k: 512, unroll: 1 }, 24, 24, 24, 3);
+        check(&GemmParams { tile_m: 1, tile_n: 1, tile_k: 1, unroll: 1 }, 12, 9, 7, 4);
+        check(&GemmParams { tile_m: 8, tile_n: 8, tile_k: 8, unroll: 8 }, 32, 32, 32, 5);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        // GEMM semantics: C += A*B, not overwrite.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Dense::random(8, 8, &mut rng);
+        let b = Dense::random(8, 8, &mut rng);
+        let mut c1 = Dense::random(8, 8, &mut rng);
+        let mut c2 = c1.clone();
+        naive_gemm(&a, &b, &mut c1);
+        blocked_gemm(&GemmParams::default_params(), &a, &b, &mut c2);
+        assert!(c1.max_dist(&c2) < 1e-12);
+    }
+
+    #[test]
+    fn flops_count() {
+        assert_eq!(gemm_flops(10, 20, 30), 12000);
+    }
+}

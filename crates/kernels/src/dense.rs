@@ -1,0 +1,159 @@
+//! Dense column-major `f64` matrices for the CPU kernels.
+//!
+//! A deliberately small, self-contained type: the kernels crate measures
+//! *kernel* performance, so the container stays out of the way (flat `Vec`,
+//! inlined accessors, explicit leading dimension equal to the row count).
+
+use rand::Rng;
+
+/// Dense column-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Dense {
+        Dense { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Construct from raw column-major data (must have `rows * cols`
+    /// elements).
+    pub fn from_raw(rows: usize, cols: usize, data: Vec<f64>) -> Dense {
+        assert_eq!(data.len(), rows * cols);
+        Dense { rows, cols, data }
+    }
+
+    /// Matrix with uniform random entries in `[-1, 1)`.
+    pub fn random<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Dense {
+        Dense {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        }
+    }
+
+    /// A random symmetric positive-definite matrix: `M Mᵀ + n·I`.
+    pub fn random_spd<R: Rng>(n: usize, rng: &mut R) -> Dense {
+        let m = Dense::random(n, n, rng);
+        let mut a = Dense::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for l in 0..n {
+                    s += m.get(i, l) * m.get(j, l);
+                }
+                a.set(i, j, s + if i == j { n as f64 } else { 0.0 });
+            }
+        }
+        a
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element (i, j).
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i + j * self.rows]
+    }
+
+    /// Set element (i, j).
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i + j * self.rows] = v;
+    }
+
+    /// Add to element (i, j).
+    #[inline(always)]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i + j * self.rows] += v;
+    }
+
+    /// Raw column-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One column as a slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// One column as a mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Max-norm distance to another matrix of the same shape.
+    pub fn max_dist(&self, other: &Dense) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_accessors() {
+        let mut a = Dense::zeros(3, 2);
+        a.set(2, 1, 5.0);
+        a.add(2, 1, 1.5);
+        assert_eq!(a.get(2, 1), 6.5);
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 2);
+        assert_eq!(a.col(1)[2], 6.5);
+    }
+
+    #[test]
+    fn spd_matrices_are_symmetric_and_diagonally_dominant() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Dense::random_spd(8, &mut rng);
+        for i in 0..8 {
+            assert!(a.get(i, i) >= 8.0 - 1e-9, "diagonal too small");
+            for j in 0..8 {
+                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn norms() {
+        let mut a = Dense::zeros(2, 2);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, 4.0);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        let b = Dense::zeros(2, 2);
+        assert_eq!(a.max_dist(&b), 4.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # beast-kernels
+//!
+//! Real, runnable CPU substrates autotuned with BEAST search spaces — the
+//! measured side of the paper's Table I reproduction (see DESIGN.md for the
+//! GPU→CPU substitution rationale):
+//!
+//! * [`cpu_gemm`] — naive vs cache-blocked, register-tiled GEMM, with the
+//!   blocking parameters as a BEAST space pruned by cache-fit constraints;
+//! * [`cholesky`] / [`trsm`] — unblocked and blocked factorizations and the
+//!   triangular solves that pair with them;
+//! * [`batch`] — batched execution strategies for large sets of small and
+//!   medium matrices, including the element-interleaved layout that
+//!   vectorizes tiny factorizations across the batch;
+//! * [`spaces`] — the BEAST search spaces for both kernels;
+//! * [`mod@autotune`] — the enumerate → prune → time → pick loop.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod autotune;
+pub mod batch;
+pub mod cholesky;
+pub mod cpu_gemm;
+pub mod dense;
+pub mod spaces;
+pub mod trsm;
+
+pub use autotune::{autotune, time_it, AutotuneOutcome, Timed};
+pub use batch::{
+    batched_cholesky, batched_trsm, cholesky_interleaved, trsm_interleaved, BatchParams,
+    BatchStrategy, InterleavedBatch, InterleavedRhs,
+};
+pub use cholesky::{
+    cholesky_blocked, cholesky_flops, cholesky_unblocked, reconstruct_llt,
+    NotPositiveDefinite,
+};
+pub use cpu_gemm::{blocked_gemm, gemm_flops, naive_gemm, GemmParams};
+pub use dense::Dense;
+pub use spaces::{
+    batched_cholesky_space, cpu_gemm_space, point_to_batch_params, point_to_gemm_params,
+    CacheModel,
+};
+pub use trsm::{trsm_flops, trsm_left_lower, trsm_left_lt, trsm_right_lt};

@@ -1,0 +1,217 @@
+//! BEAST search spaces for the CPU kernels — the same declarative
+//! machinery as the GEMM model problem, applied to the substrates that Table
+//! I's measured rows run on.
+
+use std::sync::Arc;
+
+use beast_core::constraint::ConstraintClass;
+use beast_core::error::SpaceError;
+use beast_core::expr::var;
+use beast_core::space::Space;
+use beast_engine::point::Point;
+
+use crate::batch::{BatchParams, BatchStrategy};
+use crate::cpu_gemm::GemmParams;
+
+/// Cache sizes used by the CPU GEMM space's pruning constraints.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheModel {
+    /// L1 data cache, bytes.
+    pub l1_bytes: i64,
+    /// L2 cache, bytes.
+    pub l2_bytes: i64,
+}
+
+impl CacheModel {
+    /// A typical desktop core: 32 KiB L1d, 1 MiB L2.
+    pub fn typical() -> CacheModel {
+        CacheModel { l1_bytes: 32 * 1024, l2_bytes: 1024 * 1024 }
+    }
+}
+
+/// The CPU GEMM blocking space: tiles and micro-kernel unroll, pruned by
+/// cache-fit constraints (the CPU analog of the paper's occupancy pruning:
+/// derived from hardware parameters, not guessed).
+pub fn cpu_gemm_space(cache: CacheModel) -> Result<Arc<Space>, SpaceError> {
+    Space::builder("cpu_gemm_blocking")
+        .constant("l1_bytes", cache.l1_bytes)
+        .constant("l2_bytes", cache.l2_bytes)
+        .constant("elem", 8)
+        .range_step("tile_m", 16, 257, 16)
+        .range_step("tile_n", 16, 257, 16)
+        .range_step("tile_k", 16, 257, 16)
+        .list("unroll", [1i64, 2, 4, 8])
+        // Working set of one tile iteration: an A panel and a B panel.
+        .derived(
+            "tile_bytes",
+            (var("tile_m") * var("tile_k") + var("tile_k") * var("tile_n")) * var("elem"),
+        )
+        // Micro-kernel working set: `unroll` B columns + one A column strip.
+        .derived(
+            "micro_bytes",
+            (var("tile_m") * (var("unroll") + 1)) * var("elem"),
+        )
+        .constraint(
+            "tile_over_l2",
+            ConstraintClass::Hard,
+            var("tile_bytes").gt(var("l2_bytes")),
+        )
+        .constraint(
+            "micro_over_l1",
+            ConstraintClass::Soft,
+            var("micro_bytes").gt(var("l1_bytes")),
+        )
+        .constraint(
+            "ragged_unroll",
+            ConstraintClass::Soft,
+            (var("tile_n") % var("unroll")).ne(0),
+        )
+        .build()
+}
+
+/// Extract [`GemmParams`] from a surviving point of [`cpu_gemm_space`].
+pub fn point_to_gemm_params(point: &Point) -> GemmParams {
+    GemmParams {
+        tile_m: point.get_int("tile_m") as usize,
+        tile_n: point.get_int("tile_n") as usize,
+        tile_k: point.get_int("tile_k") as usize,
+        unroll: point.get_int("unroll") as usize,
+    }
+}
+
+/// The batched-Cholesky space: execution strategy (per-matrix unblocked /
+/// blocked / interleaved), interleave width, panel width, thread count and
+/// chunking, pruned by matrix-size-derived constraints.
+pub fn batched_cholesky_space(
+    n: i64,
+    batch: i64,
+    max_threads: i64,
+) -> Result<Arc<Space>, SpaceError> {
+    Space::builder("batched_cholesky")
+        .constant("n", n)
+        .constant("batch", batch)
+        .constant("max_threads", max_threads)
+        // strategy: 0 = unblocked, 1 = blocked, 2 = interleaved.
+        .list("strategy", [0i64, 1, 2])
+        .list("width", [4i64, 8, 16, 32, 64])
+        .list("block", [4i64, 8, 16, 32, 64])
+        .list("chunk", [1i64, 8, 64])
+        .range("threads", 1, var("max_threads") + 1)
+        // Blocking only pays off when the panel is smaller than the matrix.
+        .constraint(
+            "block_too_big",
+            ConstraintClass::Correctness,
+            var("strategy").eq(1).and(var("block").ge(var("n"))),
+        )
+        // Interleaving a wider pack than the batch wastes lanes.
+        .constraint(
+            "width_over_batch",
+            ConstraintClass::Hard,
+            var("strategy").eq(2).and(var("width").gt(var("batch"))),
+        )
+        // Dead dimensions: pin unused parameters to their first value so the
+        // sweep does not enumerate meaningless duplicates (the CPU analog of
+        // the paper's dependent iterators collapsing a dimension).
+        .constraint(
+            "width_unused",
+            ConstraintClass::Generic,
+            var("strategy").ne(2).and(var("width").ne(4)),
+        )
+        .constraint(
+            "block_unused",
+            ConstraintClass::Generic,
+            var("strategy").ne(1).and(var("block").ne(4)),
+        )
+        // The interleaved path packs whole chunks itself.
+        .constraint(
+            "chunk_unused",
+            ConstraintClass::Generic,
+            var("strategy").eq(2).and(var("chunk").ne(1)),
+        )
+        .build()
+}
+
+/// Extract [`BatchParams`] from a surviving point of
+/// [`batched_cholesky_space`].
+pub fn point_to_batch_params(point: &Point) -> BatchParams {
+    let strategy = match point.get_int("strategy") {
+        0 => BatchStrategy::PerMatrixUnblocked,
+        1 => BatchStrategy::PerMatrixBlocked { block: point.get_int("block") as usize },
+        _ => BatchStrategy::Interleaved { width: point.get_int("width") as usize },
+    };
+    BatchParams {
+        strategy,
+        threads: point.get_int("threads") as usize,
+        chunk: point.get_int("chunk") as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beast_core::ir::LoweredPlan;
+    use beast_core::plan::{Plan, PlanOptions};
+    use beast_engine::compiled::Compiled;
+    use beast_engine::visit::CollectVisitor;
+
+    fn survivors(space: &Arc<Space>, cap: usize) -> Vec<Point> {
+        let plan = Plan::new(space, PlanOptions::default()).unwrap();
+        let lowered = LoweredPlan::new(&plan).unwrap();
+        let compiled = Compiled::new(lowered);
+        let out = compiled
+            .run(CollectVisitor::new(compiled.point_names().clone(), cap))
+            .unwrap();
+        out.visitor.points
+    }
+
+    #[test]
+    fn gemm_space_prunes_oversized_tiles() {
+        let space = cpu_gemm_space(CacheModel::typical()).unwrap();
+        let pts = survivors(&space, 100_000);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            let params = point_to_gemm_params(p);
+            let tile_bytes = (params.tile_m * params.tile_k
+                + params.tile_k * params.tile_n)
+                * 8;
+            assert!(tile_bytes <= 1024 * 1024);
+            assert_eq!(params.tile_n % params.unroll, 0);
+        }
+    }
+
+    #[test]
+    fn cholesky_space_has_no_dead_duplicates() {
+        let space = batched_cholesky_space(32, 500, 2).unwrap();
+        let pts = survivors(&space, 100_000);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            let params = point_to_batch_params(p);
+            match params.strategy {
+                BatchStrategy::PerMatrixUnblocked => {
+                    assert_eq!(p.get_int("width"), 4);
+                    assert_eq!(p.get_int("block"), 4);
+                }
+                BatchStrategy::PerMatrixBlocked { block } => {
+                    assert!(block < 32);
+                    assert_eq!(p.get_int("width"), 4);
+                }
+                BatchStrategy::Interleaved { width } => {
+                    assert!(width as i64 <= 500);
+                    assert_eq!(p.get_int("block"), 4);
+                    assert_eq!(p.get_int("chunk"), 1);
+                }
+            }
+        }
+        // The strategy dimension survives in all three values.
+        let strategies: std::collections::BTreeSet<i64> =
+            pts.iter().map(|p| p.get_int("strategy")).collect();
+        assert_eq!(strategies.len(), 3);
+    }
+
+    #[test]
+    fn cholesky_space_scales_with_thread_limit() {
+        let one = survivors(&batched_cholesky_space(32, 500, 1).unwrap(), 100_000).len();
+        let four = survivors(&batched_cholesky_space(32, 500, 4).unwrap(), 100_000).len();
+        assert_eq!(four, 4 * one);
+    }
+}

@@ -1,0 +1,163 @@
+//! Triangular solves — the second member of the paper's batched kernel pair
+//! (reference \[5\]: "batched Cholesky factorization and triangular solve").
+
+use crate::dense::Dense;
+
+/// Solve `L · X = B` in place (`B` becomes `X`), with `L` lower triangular
+/// (its strict upper triangle is ignored). Forward substitution, one
+/// right-hand-side column at a time with stride-1 inner updates.
+pub fn trsm_left_lower(l: &Dense, b: &mut Dense) {
+    let n = l.rows();
+    assert_eq!(n, l.cols());
+    assert_eq!(b.rows(), n);
+    for j in 0..b.cols() {
+        for i in 0..n {
+            let xi = b.get(i, j) / l.get(i, i);
+            b.set(i, j, xi);
+            // Eliminate below: stride-1 down the column.
+            for r in i + 1..n {
+                let v = b.get(r, j) - l.get(r, i) * xi;
+                b.set(r, j, v);
+            }
+        }
+    }
+}
+
+/// Solve `X · Lᵀ = B` in place (`B` becomes `X`), with `L` lower triangular —
+/// the panel solve of blocked Cholesky (`trsm(R, L, T, N)` in BLAS terms).
+pub fn trsm_right_lt(l: &Dense, b: &mut Dense) {
+    let n = l.rows();
+    assert_eq!(n, l.cols());
+    assert_eq!(b.cols(), n);
+    let m = b.rows();
+    for j in 0..n {
+        let d = l.get(j, j);
+        for i in 0..m {
+            b.set(i, j, b.get(i, j) / d);
+        }
+        for c in j + 1..n {
+            let f = l.get(c, j);
+            for i in 0..m {
+                let v = b.get(i, c) - f * b.get(i, j);
+                b.set(i, c, v);
+            }
+        }
+    }
+}
+
+/// Solve `Lᵀ · X = B` in place — backward substitution, used to complete a
+/// Cholesky linear solve (`A x = b` ⇒ `L y = b`, `Lᵀ x = y`).
+pub fn trsm_left_lt(l: &Dense, b: &mut Dense) {
+    let n = l.rows();
+    assert_eq!(n, l.cols());
+    assert_eq!(b.rows(), n);
+    for j in 0..b.cols() {
+        for i in (0..n).rev() {
+            let mut s = b.get(i, j);
+            for r in i + 1..n {
+                s -= l.get(r, i) * b.get(r, j);
+            }
+            b.set(i, j, s / l.get(i, i));
+        }
+    }
+}
+
+/// FLOP count of a triangular solve with `n×n` triangle and `nrhs` columns.
+pub fn trsm_flops(n: usize, nrhs: usize) -> u64 {
+    (n * n * nrhs) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::cholesky_unblocked;
+    use crate::cpu_gemm::naive_gemm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lower_of(a: &Dense) -> Dense {
+        let n = a.rows();
+        let mut l = Dense::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                l.set(i, j, a.get(i, j));
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn left_lower_solves() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut spd = Dense::random_spd(8, &mut rng);
+        cholesky_unblocked(&mut spd).unwrap();
+        let l = lower_of(&spd);
+        let x_true = Dense::random(8, 3, &mut rng);
+        // b = L * x_true
+        let mut b = Dense::zeros(8, 3);
+        naive_gemm(&l, &x_true, &mut b);
+        trsm_left_lower(&l, &mut b);
+        assert!(b.max_dist(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn left_lt_solves() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut spd = Dense::random_spd(8, &mut rng);
+        cholesky_unblocked(&mut spd).unwrap();
+        let l = lower_of(&spd);
+        // lt = L^T
+        let mut lt = Dense::zeros(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                lt.set(i, j, l.get(j, i));
+            }
+        }
+        let x_true = Dense::random(8, 2, &mut rng);
+        let mut b = Dense::zeros(8, 2);
+        naive_gemm(&lt, &x_true, &mut b);
+        trsm_left_lt(&l, &mut b);
+        assert!(b.max_dist(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn right_lt_solves() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut spd = Dense::random_spd(6, &mut rng);
+        cholesky_unblocked(&mut spd).unwrap();
+        let l = lower_of(&spd);
+        let mut lt = Dense::zeros(6, 6);
+        for i in 0..6 {
+            for j in 0..6 {
+                lt.set(i, j, l.get(j, i));
+            }
+        }
+        let x_true = Dense::random(4, 6, &mut rng);
+        // b = X * L^T
+        let mut b = Dense::zeros(4, 6);
+        naive_gemm(&x_true, &lt, &mut b);
+        trsm_right_lt(&l, &mut b);
+        assert!(b.max_dist(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn full_cholesky_solve_roundtrip() {
+        // Solve A x = b through L L^T.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Dense::random_spd(10, &mut rng);
+        let x_true = Dense::random(10, 1, &mut rng);
+        let mut b = Dense::zeros(10, 1);
+        naive_gemm(&a, &x_true, &mut b);
+        let mut f = a.clone();
+        cholesky_unblocked(&mut f).unwrap();
+        let l = lower_of(&f);
+        trsm_left_lower(&l, &mut b);
+        trsm_left_lt(&l, &mut b);
+        assert!(b.max_dist(&x_true) < 1e-8);
+    }
+
+    #[test]
+    fn flops_model() {
+        assert_eq!(trsm_flops(4, 2), 32);
+    }
+}

@@ -1,0 +1,35 @@
+//! # beast-search
+//!
+//! Statistical search methods over BEAST spaces — the extension the paper's
+//! conclusions announce as future work: "the plan is to incorporate
+//! statistical search methods to address the multidimensional search space
+//! growth" (Section XII).
+//!
+//! Exhaustive enumeration (the `beast-engine` backends) visits every
+//! surviving point; that is the right tool when the pruned space is small
+//! enough to benchmark outright. When it is not, the algorithms here trade
+//! completeness for budget:
+//!
+//! * [`sampler::Sampler`] — rejection-samples surviving points by walking
+//!   the plan (dependent domains realized under the sampled prefix) and
+//!   produces constraint-respecting *neighbors* for local search;
+//! * [`algorithms::random_search`] — independent samples, keep the best;
+//! * [`algorithms::hill_climb`] — greedy neighbor moves with random
+//!   restarts;
+//! * [`algorithms::simulated_annealing`] — temperature-scheduled acceptance
+//!   of worsening moves.
+//!
+//! All methods only ever evaluate points that pass every pruning
+//! constraint, so the paper's "only kernels with a chance of running well
+//! get benchmarked" property is preserved under sampling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithms;
+pub mod sampler;
+
+pub use algorithms::{
+    hill_climb, random_search, simulated_annealing, SearchBudget, SearchOutcome,
+};
+pub use sampler::{SampleStats, Sampler};

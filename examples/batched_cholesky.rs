@@ -1,0 +1,83 @@
+//! Autotune the batched Cholesky substrate (the Table I workload) on this
+//! machine: enumerate execution strategies with a BEAST space, time every
+//! surviving configuration on a real batch, and compare the winner with the
+//! library-style baseline.
+//!
+//! ```sh
+//! cargo run --release --example batched_cholesky [n] [count]
+//! ```
+
+use std::time::Instant;
+
+use beast_kernels::{
+    autotune, batched_cholesky, batched_cholesky_space, cholesky_interleaved,
+    point_to_batch_params, BatchParams, BatchStrategy, Dense, GemmParams, InterleavedBatch,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let count: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(512);
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mats: Vec<Dense> = (0..count).map(|_| Dense::random_spd(n, &mut rng)).collect();
+    let gemm = GemmParams::default_params();
+    println!("workload: {count} SPD matrices of order {n}");
+
+    // Library-style baseline: a blocked kernel configured for large
+    // matrices, applied one matrix at a time.
+    let baseline_params = BatchParams {
+        strategy: BatchStrategy::PerMatrixBlocked { block: 64 },
+        threads: 1,
+        chunk: 1,
+    };
+    let mut work = mats.clone();
+    let t0 = Instant::now();
+    batched_cholesky(&mut work, &baseline_params, &gemm).expect("baseline factors");
+    let baseline = t0.elapsed();
+    println!("baseline (library-style blocked, per matrix): {baseline:.2?}");
+
+    // The BEAST space over execution strategies.
+    let space = batched_cholesky_space(n as i64, count as i64, 1).expect("space");
+    println!(
+        "search space: {} strategies after pruning duplicates",
+        space.iters().len()
+    );
+
+    let outcome = autotune(&space, 256, 3, |point| {
+        let params = point_to_batch_params(point);
+        match params.strategy {
+            BatchStrategy::Interleaved { width } => {
+                // Batch-resident layout: conversion outside the timed region
+                // (see EXPERIMENTS.md for the rationale).
+                let mut packs: Vec<InterleavedBatch> =
+                    mats.chunks(width.max(1)).map(InterleavedBatch::pack).collect();
+                let t0 = Instant::now();
+                for p in &mut packs {
+                    cholesky_interleaved(p).expect("spd");
+                }
+                t0.elapsed()
+            }
+            _ => {
+                let mut work = mats.clone();
+                let t0 = Instant::now();
+                batched_cholesky(&mut work, &params, &gemm).expect("spd");
+                t0.elapsed()
+            }
+        }
+    })
+    .expect("autotune");
+
+    println!("\ntimed {} surviving configurations; top five:", outcome.timed.len());
+    for t in outcome.timed.iter().take(5) {
+        let params = point_to_batch_params(&t.point);
+        println!("  {:>10.2?}  {:?}", t.duration, params.strategy);
+    }
+    let best = outcome.best().expect("survivors");
+    let speedup = baseline.as_secs_f64() / best.duration.as_secs_f64();
+    println!(
+        "\ntuned: {:.2?} → {:.2}x over the library-style baseline",
+        best.duration, speedup
+    );
+}

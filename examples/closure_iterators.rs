@@ -1,0 +1,93 @@
+//! Closure (generator) iterators with internal state — the paper's prime
+//! and Fibonacci examples (Figs. 3 and 6), applied to the use case the
+//! paper names: "autotuning an FFT implementation for hard-to-optimize
+//! problem sizes" (prime sizes force Rader's algorithm).
+//!
+//! ```sh
+//! cargo run --release --example closure_iterators
+//! ```
+
+use beast::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // Fig. 3: a stateful prime generator — the iterator remembers the primes
+    // found so far between yields.
+    let space = Space::builder("fft_prime_sizes")
+        .constant("max_size", 200)
+        .closure_iter("size", &["max_size"], |env| {
+            let max = env.require_int("max_size").unwrap_or(0);
+            let mut old_primes: Vec<i64> = Vec::new();
+            let mut n = 1i64;
+            std::iter::from_fn(move || loop {
+                n += 1;
+                if n > max {
+                    return None;
+                }
+                if old_primes.iter().all(|p| n % p != 0) {
+                    old_primes.push(n);
+                    return Some(Value::Int(n));
+                }
+            })
+        })
+        // Radix choices for the surrounding mixed-radix stages.
+        .list("radix", [2i64, 4, 8])
+        // Rader's algorithm maps a prime-size FFT to a (size-1) convolution;
+        // prefer sizes where size-1 is divisible by the radix.
+        .derived("rader_len", var("size") - 1)
+        .constraint(
+            "radix_mismatch",
+            ConstraintClass::Soft,
+            (var("rader_len") % var("radix")).ne(0),
+        )
+        .build()
+        .expect("space builds");
+
+    let plan = Plan::new(&space, PlanOptions::default()).expect("plan");
+    // Closure iterators are opaque to the source generators but run in
+    // every engine; use the walker here.
+    let walker = Walker::new(&plan, LoopStyle::RangeLazy);
+    let out = walker
+        .run(CollectVisitor::new(walker.point_names().clone(), 1000))
+        .expect("sweep");
+
+    println!("{}", out.stats.render_funnel(&space));
+    println!("prime FFT sizes with a matching Rader radix:");
+    let mut by_radix: std::collections::BTreeMap<i64, Vec<i64>> = Default::default();
+    for p in &out.visitor.points {
+        by_radix.entry(p.get_int("radix")).or_default().push(p.get_int("size"));
+    }
+    for (radix, sizes) in by_radix {
+        let shown: Vec<String> = sizes.iter().take(12).map(|s| s.to_string()).collect();
+        println!("  radix {radix}: {} ...", shown.join(", "));
+    }
+
+    // Fig. 6: the Fibonacci closure, for comparison.
+    let fib = Space::builder("fibonacci")
+        .constant("max", 1000)
+        .closure_iter("f", &["max"], |env| {
+            let max = env.require_int("max").unwrap_or(0);
+            let (mut k, mut n) = (1i64, 1i64);
+            std::iter::from_fn(move || {
+                if n > max {
+                    return None;
+                }
+                let out = n;
+                let next = n + k;
+                k = n;
+                n = next;
+                Some(Value::Int(out))
+            })
+        })
+        .build()
+        .unwrap();
+    let plan = Plan::new(&fib, PlanOptions::default()).unwrap();
+    let walker = Walker::new(&plan, LoopStyle::RangeLazy);
+    let out = walker
+        .run(CollectVisitor::new(walker.point_names().clone(), 100))
+        .unwrap();
+    let fibs: Vec<i64> = out.visitor.points.iter().map(|p| p.get_int("f")).collect();
+    println!("\nFibonacci numbers up to 1000 (Fig. 6): {fibs:?}");
+
+    let _: Arc<Space> = fib; // spaces are shared, cheaply clonable handles
+}

@@ -1,0 +1,68 @@
+//! Quickstart: describe a search space declaratively, prune it, and inspect
+//! the survivors and the pruning funnel.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use beast::prelude::*;
+
+fn main() {
+    // A miniature GPU-flavored space: a thread grid, a tile size that must
+    // be a multiple of the grid, and classic hard/soft constraints
+    // (Sections V–VI of the paper).
+    let space = Space::builder("quickstart")
+        .constant("max_threads", 256)
+        .constant("warp", 32)
+        .range("dim_m", 1, 33)
+        .range("dim_n", 1, 33)
+        .range_step("blk_m", var("dim_m"), 129, var("dim_m"))
+        .derived("threads", var("dim_m") * var("dim_n"))
+        .derived("thr_m", var("blk_m") / var("dim_m"))
+        .constraint(
+            "over_max_threads",
+            ConstraintClass::Hard,
+            var("threads").gt(var("max_threads")),
+        )
+        .constraint(
+            "partial_warps",
+            ConstraintClass::Soft,
+            (var("threads") % var("warp")).ne(0),
+        )
+        .constraint(
+            "tiny_tile",
+            ConstraintClass::Soft,
+            var("thr_m").lt(2),
+        )
+        .build()
+        .expect("space is well-formed");
+
+    // The dependency DAG orders the loops and hoists each constraint to the
+    // earliest loop where its inputs are bound (Section X).
+    let plan = Plan::new(&space, PlanOptions::default()).expect("plan");
+    println!("generated loop nest:\n{}", plan.render());
+
+    // Lower to the integer IR and run the compiled engine.
+    let lowered = LoweredPlan::new(&plan).expect("lowering");
+    let compiled = Compiled::new(lowered);
+    let out = compiled
+        .run(CollectVisitor::new(compiled.point_names().clone(), 5))
+        .expect("sweep");
+
+    println!("{}", out.stats.render_funnel(&space));
+    println!("first surviving points:");
+    for p in &out.visitor.points {
+        println!("  {p}");
+    }
+
+    // The same space, translated to standard C (the paper's Section I
+    // pipeline) — print the first lines.
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lowered = LoweredPlan::new(&plan).unwrap();
+    let c_source = beast::codegen::generate(&lowered, &beast::codegen::CBackend)
+        .expect("expression-only spaces translate");
+    println!("\ngenerated C (first 12 lines):");
+    for line in c_source.lines().take(12) {
+        println!("  {line}");
+    }
+}

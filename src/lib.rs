@@ -1,0 +1,67 @@
+//! # beast — search-space generation and pruning for autotuners
+//!
+//! A Rust reproduction of *"Search Space Generation and Pruning System for
+//! Autotuners"* (Luszczek, Gates, Kurzak, Danalis, Dongarra — IPDPSW 2016),
+//! the search-space subsystem of the BEAST autotuning project.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `beast-core` | the declarative space DSL: iterators, derived variables, constraints, dependency DAG, loop-nest planning, integer IR |
+//! | [`engine`] | `beast-engine` | evaluation backends: AST walker (Python cost model), bytecode VM (Lua cost model), compiled (generated-C cost model), multithreaded driver |
+//! | [`codegen`] | `beast-codegen` | source generation to C, Rust, Python, Lua, Fortran and Java, with compile-and-run cross-checking |
+//! | [`cuda`] | `beast-cuda` | device model: properties, compute-capability tables, occupancy |
+//! | [`gpu_sim`] | `beast-gpu-sim` | functional tiled-GEMM simulator + analytic performance model |
+//! | [`gemm`] | `beast-gemm` | the paper's model problem: the 15-dimensional GEMM space with 12 constraints |
+//! | [`kernels`] | `beast-kernels` | real CPU substrates (blocked GEMM, batched Cholesky/TRSM) autotuned end-to-end |
+//! | [`search`] | `beast-search` | statistical search: constraint-respecting sampling, random search, hill climbing, annealing |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use beast::prelude::*;
+//!
+//! // Describe the space declaratively (Section V/VI of the paper).
+//! let space = Space::builder("demo")
+//!     .constant("max_threads", 1024)
+//!     .range("dim_m", 1, 65)
+//!     .range("dim_n", 1, 65)
+//!     .range_step("blk_m", var("dim_m"), 129, var("dim_m"))
+//!     .derived("threads", var("dim_m") * var("dim_n"))
+//!     .constraint(
+//!         "over_max_threads",
+//!         ConstraintClass::Hard,
+//!         var("threads").gt(var("max_threads")),
+//!     )
+//!     .constraint(
+//!         "partial_warps",
+//!         ConstraintClass::Soft,
+//!         (var("threads") % 32).ne(0),
+//!     )
+//!     .build()
+//!     .unwrap();
+//!
+//! // Plan (DAG-ordered loops, hoisted constraints), lower, evaluate.
+//! let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+//! let lowered = LoweredPlan::new(&plan).unwrap();
+//! let out = Compiled::new(lowered).run(CountVisitor::default()).unwrap();
+//! assert!(out.visitor.count > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use beast_codegen as codegen;
+pub use beast_core as core;
+pub use beast_cuda as cuda;
+pub use beast_engine as engine;
+pub use beast_gemm as gemm;
+pub use beast_gpu_sim as gpu_sim;
+pub use beast_kernels as kernels;
+pub use beast_search as search;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use beast_core::prelude::*;
+    pub use beast_engine::prelude::*;
+}

@@ -1,0 +1,305 @@
+//! Figure-by-figure semantic checks against the paper's listings: each test
+//! pins one figure's behavior through the public API.
+
+use beast::prelude::*;
+use beast_gemm::{build_gemm_space, GemmSpaceParams};
+use beast_gpu_sim::{Precision, Transpose};
+
+fn collect_ints(space: &std::sync::Arc<Space>, name: &str) -> Vec<i64> {
+    let (points, _) = beast_engine::sweep::collect(space, 100_000).unwrap();
+    points.iter().map(|p| p.get_int(name)).collect()
+}
+
+/// Fig. 1: list-literal iterators (`Iterator([1, 1, 2, 3, 5, 8, 13])`).
+#[test]
+fn fig1_list_iterator() {
+    let space = Space::builder("fig1")
+        .list("fibonacci", [1i64, 1, 2, 3, 5, 8, 13])
+        .build()
+        .unwrap();
+    assert_eq!(collect_ints(&space, "fibonacci"), vec![1, 1, 2, 3, 5, 8, 13]);
+}
+
+/// Fig. 2: deferred iterators may be defined in any order and dispatch on an
+/// architecture setting; their expression-based counterparts must be ordered.
+#[test]
+fn fig2_deferred_out_of_order_and_architecture_dispatch() {
+    use beast_core::iterator::Realized;
+    for (arch, expected_outer) in [("fermi", 32i64), ("kepler", 192), ("maxwell", 256)] {
+        let space = Space::builder("fig2")
+            // `inner` defined BEFORE `outer` — legal for deferred forms.
+            .deferred_iter("inner", &["outer"], |env| {
+                Ok(Realized::Range { start: 0, stop: env.require_int("outer")?, step: 1 })
+            })
+            .constant("architecture", arch)
+            .deferred_iter("outer", &["architecture"], |env| {
+                let arch = env.require("architecture")?;
+                let stop = match &arch {
+                    Value::Str(s) if &**s == "fermi" => 32,
+                    Value::Str(s) if &**s == "kepler" => 192,
+                    _ => 256,
+                };
+                Ok(Realized::Range { start: 0, stop, step: 1 })
+            })
+            .build()
+            .unwrap();
+        // outer becomes the outer loop (level 0), inner the inner (level 1).
+        let outer_idx =
+            space.iters().iter().position(|d| &*d.name == "outer").unwrap();
+        let inner_idx =
+            space.iters().iter().position(|d| &*d.name == "inner").unwrap();
+        assert_eq!(space.dag().level(space.iter_node(outer_idx)), 0);
+        assert_eq!(space.dag().level(space.iter_node(inner_idx)), 1);
+        // Point count: sum over outer of outer = n(n-1)/2.
+        let (count, _) = beast_engine::sweep::count(&space).unwrap();
+        assert_eq!(count as i64, expected_outer * (expected_outer - 1) / 2);
+    }
+
+    // The expression counterpart really does require definition order.
+    let err = Space::builder("fig2_expr")
+        .range("ex_inner", 0, var("ex_outer"))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, SpaceError::UnknownName { .. }));
+}
+
+/// Figs. 3/6: closure iterators with internal state (primes, Fibonacci).
+#[test]
+fn fig3_fig6_closure_iterators() {
+    let space = Space::builder("fig3")
+        .constant("max", 30)
+        .closure_iter("prime", &["max"], |env| {
+            let max = env.require_int("max").unwrap_or(0);
+            let mut old_primes: Vec<i64> = Vec::new();
+            let mut n = 1i64;
+            std::iter::from_fn(move || loop {
+                n += 1;
+                if n > max {
+                    return None;
+                }
+                if old_primes.iter().all(|p| n % p != 0) {
+                    old_primes.push(n);
+                    return Some(Value::Int(n));
+                }
+            })
+        })
+        .build()
+        .unwrap();
+    assert_eq!(
+        collect_ints(&space, "prime"),
+        vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+    );
+}
+
+/// Fig. 4: global-scope dependent ranges — `blk_m = range(dim_m, MAX+1,
+/// dim_m)` yields only multiples of `dim_m`.
+#[test]
+fn fig4_global_scope_dependent_range() {
+    let space = Space::builder("fig4")
+        .constant("warp_size", 32)
+        .constant("max_threads", 128)
+        .range_step("dim", var("warp_size"), var("max_threads") + 1, var("warp_size"))
+        .range_step("blk_m", var("dim"), var("max_threads") + 1, var("dim"))
+        .build()
+        .unwrap();
+    let (points, _) = beast_engine::sweep::collect(&space, 100_000).unwrap();
+    assert!(!points.is_empty());
+    for p in &points {
+        assert_eq!(p.get_int("dim") % 32, 0);
+        assert_eq!(p.get_int("blk_m") % p.get_int("dim"), 0);
+    }
+}
+
+/// Fig. 11: the dim_vec domain per precision/arithmetic combination.
+#[test]
+fn fig11_dim_vec_domains() {
+    let expected = [
+        (Precision::Double, vec![1i64, 2]),
+        (Precision::DoubleComplex, vec![1]),
+        (Precision::Single, vec![1, 4]),
+        (Precision::SingleComplex, vec![1, 2]),
+    ];
+    for (precision, want) in expected {
+        let params = GemmSpaceParams {
+            precision,
+            ..GemmSpaceParams::paper_default()
+        };
+        let space = build_gemm_space(&params).unwrap();
+        let idx = space.iters().iter().position(|d| &*d.name == "dim_vec").unwrap();
+        let consts = beast_core::space::ConstBindings(space.consts());
+        let realized = space.realize_iter(idx, &consts).unwrap();
+        let got: Vec<i64> = realized.iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(got, want, "{precision:?}");
+    }
+}
+
+/// Fig. 12: derived variables on the reference configuration, evaluated
+/// through the space itself (walker), not the independent reimplementation.
+#[test]
+fn fig12_derived_variables_through_the_space() {
+    let params = GemmSpaceParams::paper_default();
+    let space = build_gemm_space(&params).unwrap();
+    // Evaluate every derived on a hand-bound environment.
+    let mut env: std::collections::HashMap<std::sync::Arc<str>, Value> = space
+        .consts()
+        .iter()
+        .map(|(n, v)| (n.clone(), v.clone()))
+        .collect();
+    for (name, value) in [
+        ("dim_m", 16i64),
+        ("dim_n", 16),
+        ("blk_m", 64),
+        ("blk_n", 64),
+        ("blk_k", 16),
+        ("dim_vec", 1),
+    ] {
+        env.insert(std::sync::Arc::from(name), Value::Int(value));
+    }
+    let mut results: std::collections::HashMap<String, i64> = Default::default();
+    for d in space.deriveds() {
+        if let Ok(v) = d.kind.eval(&env) {
+            let v = v.as_int().unwrap();
+            results.insert(d.name.to_string(), v);
+            env.insert(d.name.clone(), Value::Int(v));
+        }
+    }
+    assert_eq!(results["threads_per_block"], 256);
+    assert_eq!(results["thr_m"], 4);
+    assert_eq!(results["thr_n"], 4);
+    assert_eq!(results["regs_per_thread"], 32); // double real: 16 * 2
+    assert_eq!(results["regs_per_block"], 8192);
+    assert_eq!(results["shmem_per_block"], 16384);
+    assert_eq!(results["max_blocks_by_regs"], 8);
+    assert_eq!(results["max_threads_by_regs"], 2048);
+    assert_eq!(results["max_blocks_by_shmem"], 3);
+    assert_eq!(results["max_threads_by_shmem"], 768);
+    assert_eq!(results["loads_per_block"], 32768);
+    assert_eq!(results["fmas_per_block"], 65536);
+}
+
+/// Figs. 13–15: each constraint class actually fires on a crafted violation
+/// and stays quiet on the reference configuration.
+#[test]
+fn fig13_15_constraints_fire_precisely() {
+    let params = GemmSpaceParams::paper_default();
+    let space = build_gemm_space(&params).unwrap();
+    let consts: std::collections::HashMap<std::sync::Arc<str>, Value> = space
+        .consts()
+        .iter()
+        .map(|(n, v)| (n.clone(), v.clone()))
+        .collect();
+
+    // Bind a full configuration + deriveds, then ask each constraint.
+    let evaluate = |config: &[(&str, i64)]| -> std::collections::HashMap<String, bool> {
+        let mut env = consts.clone();
+        for (name, value) in config {
+            env.insert(std::sync::Arc::from(*name), Value::Int(*value));
+        }
+        for d in space.deriveds() {
+            let v = d.kind.eval(&env).unwrap();
+            env.insert(d.name.clone(), v);
+        }
+        space
+            .constraints()
+            .iter()
+            .map(|c| (c.name.to_string(), c.kind.rejects(&env).unwrap()))
+            .collect()
+    };
+
+    let reference = [
+        ("dim_m", 16i64),
+        ("dim_n", 16),
+        ("blk_m", 64),
+        ("blk_n", 64),
+        ("blk_k", 16),
+        ("dim_vec", 1),
+        ("vec_mul", 0),
+        ("dim_m_a", 16),
+        ("dim_n_a", 16),
+        ("dim_m_b", 16),
+        ("dim_n_b", 16),
+        ("tex_a", 0),
+        ("tex_b", 0),
+        ("shmem_l1", 1),
+        ("shmem_banks", 1),
+    ];
+    let verdicts = evaluate(&reference);
+    for (name, rejected) in &verdicts {
+        assert!(!rejected, "reference config wrongly rejected by {name}");
+    }
+
+    // over_max_threads: 64 × 32 = 2048 > 1024.
+    let mut bad = reference;
+    bad[0].1 = 64;
+    bad[1].1 = 32;
+    assert!(evaluate(&bad)["over_max_threads"]);
+
+    // partial_warps: 15 × 16 = 240, not a multiple of 32.
+    let mut bad = reference;
+    bad[0].1 = 15;
+    assert!(evaluate(&bad)["partial_warps"]);
+
+    // cant_reshape_a1: read grid 8 × 16 = 128 ≠ 256 threads.
+    let mut bad = reference;
+    bad[7].1 = 8;
+    assert!(evaluate(&bad)["cant_reshape_a1"]);
+
+    // cant_reshape_a2: blk_k % dim_n_a = 16 % 10 ≠ 0 (keep a1 satisfied is
+    // not required for this check to fire).
+    let mut bad = reference;
+    bad[8].1 = 10;
+    assert!(evaluate(&bad)["cant_reshape_a2"]);
+
+    // over_max_shmem: blk_k = 512 → 512·128·4·2 = 512 KiB ≫ 48 KiB.
+    let mut bad = reference;
+    bad[4].1 = 512;
+    assert!(evaluate(&bad)["over_max_shmem"]);
+
+    // low_fmas: tiny tile, dim_vec 2 → fmas/loads < 2.
+    let mut bad = reference;
+    bad[2].1 = 16; // blk_m = dim_m → thr_m = 1
+    bad[3].1 = 16; // thr_n = 1
+    bad[5].1 = 2; // dim_vec
+    assert!(evaluate(&bad)["low_fmas"]);
+}
+
+/// Fig. 16 + §X-B: the weak order is a real partial order on the GEMM DAG.
+#[test]
+fn fig16_weak_order_properties() {
+    let space = build_gemm_space(&GemmSpaceParams::paper_default()).unwrap();
+    let dag = space.dag();
+    for v in 0..dag.len() {
+        // Irreflexive.
+        assert!(!dag.succeeds(v, v));
+        for &d in dag.deps(v) {
+            // Edges imply strict level increase and succession.
+            assert!(dag.level(v) > dag.level(d));
+            assert!(dag.succeeds(v, d));
+            assert!(!dag.succeeds(d, v));
+        }
+    }
+    // Level sets partition the nodes.
+    let total: usize = dag.level_sets().iter().map(Vec::len).sum();
+    assert_eq!(total, dag.len());
+}
+
+/// §IX-C: tuning runs are per-precision × per-transpose; all 16 cases build
+/// and the settings fold into the space constants.
+#[test]
+fn sec9_all_sixteen_cases() {
+    for precision in Precision::all() {
+        for transpose in Transpose::all() {
+            let params = GemmSpaceParams {
+                precision,
+                transpose,
+                ..GemmSpaceParams::reduced(8)
+            };
+            let space = build_gemm_space(&params).unwrap();
+            let (count, _) = beast_engine::sweep::count(&space).unwrap();
+            // Tiny device: some cases may admit few kernels but never none
+            // at dim 8 (the all-ones-and-warps corner still exists? No:
+            // partial_warps requires multiples of 32 > 8*8 = 64 ≥ 32 ✓).
+            assert!(count > 0, "{precision:?}/{}", transpose.suffix());
+        }
+    }
+}

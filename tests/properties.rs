@@ -1,0 +1,206 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * the dynamic expression evaluator, the lowered integer IR, and the
+//!   bytecode VM agree on arbitrary expression trees;
+//! * realized range domains behave like their Python counterparts;
+//! * arbitrary generated spaces produce identical survivors in every
+//!   backend, at any thread count;
+//! * pruning accounting is conserved (evaluated = pruned + passed).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use beast::prelude::*;
+use beast_core::expr::{Bindings, Expr};
+use beast_core::iterator::Realized;
+use beast_engine::parallel::run_parallel;
+
+// ---------------------------------------------------------------------------
+// Expression-tree strategies
+// ---------------------------------------------------------------------------
+
+const VARS: [&str; 3] = ["va", "vb", "vc"];
+
+/// Random expression trees over three variables. Constants and leaf values
+/// are small so checked arithmetic never overflows (the dynamic evaluator is
+/// checked, the IR wraps like C; keeping magnitudes small makes them agree).
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-4i64..5).prop_map(lit),
+        (0usize..3).prop_map(|i| var(VARS[i])),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.lt(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.ge(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.eq(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| min2(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| max2(a, b)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| ternary(c, t, f)),
+            // Guarded division/remainder: divisor forced nonzero.
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| a / (min2(b, -1))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| a % (max2(b, 1))),
+            inner.prop_map(|a| -a),
+        ]
+    })
+}
+
+struct MapEnv(HashMap<Arc<str>, Value>);
+
+impl Bindings for MapEnv {
+    fn get(&self, name: &str) -> Option<Value> {
+        self.0.get(name).cloned()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The dynamic evaluator (walker path), the lowered IR (compiled path)
+    /// and the VM agree on every expression tree — evaluated through a
+    /// one-point space so the full pipeline is exercised.
+    #[test]
+    fn expr_ir_vm_agree(e in arb_expr(), a in -6i64..7, b in -6i64..7, c in -6i64..7) {
+        // Dynamic evaluation.
+        let env = MapEnv(HashMap::from([
+            (Arc::<str>::from("va"), Value::Int(a)),
+            (Arc::<str>::from("vb"), Value::Int(b)),
+            (Arc::<str>::from("vc"), Value::Int(c)),
+        ]));
+        let expr: &Expr = e.expr();
+        let dynamic = expr.eval(&env);
+        // Checked arithmetic may overflow where C wraps; such cases are out
+        // of contract (the paper's generated C wraps silently too) — skip.
+        let dynamic = match dynamic {
+            Err(beast_core::error::EvalError::Overflow) => return Ok(()),
+            other => other.unwrap(),
+        };
+        let expected = dynamic.as_int().unwrap();
+
+        // One-point space carrying the expression as a derived variable.
+        let space = Space::builder("prop_expr")
+            .list("va", [a])
+            .list("vb", [b])
+            .list("vc", [c])
+            .derived("result", e.clone())
+            .build()
+            .unwrap();
+        let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+        let lowered = LoweredPlan::new(&plan).unwrap();
+
+        let compiled = Compiled::new(lowered.clone());
+        let out = compiled
+            .run(CollectVisitor::new(compiled.point_names().clone(), 2))
+            .unwrap();
+        prop_assert_eq!(out.visitor.points.len(), 1);
+        prop_assert_eq!(out.visitor.points[0].get_int("result"), expected);
+
+        let vm = Vm::compile(&lowered, VmStyle::NumericFor);
+        let out = vm
+            .run(CollectVisitor::new(vm.point_names().clone(), 2))
+            .unwrap();
+        prop_assert_eq!(out.visitor.points[0].get_int("result"), expected);
+    }
+
+    /// Realized ranges have Python range semantics: length, membership and
+    /// order.
+    #[test]
+    fn realized_range_semantics(start in -50i64..50, stop in -50i64..50, step in -7i64..8) {
+        prop_assume!(step != 0);
+        let r = Realized::Range { start, stop, step };
+        let vals: Vec<i64> = r.iter().map(|v| v.as_int().unwrap()).collect();
+        // Python reference.
+        let mut expect = Vec::new();
+        let mut x = start;
+        while (step > 0 && x < stop) || (step < 0 && x > stop) {
+            expect.push(x);
+            x += step;
+        }
+        prop_assert_eq!(&vals, &expect);
+        prop_assert_eq!(r.len(), expect.len());
+    }
+
+    /// Set-algebra on realized domains is really set algebra.
+    #[test]
+    fn realized_set_algebra(xs in proptest::collection::vec(-20i64..20, 0..12),
+                            ys in proptest::collection::vec(-20i64..20, 0..12)) {
+        use std::collections::BTreeSet;
+        let a = Realized::Values(xs.iter().map(|&v| Value::Int(v)).collect());
+        let b = Realized::Values(ys.iter().map(|&v| Value::Int(v)).collect());
+        let sa: BTreeSet<i64> = xs.iter().copied().collect();
+        let sb: BTreeSet<i64> = ys.iter().copied().collect();
+
+        let ints = |r: &Realized| -> Vec<i64> {
+            r.iter().map(|v| v.as_int().unwrap()).collect()
+        };
+        prop_assert_eq!(ints(&a.union(&b).unwrap()),
+                        sa.union(&sb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(ints(&a.intersect(&b).unwrap()),
+                        sa.intersection(&sb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(ints(&a.difference(&b).unwrap()),
+                        sa.difference(&sb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(a.concat(&b).len(), xs.len() + ys.len());
+    }
+
+    /// Arbitrary three-level spaces: all backends agree, at any thread
+    /// count, and pruning accounting is conserved.
+    #[test]
+    fn random_spaces_agree(
+        len_a in 1i64..8,
+        len_b in 1i64..8,
+        dep_step in 1i64..4,
+        threshold in 0i64..40,
+        use_soft in proptest::bool::ANY,
+        threads in 1usize..7,
+    ) {
+        let mut builder = Space::builder("prop_space")
+            .range("a", 1, len_a + 1)
+            .range("b", 0, len_b)
+            .range_step("c", var("a"), 20, var("a") * dep_step)
+            .derived("score", var("a") * var("b") + var("c") * 2)
+            .constraint("over", ConstraintClass::Hard, var("score").gt(threshold));
+        if use_soft {
+            builder = builder.constraint(
+                "odd_c",
+                ConstraintClass::Soft,
+                (var("c") % 2).ne(0),
+            );
+        }
+        let space = builder.build().unwrap();
+        let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+        let lowered = LoweredPlan::new(&plan).unwrap();
+
+        let compiled_out = Compiled::new(lowered.clone()).run(CountVisitor::default()).unwrap();
+        let walker_out = Walker::new(&plan, LoopStyle::While)
+            .run(CountVisitor::default())
+            .unwrap();
+        let vm_out = Vm::compile(&lowered, VmStyle::RepeatUntil)
+            .run(CountVisitor::default())
+            .unwrap();
+        let par_out = run_parallel(&lowered, threads, CountVisitor::default).unwrap();
+
+        prop_assert_eq!(compiled_out.visitor.count, walker_out.visitor.count);
+        prop_assert_eq!(compiled_out.visitor.count, vm_out.visitor.count);
+        prop_assert_eq!(compiled_out.visitor.count, par_out.visitor.count);
+        prop_assert_eq!(&compiled_out.stats, &par_out.stats);
+
+        // Conservation: every evaluation either pruned or passed; survivors
+        // equal the points that passed the *last* check they reached.
+        let s = &compiled_out.stats;
+        for i in 0..space.constraints().len() {
+            prop_assert!(s.pruned[i] <= s.evaluated[i]);
+        }
+        let passed_first: u64 = s.evaluated.first().map(|e| e - s.pruned[0]).unwrap_or(0);
+        prop_assert!(s.survivors <= passed_first.max(s.survivors));
+    }
+}
