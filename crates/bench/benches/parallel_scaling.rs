@@ -1,12 +1,18 @@
-//! §X-B: multithreaded evaluation scaling — the level-0 loop chunked across
-//! worker threads. On multi-core hosts the speedup tracks the core count;
-//! the absolute ceiling is `available_parallelism`.
+//! §X-B: multithreaded evaluation scaling — the level-0 loop dynamically
+//! scheduled across worker threads. On multi-core hosts the speedup tracks
+//! the core count; the absolute ceiling is `available_parallelism`.
+//!
+//! Besides the timing samples, each thread count prints one line from the
+//! sweep's [`SweepReport`]: the scheduler shape (chunks × chunk length),
+//! throughput, and the worker load imbalance (max busy / mean busy — 1.00 is
+//! perfect balance; the static one-chunk-per-thread split this replaced sat
+//! well above that on pruned, skewed spaces).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use beast_core::ir::LoweredPlan;
 use beast_core::plan::{Plan, PlanOptions};
-use beast_engine::parallel::run_parallel;
+use beast_engine::parallel::{run_parallel, run_parallel_report, ParallelOptions};
 use beast_engine::visit::CountVisitor;
 use beast_gemm::{build_gemm_space, GemmSpaceParams};
 
@@ -18,8 +24,26 @@ fn bench(c: &mut Criterion) {
     let plan = Plan::new(&space, PlanOptions::default()).unwrap();
     let lp = LoweredPlan::new(&plan).unwrap();
 
+    // One reported sweep per thread count, so the bench output shows what
+    // the scheduler actually did, not just how long it took.
+    let mut decided = 0u64;
+    for threads in [1usize, 2, 4, 8] {
+        let (out, report) =
+            run_parallel_report(&lp, &ParallelOptions::new(threads), CountVisitor::default)
+                .unwrap();
+        decided = out.stats.survivors + out.stats.total_pruned();
+        println!(
+            "report t={threads}: {} chunk(s) of {}, {:.2} M tuples/s, imbalance {:.2}",
+            report.chunks,
+            report.chunk_len,
+            report.tuples_per_sec() / 1e6,
+            report.imbalance()
+        );
+    }
+
     let mut group = c.benchmark_group("parallel_scaling");
     group.sample_size(10);
+    group.throughput(Throughput::Elements(decided));
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),

@@ -10,7 +10,11 @@
 //! repro headline [DIM]    §XI-B/D    GEMM sweep: interpreted vs compiled
 //! repro funnel [DIM]      §VI        pruning funnel on the GEMM space
 //! repro table1            Table I    autotuned kernels vs baselines
-//! repro threads [DIM]     §X-B       multithreaded sweep scaling
+//! repro threads [DIM] [--threads N] [--json PATH]
+//!                         §X-B       multithreaded sweep scaling; with
+//!                                    --threads runs one count and prints the
+//!                                    full telemetry tables, with --json
+//!                                    writes the SweepReport(s) as JSON
 //! repro search [DIM]      §XII       statistical search vs exhaustive (extension)
 //! repro viz [DIM]         [7]        write funnel.svg / radial.svg / dag.dot
 //! repro batched [N]       ref [5]    the second model problem: batched Cholesky
@@ -28,7 +32,8 @@ use beast_core::ir::LoweredPlan;
 use beast_core::plan::{Plan, PlanOptions};
 use beast_cuda::{CcLimits, DeviceProps};
 use beast_engine::compiled::Compiled;
-use beast_engine::parallel::run_parallel;
+use beast_engine::parallel::{run_parallel_report, ParallelOptions};
+use beast_engine::telemetry::SweepReport;
 use beast_engine::visit::CountVisitor;
 use beast_engine::vm::{Vm, VmStyle};
 use beast_engine::walker::{LoopStyle, Walker};
@@ -48,6 +53,13 @@ fn main() {
     let arg_num = |default: u64| -> u64 {
         args.get(1).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
+    // `--name value` flag lookup (used by the `threads` subcommand).
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
     match cmd {
         "device" => device(),
         "space" => space(),
@@ -58,7 +70,11 @@ fn main() {
         "headline" => headline(arg_num(32) as i64),
         "funnel" => funnel(arg_num(32) as i64),
         "table1" => table1(),
-        "threads" => threads(arg_num(48) as i64),
+        "threads" => threads(
+            arg_num(48) as i64,
+            flag("--threads").and_then(|s| s.parse().ok()),
+            flag("--json"),
+        ),
         "search" => search(arg_num(32) as i64),
         "viz" => viz(arg_num(24) as i64),
         "batched" => batched(arg_num(32) as i64),
@@ -73,7 +89,7 @@ fn main() {
             funnel(24);
             table1();
             batched(32);
-            threads(32);
+            threads(32, None, None);
             search(24);
         }
         other => {
@@ -618,7 +634,7 @@ fn search(dim: i64) {
         exhaustive_best,
         100.0
     );
-    let mut run = |name: &str, f: &dyn Fn() -> beast_search::SearchOutcome| {
+    let run = |name: &str, f: &dyn Fn() -> beast_search::SearchOutcome| {
         let t0 = Instant::now();
         let out = f();
         println!(
@@ -653,7 +669,7 @@ fn search(dim: i64) {
 // §X-B: multithreaded scaling
 // ---------------------------------------------------------------------------
 
-fn threads(dim: i64) {
+fn threads(dim: i64, only: Option<usize>, json_path: Option<String>) {
     header(&format!("§X-B — multithreaded sweep of the GEMM space, reduced({dim}) device"));
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("(host has {cores} hardware thread(s); scaling saturates there)");
@@ -662,18 +678,47 @@ fn threads(dim: i64) {
     let plan = Plan::new(&space, PlanOptions::default()).unwrap();
     let lp = LoweredPlan::new(&plan).unwrap();
 
+    let counts: Vec<usize> = match only {
+        Some(n) => vec![n.max(1)],
+        None => vec![1, 2, 4, 8],
+    };
+    let mut reports = Vec::new();
     let mut t1 = 0.0;
-    for threads in [1usize, 2, 4, 8] {
-        let t0 = Instant::now();
-        let out = run_parallel(&lp, threads, CountVisitor::default).unwrap();
-        let dt = t0.elapsed().as_secs_f64();
-        if threads == 1 {
-            t1 = dt;
+    for &threads in &counts {
+        let (out, report) =
+            run_parallel_report(&lp, &ParallelOptions::new(threads), CountVisitor::default)
+                .unwrap();
+        let dt = report.elapsed.as_secs_f64();
+        if threads == counts[0] {
+            t1 = dt; // speedups are relative to the first count run
         }
         println!(
-            "{threads:>2} thread(s): {dt:>8.3} s  speedup {:>5.2}x  ({} survivors)",
+            "{threads:>2} thread(s): {dt:>8.3} s  speedup {:>5.2}x  imbalance {:>4.2}  \
+             {} chunk(s) of {}  ({} survivors)",
             t1 / dt,
+            report.imbalance(),
+            report.chunks,
+            report.chunk_len,
             out.visitor.count
         );
+        reports.push(report);
+    }
+    if only.is_some() {
+        // Single-count mode: print the full telemetry tables.
+        println!("\n{}", reports[0].render_text());
+    }
+    if let Some(path) = json_path {
+        let json = match reports.as_slice() {
+            [one] => one.to_json(),
+            many => {
+                let items: Vec<String> = many.iter().map(SweepReport::to_json).collect();
+                format!("[{}]", items.join(","))
+            }
+        };
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write SweepReport JSON to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote SweepReport JSON to {path}");
     }
 }

@@ -17,7 +17,6 @@ use crate::expr::{Bindings, Expr};
 
 /// The paper's three classes of pruning constraints, plus a generic bucket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ConstraintClass {
     /// Tied to hardware limits; violating kernels fail to compile or launch.
     Hard,

@@ -501,6 +501,49 @@ impl LoweredPlan {
         })
     }
 
+    /// Number of loops (`Bind` steps) in the plan.
+    pub fn n_loops(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, LStep::Bind { .. }))
+            .count()
+    }
+
+    /// Statically-known iteration count of the loop nest *below* one value
+    /// of the outermost (level-0) loop: the product of the lengths of every
+    /// inner loop domain whose bounds lowered to constants.
+    ///
+    /// Returns `None` as soon as any inner domain depends on an outer
+    /// variable or is opaque — exactly the case in which per-outer-value
+    /// subtree cost is non-uniform and a parallel driver should prefer
+    /// fine-grained level-0 chunks. The multithreaded engine uses this to
+    /// size its work-stealing chunks; see
+    /// `beast_engine::parallel::run_parallel_report`.
+    pub fn static_fanout_below_outer(&self) -> Option<u128> {
+        let mut fanout: u128 = 1;
+        let mut binds_seen = 0usize;
+        for step in &self.steps {
+            if let LStep::Bind { domain, .. } = step {
+                binds_seen += 1;
+                if binds_seen == 1 {
+                    // The outermost loop itself is the chunked dimension.
+                    continue;
+                }
+                let len = match domain {
+                    LIter::Values(v) => v.len() as u128,
+                    LIter::Range { start, stop, step } => {
+                        let (s, e, st) =
+                            (start.as_const()?, stop.as_const()?, step.as_const()?);
+                        range_len(s, e, st)? as u128
+                    }
+                    LIter::Opaque { .. } => return None,
+                };
+                fanout = fanout.saturating_mul(len);
+            }
+        }
+        Some(fanout)
+    }
+
     /// True if any step requires calling back into an opaque Rust closure.
     pub fn has_opaque_steps(&self) -> bool {
         self.steps.iter().any(|s| match s {
@@ -510,6 +553,17 @@ impl LoweredPlan {
             }
             LStep::Visit => false,
         })
+    }
+}
+
+/// Python-range length of `start..stop` by `step`; `None` for a zero step.
+fn range_len(start: i64, stop: i64, step: i64) -> Option<u64> {
+    if step > 0 {
+        Some(((stop.saturating_sub(start)).max(0) as u64).div_ceil(step as u64))
+    } else if step < 0 {
+        Some(((start.saturating_sub(stop)).max(0) as u64).div_ceil(step.unsigned_abs()))
+    } else {
+        None
     }
 }
 
@@ -897,6 +951,43 @@ mod tests {
         let plan = Plan::new(&s, PlanOptions::default()).unwrap();
         let lp = LoweredPlan::new(&plan).unwrap();
         assert!(lp.has_opaque_steps());
+    }
+
+    #[test]
+    fn static_fanout_counts_constant_inner_loops() {
+        let s = Space::builder("fanout")
+            .range("a", 0, 10)
+            .range("b", 0, 4)
+            .list("c", [1i64, 2, 3])
+            .build()
+            .unwrap();
+        let plan = Plan::new(&s, PlanOptions::default()).unwrap();
+        let lp = LoweredPlan::new(&plan).unwrap();
+        assert_eq!(lp.n_loops(), 3);
+        // 4 values of b × 3 values of c below each value of a.
+        assert_eq!(lp.static_fanout_below_outer(), Some(12));
+    }
+
+    #[test]
+    fn static_fanout_unknown_for_dependent_inner_loops() {
+        let s = Space::builder("skewed")
+            .range("a", 1, 10)
+            .range_step("b", var("a"), 20, var("a"))
+            .build()
+            .unwrap();
+        let plan = Plan::new(&s, PlanOptions::default()).unwrap();
+        let lp = LoweredPlan::new(&plan).unwrap();
+        assert_eq!(lp.static_fanout_below_outer(), None);
+    }
+
+    #[test]
+    fn range_len_matches_python() {
+        assert_eq!(range_len(0, 10, 1), Some(10));
+        assert_eq!(range_len(0, 10, 3), Some(4));
+        assert_eq!(range_len(10, 0, -3), Some(4));
+        assert_eq!(range_len(5, 5, 1), Some(0));
+        assert_eq!(range_len(5, 0, 1), Some(0));
+        assert_eq!(range_len(0, 1, 0), None);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Vendored, std-only stand-in for the subset of the `criterion` 0.5 API
+//! used by this workspace's benchmarks.
+//!
+//! The build environment has no access to crates.io, so the real `criterion`
+//! crate can never resolve. This shim keeps every bench target source- and
+//! CLI-compatible at the surface the workspace uses — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, [`Bencher::iter`],
+//! [`black_box`] — while measuring with plain [`std::time::Instant`].
+//!
+//! Reported numbers are the minimum / median / mean over the sample set,
+//! plus a throughput rate when [`Throughput`] was declared. There is no
+//! statistical outlier analysis and no HTML report; the point is that
+//! `cargo bench` runs and prints comparable wall-clock numbers without any
+//! external dependency.
+//!
+//! When the harness detects that it is being run by `cargo test` (via the
+//! `--test` flag libtest-style harnesses receive), every benchmark executes
+//! exactly once so test runs stay fast.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to derive a rate next to raw times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only id, for groups whose benchmarks differ only in input.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level benchmark driver; one per bench target.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Run one iteration in test mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        run_one("", &id.into().id, 20, None, test_mode, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work so a rate is printed next to times.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim runs a fixed sample count
+    /// rather than a time budget, so the duration is ignored.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.into().id,
+            self.sample_size,
+            self.throughput,
+            self.test_mode,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.into().id,
+            self.sample_size,
+            self.throughput,
+            self.test_mode,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        // One untimed warmup pass.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: if test_mode { 1 } else { sample_size },
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} (no samples: bencher.iter was never called)");
+        return;
+    }
+    if test_mode {
+        println!("{label:<40} ok (test mode, 1 iteration)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:>10.2} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Throughput::Bytes(n) => {
+            format!("  {:>10.2} MiB/s", n as f64 / median.as_secs_f64() / (1024.0 * 1024.0))
+        }
+    });
+    println!(
+        "{label:<40} min {:>12?}  median {:>12?}  mean {:>12?}{}",
+        min,
+        median,
+        mean,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundle benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("walker", 3).id, "walker/3");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut ran = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            });
+        });
+        group.finish();
+        // 3 timed samples + 1 warmup.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0usize;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                ran += 1;
+            });
+        });
+        // warmup + 1 sample.
+        assert_eq!(ran, 2);
+    }
+}

@@ -44,7 +44,6 @@ fn lookup(table: &[[i64; 10]; 4], major: usize, minor: usize) -> Option<i64> {
 
 /// Limits tied to a compute capability, resolved from the tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CcLimits {
     /// Maximum resident blocks per multiprocessor.
     pub max_blocks_per_multi_processor: i64,

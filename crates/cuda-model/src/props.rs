@@ -9,7 +9,6 @@
 /// retrieves through `cudaGetDeviceProperties` (plus the device name and
 /// peak arithmetic throughput used by the performance model).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceProps {
     /// Marketing name, e.g. `"Tesla K40c"`.
     pub name: &'static str,

@@ -239,8 +239,13 @@ impl Compiled {
         Ok(true)
     }
 
-    /// Realize the outermost loop's domain (for the parallel driver).
-    pub(crate) fn outer_domain(&self) -> Result<Vec<i64>, EvalError> {
+    /// Realize the outermost (level-0) loop's domain.
+    ///
+    /// Level-0 iterators depend only on constants, so this is cheap and
+    /// side-effect free. The parallel driver splits this domain into
+    /// scheduler chunks; it is public so external tooling can size or
+    /// inspect a sweep before running it.
+    pub fn outer_domain(&self) -> Result<Vec<i64>, EvalError> {
         let slots = vec![0i64; self.lp.n_slots as usize];
         for node in &self.roots {
             if let CNode::Loop { domain, .. } = node {

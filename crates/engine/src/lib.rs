@@ -9,7 +9,7 @@
 //! | [`walker::Walker`] | Python (Fig. 17) | AST interpretation, hash-map variable access, three loop syntaxes |
 //! | [`vm::Vm`] | Lua (Fig. 18) | register bytecode, dispatch per op, three loop syntaxes |
 //! | [`compiled::Compiled`] | generated C (Fig. 19) | folded constants, flat `i64` slots, native loop control |
-//! | [`parallel::run_parallel`] | multithreaded generated C (Section X-B) | compiled backend chunked over the level-0 loop |
+//! | [`parallel::run_parallel`] | multithreaded generated C (Section X-B) | compiled backend, dynamically scheduled over level-0 chunks |
 //!
 //! All backends execute the *same* plan and produce identical survivors and
 //! pruning statistics (cross-checked by integration tests); they differ only
@@ -43,6 +43,7 @@ pub mod point;
 pub mod postfix;
 pub mod stats;
 pub mod sweep;
+pub mod telemetry;
 pub mod visit;
 pub mod viz;
 pub mod vm;
@@ -51,9 +52,10 @@ pub mod walker;
 /// Commonly used items, re-exported.
 pub mod prelude {
     pub use crate::compiled::Compiled;
-    pub use crate::parallel::run_parallel;
+    pub use crate::parallel::{run_parallel, run_parallel_report, ParallelOptions};
     pub use crate::point::{Point, PointRef};
     pub use crate::stats::PruneStats;
+    pub use crate::telemetry::{SweepProgress, SweepReport};
     pub use crate::visit::{BestK, CollectVisitor, CountVisitor, Reservoir, Visitor};
     pub use crate::vm::{Vm, VmStyle};
     pub use crate::walker::{LoopStyle, SweepOutcome, Walker};

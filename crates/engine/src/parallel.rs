@@ -2,25 +2,93 @@
 //! parallelization "can be very beneficial at the outermost loop nests,
 //! close to level 0".
 //!
+//! # Dynamic scheduling
+//!
 //! The driver realizes the outermost loop's domain once (level-0 iterators
-//! depend only on constants by construction), splits it into chunks, and runs
-//! the compiled backend over each chunk on its own OS thread with a private
-//! slot array, statistics block and visitor. Results are merged on join —
-//! no shared mutable state, no locks on the hot path.
+//! depend only on constants by construction) and splits it into chunks that
+//! are deliberately *finer* than one-per-thread. Workers then pull chunks
+//! from a shared [`AtomicUsize`] cursor as they finish — a work-stealing-style
+//! dynamic schedule with a single global queue.
+//!
+//! Static one-chunk-per-thread splitting (what this module did originally)
+//! assumes the cost below each level-0 value is uniform. DAG-hoisted pruning
+//! makes it anything but: a level-0 constraint can cut an entire subtree
+//! after one comparison, while a neighbouring value fans out into millions of
+//! tuples, so one unlucky thread ends up serializing the sweep. With dynamic
+//! chunk pulling the fast threads simply take more chunks; the
+//! [`SweepReport::imbalance`](crate::telemetry::SweepReport::imbalance)
+//! metric makes the difference observable.
+//!
+//! Chunk granularity adapts to the shape of the plan via
+//! [`LoweredPlan::static_fanout_below_outer`]: when every inner domain is
+//! statically sized, subtree costs are near-uniform and a modest number of
+//! chunks per thread suffices; when inner domains depend on outer variables
+//! (the skewed regime), the driver cuts finer chunks.
+//!
+//! # Determinism contract
+//!
+//! For a given plan, [`run_parallel`] and [`run_parallel_report`] produce
+//! results **bit-for-bit identical to the serial [`Compiled::run`] and to
+//! themselves at every thread count**:
+//!
+//! * each chunk is evaluated with a private visitor and statistics block
+//!   (no shared mutable state on the hot path);
+//! * per-chunk results are merged *in chunk order* — which worker happened
+//!   to execute a chunk never affects the merged outcome;
+//! * chunk boundaries only partition the level-0 domain, so concatenating
+//!   chunk results in order reproduces the serial visit order exactly;
+//! * preamble (constants-only) constraints are recorded once, not per chunk.
+//!
+//! Only the *telemetry* (worker timings, chunks-per-worker) varies run to
+//! run; survivors, visit order and [`PruneStats`] do not. This is enforced
+//! by the determinism regression suite in `tests/determinism.rs`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use beast_core::error::EvalError;
 use beast_core::ir::LoweredPlan;
 
 use crate::compiled::Compiled;
 use crate::stats::PruneStats;
+use crate::telemetry::{SweepProgress, SweepReport, WorkerTelemetry};
 use crate::visit::Visitor;
 use crate::walker::SweepOutcome;
 
+/// Chunks per thread when inner loop domains are statically sized (near-
+/// uniform subtree cost; chunks mainly serve scheduling slack).
+const CHUNKS_PER_THREAD_UNIFORM: usize = 8;
+
+/// Chunks per thread when some inner domain depends on outer variables or
+/// is opaque (skewed subtree cost; fine chunks are what balances the load).
+const CHUNKS_PER_THREAD_SKEWED: usize = 32;
+
+/// Configuration for [`run_parallel_report`].
+#[derive(Debug, Clone, Default)]
+pub struct ParallelOptions {
+    /// Worker threads (values below 1 are treated as 1).
+    pub threads: usize,
+    /// Scheduler chunks per thread; 0 picks automatically from the plan's
+    /// static fanout (fine chunks for skewed spaces, coarser for uniform).
+    pub chunks_per_thread: usize,
+    /// Optional shared progress counters, bumped once per completed chunk.
+    pub progress: Option<Arc<SweepProgress>>,
+}
+
+impl ParallelOptions {
+    /// Options for `threads` workers with automatic chunk sizing.
+    pub fn new(threads: usize) -> ParallelOptions {
+        ParallelOptions { threads, ..ParallelOptions::default() }
+    }
+}
+
 /// Run a lowered plan across `threads` worker threads.
 ///
-/// `make_visitor` constructs one private visitor per worker; the per-worker
-/// results are merged (in chunk order, so collectors see deterministic point
-/// order) into a single outcome.
+/// `make_visitor` constructs one private visitor per scheduler chunk; the
+/// per-chunk results are merged in chunk order, so the merged visitor sees
+/// points in exactly the serial order regardless of thread count or
+/// scheduling — see the module-level determinism contract.
 ///
 /// With `threads == 1` this degenerates to a serial run with identical
 /// statistics to [`Compiled::run`].
@@ -33,44 +101,128 @@ where
     V: Visitor + Send,
     F: Fn() -> V + Sync,
 {
-    let threads = threads.max(1);
+    run_parallel_report(lp, &ParallelOptions::new(threads), make_visitor)
+        .map(|(outcome, _)| outcome)
+}
+
+/// [`run_parallel`] plus a [`SweepReport`] with the pruning funnel,
+/// per-worker timings and scheduler telemetry.
+///
+/// The sweep outcome obeys the module-level determinism contract; only the
+/// report's timing fields vary between runs.
+pub fn run_parallel_report<V, F>(
+    lp: &LoweredPlan,
+    opts: &ParallelOptions,
+    make_visitor: F,
+) -> Result<(SweepOutcome<V>, SweepReport), EvalError>
+where
+    V: Visitor + Send,
+    F: Fn() -> V + Sync,
+{
+    let threads = opts.threads.max(1);
+    let t_start = Instant::now();
     let compiled = Compiled::new(lp.clone());
     let space = lp.plan.space();
 
     let mut stats = PruneStats::new(space.constraints().len());
     // Preamble constraints (constants only) run once, recorded here.
     if !compiled.preamble_record(&mut stats)? {
-        return Ok(SweepOutcome { stats, visitor: make_visitor() });
+        let report = SweepReport::new(space, &stats, threads, 0, 0, 0, t_start.elapsed(), vec![]);
+        return Ok((SweepOutcome { stats, visitor: make_visitor() }, report));
     }
 
     let outer = compiled.outer_domain()?;
     if outer.is_empty() {
-        return Ok(SweepOutcome { stats, visitor: make_visitor() });
+        let report = SweepReport::new(space, &stats, threads, 0, 0, 0, t_start.elapsed(), vec![]);
+        return Ok((SweepOutcome { stats, visitor: make_visitor() }, report));
     }
 
-    // Contiguous chunks; ceil division so every value lands in a chunk.
-    let chunk_len = outer.len().div_ceil(threads);
+    let chunk_len = chunk_len_for(lp, outer.len(), threads, opts.chunks_per_thread);
     let chunks: Vec<&[i64]> = outer.chunks(chunk_len).collect();
+    if let Some(progress) = &opts.progress {
+        progress.chunks_total.store(chunks.len(), Ordering::Relaxed);
+        progress.chunks_done.store(0, Ordering::Relaxed);
+        progress.tuples_decided.store(0, Ordering::Relaxed);
+    }
 
-    let compiled_ref = &compiled;
-    let make_ref = &make_visitor;
-    let results: Vec<Result<SweepOutcome<V>, EvalError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        compiled_ref.run_outer_chunk(chunk, make_ref())
-                    })
-                })
+    let n_workers = threads.min(chunks.len());
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+
+    // Each worker drains the shared cursor, producing (chunk index, outcome)
+    // pairs; merging happens afterwards in chunk-index order so the result
+    // is independent of the race for chunks.
+    let worker_loop = |worker: usize| -> Result<WorkerOutput<V>, EvalError> {
+        let mut output = WorkerOutput {
+            outcomes: Vec::new(),
+            telemetry: WorkerTelemetry {
+                worker,
+                chunks: 0,
+                busy: Duration::ZERO,
+                evaluated: 0,
+                survivors: 0,
+            },
+        };
+        loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= chunks.len() {
+                break;
+            }
+            let t0 = Instant::now();
+            let out = match compiled.run_outer_chunk(chunks[i], make_visitor()) {
+                Ok(out) => out,
+                Err(e) => {
+                    abort.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            };
+            output.telemetry.busy += t0.elapsed();
+            output.telemetry.chunks += 1;
+            output.telemetry.evaluated += out.stats.evaluated.iter().sum::<u64>();
+            output.telemetry.survivors += out.stats.survivors;
+            if let Some(progress) = &opts.progress {
+                progress.chunks_done.fetch_add(1, Ordering::Relaxed);
+                progress
+                    .tuples_decided
+                    .fetch_add(out.stats.survivors + out.stats.total_pruned(), Ordering::Relaxed);
+            }
+            output.outcomes.push((i, out));
+        }
+        Ok(output)
+    };
+
+    let worker_results: Vec<Result<WorkerOutput<V>, EvalError>> = if n_workers == 1 {
+        vec![worker_loop(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|w| scope.spawn(move || worker_loop(w)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         })
-        .expect("thread scope");
+    };
 
+    let mut by_chunk: Vec<Option<SweepOutcome<V>>> = Vec::new();
+    by_chunk.resize_with(chunks.len(), || None);
+    let mut workers = Vec::with_capacity(n_workers);
+    for result in worker_results {
+        let output = result?;
+        workers.push(output.telemetry);
+        for (i, out) in output.outcomes {
+            debug_assert!(by_chunk[i].is_none(), "chunk {i} evaluated twice");
+            by_chunk[i] = Some(out);
+        }
+    }
+    workers.sort_by_key(|w| w.worker);
+
+    // Merge in chunk order — this is what makes the outcome independent of
+    // which worker ran which chunk.
     let mut merged_visitor: Option<V> = None;
-    for result in results {
-        let out = result?;
+    for out in by_chunk.into_iter() {
+        let out = out.expect("every chunk evaluated exactly once");
         stats.merge(&out.stats);
         merged_visitor = Some(match merged_visitor {
             None => out.visitor,
@@ -80,10 +232,56 @@ where
             }
         });
     }
-    Ok(SweepOutcome {
-        stats,
-        visitor: merged_visitor.unwrap_or_else(make_visitor),
-    })
+    let report = SweepReport::new(
+        space,
+        &stats,
+        threads,
+        outer.len(),
+        chunk_len,
+        chunks.len(),
+        t_start.elapsed(),
+        workers,
+    );
+    Ok((
+        SweepOutcome {
+            stats,
+            visitor: merged_visitor.unwrap_or_else(make_visitor),
+        },
+        report,
+    ))
+}
+
+/// Pick the number of level-0 values per scheduler chunk.
+///
+/// With one thread the whole domain is one chunk (serial fast path). With
+/// more, the domain is cut into `threads × chunks_per_thread` pieces, where
+/// `chunks_per_thread` comes from the caller or, automatically, from whether
+/// the plan's inner loop domains are statically sized
+/// ([`LoweredPlan::static_fanout_below_outer`]): dependent or opaque inner
+/// domains mean skewed subtree costs and get 4× finer chunks.
+fn chunk_len_for(
+    lp: &LoweredPlan,
+    outer_len: usize,
+    threads: usize,
+    chunks_per_thread: usize,
+) -> usize {
+    if threads <= 1 {
+        return outer_len;
+    }
+    let per_thread = if chunks_per_thread > 0 {
+        chunks_per_thread
+    } else if lp.static_fanout_below_outer().is_some() {
+        CHUNKS_PER_THREAD_UNIFORM
+    } else {
+        CHUNKS_PER_THREAD_SKEWED
+    };
+    outer_len.div_ceil(threads.saturating_mul(per_thread).max(1)).max(1)
+}
+
+/// What one worker hands back: per-chunk outcomes plus its telemetry.
+struct WorkerOutput<V> {
+    outcomes: Vec<(usize, SweepOutcome<V>)>,
+    telemetry: WorkerTelemetry,
 }
 
 #[cfg(test)]
@@ -137,6 +335,81 @@ mod tests {
     }
 
     #[test]
+    fn explicit_chunks_per_thread_respected() {
+        let lp = lowered(&space());
+        let opts = ParallelOptions {
+            threads: 2,
+            chunks_per_thread: 4,
+            progress: None,
+        };
+        let (_, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+        // 32 outer values into 2×4 = 8 target chunks → chunk_len 4.
+        assert_eq!(report.chunk_len, 4);
+        assert_eq!(report.chunks, 8);
+    }
+
+    #[test]
+    fn skewed_plans_get_finer_chunks_than_uniform_ones() {
+        // `space()` has a range_step loop depending on `a` → skewed.
+        let skewed = lowered(&space());
+        assert_eq!(skewed.static_fanout_below_outer(), None);
+        assert_eq!(
+            chunk_len_for(&skewed, 1024, 4, 0),
+            1024usize.div_ceil(4 * CHUNKS_PER_THREAD_SKEWED)
+        );
+        let uniform = lowered(
+            &Space::builder("uni")
+                .range("a", 0, 1024)
+                .range("b", 0, 7)
+                .build()
+                .unwrap(),
+        );
+        assert!(uniform.static_fanout_below_outer().is_some());
+        assert_eq!(
+            chunk_len_for(&uniform, 1024, 4, 0),
+            1024usize.div_ceil(4 * CHUNKS_PER_THREAD_UNIFORM)
+        );
+        // Serial runs never split.
+        assert_eq!(chunk_len_for(&uniform, 1024, 1, 0), 1024);
+    }
+
+    #[test]
+    fn report_accounts_for_all_chunks_and_work() {
+        let lp = lowered(&space());
+        let serial = Compiled::new(lp.clone()).run(CountVisitor::default()).unwrap();
+        let (out, report) =
+            run_parallel_report(&lp, &ParallelOptions::new(4), CountVisitor::default).unwrap();
+        assert_eq!(out.stats, serial.stats);
+        assert_eq!(report.chunks, report.outer_len.div_ceil(report.chunk_len));
+        let worker_chunks: u64 = report.workers.iter().map(|w| w.chunks).sum();
+        assert_eq!(worker_chunks, report.chunks as u64);
+        let worker_survivors: u64 = report.workers.iter().map(|w| w.survivors).sum();
+        assert_eq!(worker_survivors, report.survivors);
+        // Workers never record the preamble, so their evaluation totals sum
+        // to the merged totals minus the preamble-recorded ones (none here).
+        let worker_evaluated: u64 = report.workers.iter().map(|w| w.evaluated).sum();
+        assert_eq!(worker_evaluated, report.evaluated);
+        assert!(report.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn progress_counters_reach_totals() {
+        let lp = lowered(&space());
+        let progress = Arc::new(SweepProgress::default());
+        let opts = ParallelOptions {
+            threads: 4,
+            chunks_per_thread: 0,
+            progress: Some(progress.clone()),
+        };
+        let (out, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+        let snap = progress.snapshot();
+        assert_eq!(snap.chunks_done, snap.chunks_total);
+        assert_eq!(snap.chunks_total, report.chunks);
+        assert_eq!(snap.tuples_decided, out.stats.survivors + out.stats.total_pruned());
+        assert!((progress.fraction_done() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn more_threads_than_outer_values() {
         let s = Space::builder("tiny").range("x", 0, 3).build().unwrap();
         let lp = lowered(&s);
@@ -165,5 +438,17 @@ mod tests {
         let lp = lowered(&s);
         let out = run_parallel(&lp, 4, CountVisitor::default).unwrap();
         assert_eq!(out.visitor.count, 0);
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let s = Space::builder("dz")
+            .range("x", 0, 64)
+            .derived("bad", var("x") / (var("x") - 10))
+            .build()
+            .unwrap();
+        let lp = lowered(&s);
+        let err = run_parallel(&lp, 4, CountVisitor::default).unwrap_err();
+        assert_eq!(err, EvalError::DivisionByZero);
     }
 }

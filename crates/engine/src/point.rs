@@ -9,7 +9,6 @@ use beast_core::value::Value;
 /// An owned surviving point: the values of every iterator and derived
 /// variable at a tuple that passed all pruning constraints.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Point {
     names: Arc<[Arc<str>]>,
     values: Vec<Value>,

@@ -13,7 +13,6 @@ use beast_core::space::Space;
 
 /// Per-constraint pruning counters for one sweep.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct PruneStats {
     /// Times each constraint was evaluated (indexed like
     /// [`Space::constraints`]).

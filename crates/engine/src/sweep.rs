@@ -10,9 +10,10 @@ use beast_core::plan::{Plan, PlanOptions};
 use beast_core::space::Space;
 
 use crate::compiled::Compiled;
-use crate::parallel::run_parallel;
+use crate::parallel::{run_parallel, run_parallel_report, ParallelOptions};
 use crate::point::{Point, PointRef};
 use crate::stats::PruneStats;
+use crate::telemetry::SweepReport;
 use crate::visit::{BestK, CollectVisitor, CountVisitor};
 
 /// Errors from the one-call helpers.
@@ -85,6 +86,19 @@ where
     Ok((out.visitor.best, out.stats))
 }
 
+/// Count survivors across `threads` worker threads and return the full
+/// [`SweepReport`] (pruning funnel, per-worker timings, scheduler shape).
+pub fn count_report(
+    space: &Arc<Space>,
+    threads: usize,
+) -> Result<(u64, SweepReport), SweepError> {
+    let plan = Plan::new(space, PlanOptions::default())?;
+    let lowered = LoweredPlan::new(&plan)?;
+    let (out, report) =
+        run_parallel_report(&lowered, &ParallelOptions::new(threads), CountVisitor::default)?;
+    Ok((out.visitor.count, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +141,15 @@ mod tests {
         // Max of x + y subject to x >= y: (49, 9).
         assert_eq!(best[0].0, 58.0);
         assert_eq!(best[0].1.get_int("x"), 49);
+    }
+
+    #[test]
+    fn count_report_matches_count() {
+        let (n, stats) = count(&space()).unwrap();
+        let (n2, report) = count_report(&space(), 4).unwrap();
+        assert_eq!(n2, n);
+        assert_eq!(report.survivors, stats.survivors);
+        assert_eq!(report.pruned, stats.total_pruned());
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! Sweep telemetry: a machine-readable account of what a parallel sweep did
+//! and where the time went.
+//!
+//! The paper reports *aggregate* numbers (total sweep time, total survivors,
+//! §XI); this module records the breakdown that explains them — per-constraint
+//! and per-DAG-level prune counters, per-worker wall time and chunk counts
+//! under the dynamic scheduler, and overall throughput — as a [`SweepReport`]
+//! that renders both as a text table and as JSON (hand-rolled, std-only: the
+//! build environment cannot vendor `serde`).
+//!
+//! Live progress during a sweep is exposed through [`SweepProgress`], a block
+//! of atomic counters that workers bump after every chunk; any monitor thread
+//! may poll [`SweepProgress::snapshot`] without perturbing the hot path.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use beast_core::space::Space;
+
+use crate::stats::PruneStats;
+
+/// Shared progress counters for a running sweep.
+///
+/// Workers update these with relaxed atomics once per completed chunk (never
+/// per point), so polling them costs the sweep nothing measurable.
+#[derive(Debug, Default)]
+pub struct SweepProgress {
+    /// Chunks fully processed so far.
+    pub chunks_done: AtomicUsize,
+    /// Total chunks in this sweep (set once before workers start).
+    pub chunks_total: AtomicUsize,
+    /// Tuples decided so far: survivors plus constraint rejections.
+    pub tuples_decided: AtomicU64,
+}
+
+/// One point-in-time view of a sweep's progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Chunks fully processed.
+    pub chunks_done: usize,
+    /// Total chunks.
+    pub chunks_total: usize,
+    /// Tuples decided (survivors + rejections).
+    pub tuples_decided: u64,
+}
+
+impl SweepProgress {
+    /// Read all counters at once.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            chunks_done: self.chunks_done.load(Ordering::Relaxed),
+            chunks_total: self.chunks_total.load(Ordering::Relaxed),
+            tuples_decided: self.tuples_decided.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Completed fraction in `[0, 1]` (0 when the total is not yet known).
+    pub fn fraction_done(&self) -> f64 {
+        let s = self.snapshot();
+        if s.chunks_total == 0 {
+            0.0
+        } else {
+            s.chunks_done as f64 / s.chunks_total as f64
+        }
+    }
+}
+
+/// What one worker thread did during a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Chunks this worker pulled from the shared queue.
+    pub chunks: u64,
+    /// Wall time spent inside chunk evaluation.
+    pub busy: Duration,
+    /// Constraint evaluations this worker performed.
+    pub evaluated: u64,
+    /// Survivors this worker visited.
+    pub survivors: u64,
+}
+
+/// Pruning counters for one constraint, annotated with its DAG level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintTelemetry {
+    /// Constraint name.
+    pub name: String,
+    /// Constraint class (`hard` / `soft` / `correctness` / `generic`).
+    pub class: String,
+    /// DAG level the planner hoisted the check to (0 = outermost).
+    pub level: usize,
+    /// Times evaluated.
+    pub evaluated: u64,
+    /// Times it rejected the tuple.
+    pub pruned: u64,
+}
+
+impl ConstraintTelemetry {
+    /// Rejections per evaluation (0 when never evaluated).
+    pub fn kill_rate(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.evaluated as f64
+        }
+    }
+}
+
+/// Pruning counters aggregated over all constraints hoisted to one DAG
+/// level — the "how early do we cut" view of the funnel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelTelemetry {
+    /// DAG level (0 = outermost, evaluated least often per raw tuple).
+    pub level: usize,
+    /// Constraint evaluations at this level.
+    pub evaluated: u64,
+    /// Rejections at this level.
+    pub pruned: u64,
+}
+
+/// Machine-readable record of one parallel sweep: configuration, pruning
+/// funnel, per-worker load, and throughput.
+///
+/// Produced by [`crate::parallel::run_parallel_report`], printed by
+/// `repro threads`, and consumed by the `parallel_scaling` benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Space name.
+    pub space: String,
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Values in the realized level-0 domain.
+    pub outer_len: usize,
+    /// Level-0 values per scheduler chunk.
+    pub chunk_len: usize,
+    /// Number of chunks the domain was split into.
+    pub chunks: usize,
+    /// End-to-end sweep wall time.
+    pub elapsed: Duration,
+    /// Surviving points.
+    pub survivors: u64,
+    /// Total constraint evaluations.
+    pub evaluated: u64,
+    /// Total rejections.
+    pub pruned: u64,
+    /// Per-constraint rows, in plan order.
+    pub constraints: Vec<ConstraintTelemetry>,
+    /// Per-DAG-level aggregation, ascending by level.
+    pub levels: Vec<LevelTelemetry>,
+    /// Per-worker load, ascending by worker index.
+    pub workers: Vec<WorkerTelemetry>,
+}
+
+impl SweepReport {
+    /// Assemble a report from merged sweep statistics plus scheduler and
+    /// worker bookkeeping.
+    pub fn new(
+        space: &Space,
+        stats: &PruneStats,
+        threads: usize,
+        outer_len: usize,
+        chunk_len: usize,
+        chunks: usize,
+        elapsed: Duration,
+        workers: Vec<WorkerTelemetry>,
+    ) -> SweepReport {
+        let dag = space.dag();
+        let constraints: Vec<ConstraintTelemetry> = space
+            .constraints()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ConstraintTelemetry {
+                name: c.name.to_string(),
+                class: c.class.to_string(),
+                level: dag.level(space.constraint_node(i)),
+                evaluated: stats.evaluated[i],
+                pruned: stats.pruned[i],
+            })
+            .collect();
+        let mut levels: Vec<LevelTelemetry> = Vec::new();
+        for c in &constraints {
+            match levels.iter_mut().find(|l| l.level == c.level) {
+                Some(l) => {
+                    l.evaluated += c.evaluated;
+                    l.pruned += c.pruned;
+                }
+                None => levels.push(LevelTelemetry {
+                    level: c.level,
+                    evaluated: c.evaluated,
+                    pruned: c.pruned,
+                }),
+            }
+        }
+        levels.sort_by_key(|l| l.level);
+        SweepReport {
+            space: space.name().to_string(),
+            threads,
+            outer_len,
+            chunk_len,
+            chunks,
+            elapsed,
+            survivors: stats.survivors,
+            evaluated: stats.evaluated.iter().sum(),
+            pruned: stats.pruned.iter().sum(),
+            constraints,
+            levels,
+            workers,
+        }
+    }
+
+    /// Tuples decided per second: (survivors + rejections) / elapsed.
+    pub fn tuples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.survivors + self.pruned) as f64 / secs
+        }
+    }
+
+    /// Load imbalance across workers: max busy time / mean busy time.
+    ///
+    /// 1.0 is a perfectly balanced sweep; under the old static
+    /// one-chunk-per-thread split, DAG-hoisted pruning routinely pushed this
+    /// past 2 on skewed spaces (one thread serializing the sweep).
+    pub fn imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 1.0;
+        }
+        let busys: Vec<f64> = self.workers.iter().map(|w| w.busy.as_secs_f64()).collect();
+        let max = busys.iter().cloned().fold(0.0f64, f64::max);
+        let mean = busys.iter().sum::<f64>() / busys.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Render as JSON (stable key order, no external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        json_str(&mut out, "space", &self.space);
+        out.push(',');
+        json_num(&mut out, "threads", self.threads as f64);
+        out.push(',');
+        json_num(&mut out, "outer_len", self.outer_len as f64);
+        out.push(',');
+        json_num(&mut out, "chunk_len", self.chunk_len as f64);
+        out.push(',');
+        json_num(&mut out, "chunks", self.chunks as f64);
+        out.push(',');
+        json_num(&mut out, "elapsed_s", self.elapsed.as_secs_f64());
+        out.push(',');
+        json_num(&mut out, "tuples_per_sec", self.tuples_per_sec());
+        out.push(',');
+        json_num(&mut out, "survivors", self.survivors as f64);
+        out.push(',');
+        json_num(&mut out, "evaluated", self.evaluated as f64);
+        out.push(',');
+        json_num(&mut out, "pruned", self.pruned as f64);
+        out.push(',');
+        json_num(&mut out, "imbalance", self.imbalance());
+        out.push_str(",\"constraints\":[");
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_str(&mut out, "name", &c.name);
+            out.push(',');
+            json_str(&mut out, "class", &c.class);
+            out.push(',');
+            json_num(&mut out, "level", c.level as f64);
+            out.push(',');
+            json_num(&mut out, "evaluated", c.evaluated as f64);
+            out.push(',');
+            json_num(&mut out, "pruned", c.pruned as f64);
+            out.push(',');
+            json_num(&mut out, "kill_rate", c.kill_rate());
+            out.push('}');
+        }
+        out.push_str("],\"levels\":[");
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_num(&mut out, "level", l.level as f64);
+            out.push(',');
+            json_num(&mut out, "evaluated", l.evaluated as f64);
+            out.push(',');
+            json_num(&mut out, "pruned", l.pruned as f64);
+            out.push('}');
+        }
+        out.push_str("],\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_num(&mut out, "worker", w.worker as f64);
+            out.push(',');
+            json_num(&mut out, "chunks", w.chunks as f64);
+            out.push(',');
+            json_num(&mut out, "busy_s", w.busy.as_secs_f64());
+            out.push(',');
+            json_num(&mut out, "evaluated", w.evaluated as f64);
+            out.push(',');
+            json_num(&mut out, "survivors", w.survivors as f64);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render as a human-readable multi-table summary.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep `{}`: {} outer values in {} chunk(s) of {} on {} thread(s)",
+            self.space, self.outer_len, self.chunks, self.chunk_len, self.threads
+        );
+        let _ = writeln!(
+            out,
+            "elapsed {:.3} s   {:.2} M tuples/s   survivors {}   pruned {}   imbalance {:.2}",
+            self.elapsed.as_secs_f64(),
+            self.tuples_per_sec() / 1e6,
+            self.survivors,
+            self.pruned,
+            self.imbalance()
+        );
+        let _ = writeln!(
+            out,
+            "\n{:<24} {:<12} {:>5} {:>14} {:>14} {:>8}",
+            "constraint", "class", "level", "evaluated", "pruned", "kill%"
+        );
+        for c in &self.constraints {
+            let _ = writeln!(
+                out,
+                "{:<24} {:<12} {:>5} {:>14} {:>14} {:>7.2}%",
+                c.name,
+                c.class,
+                c.level,
+                c.evaluated,
+                c.pruned,
+                100.0 * c.kill_rate()
+            );
+        }
+        let _ = writeln!(out, "\n{:<6} {:>14} {:>14}", "level", "evaluated", "pruned");
+        for l in &self.levels {
+            let _ = writeln!(out, "{:<6} {:>14} {:>14}", l.level, l.evaluated, l.pruned);
+        }
+        let _ = writeln!(
+            out,
+            "\n{:<7} {:>7} {:>10} {:>14} {:>12}",
+            "worker", "chunks", "busy s", "evaluated", "survivors"
+        );
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "{:<7} {:>7} {:>10.3} {:>14} {:>12}",
+                w.worker,
+                w.chunks,
+                w.busy.as_secs_f64(),
+                w.evaluated,
+                w.survivors
+            );
+        }
+        out
+    }
+}
+
+/// Append `"key":"escaped value"`.
+fn json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `"key":number` (non-finite values become 0 — JSON has no NaN).
+fn json_num(out: &mut String, key: &str, value: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    if value.is_finite() {
+        if value == value.trunc() && value.abs() < 9.0e15 {
+            out.push_str(&format!("{}", value as i64));
+        } else {
+            out.push_str(&format!("{value}"));
+        }
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beast_core::constraint::ConstraintClass;
+    use beast_core::expr::var;
+
+    fn sample_report() -> SweepReport {
+        let space = Space::builder("tele")
+            .constant("cap", 10)
+            .range("a", 0, 8)
+            .range("b", 0, 8)
+            .derived("ab", var("a") * var("b"))
+            .constraint("a_odd", ConstraintClass::Soft, (var("a") % 2).ne(0))
+            .constraint("over", ConstraintClass::Hard, var("ab").gt(var("cap")))
+            .build()
+            .unwrap();
+        let mut stats = PruneStats::new(2);
+        for _ in 0..8 {
+            stats.record(0, false);
+        }
+        for i in 0..64u64 {
+            stats.record(1, i % 4 == 0);
+            if i % 4 != 0 {
+                stats.record_survivor();
+            }
+        }
+        let workers = vec![
+            WorkerTelemetry {
+                worker: 0,
+                chunks: 3,
+                busy: Duration::from_millis(30),
+                evaluated: 40,
+                survivors: 24,
+            },
+            WorkerTelemetry {
+                worker: 1,
+                chunks: 2,
+                busy: Duration::from_millis(10),
+                evaluated: 32,
+                survivors: 24,
+            },
+        ];
+        SweepReport::new(&space, &stats, 2, 8, 2, 4, Duration::from_millis(40), workers)
+    }
+
+    #[test]
+    fn constraint_levels_come_from_the_dag() {
+        let r = sample_report();
+        // `a_odd` depends only on the level-0 iterator; `over` depends on a
+        // derived of both iterators and sits deeper.
+        let a_odd = r.constraints.iter().find(|c| c.name == "a_odd").unwrap();
+        let over = r.constraints.iter().find(|c| c.name == "over").unwrap();
+        assert!(a_odd.level < over.level);
+        assert_eq!(a_odd.evaluated, 8);
+        assert_eq!(over.pruned, 16);
+    }
+
+    #[test]
+    fn levels_aggregate_constraints() {
+        let r = sample_report();
+        let total_eval: u64 = r.levels.iter().map(|l| l.evaluated).sum();
+        assert_eq!(total_eval, r.evaluated);
+        assert!(r.levels.windows(2).all(|w| w[0].level < w[1].level));
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let r = sample_report();
+        // busy = 30ms and 10ms → mean 20ms → imbalance 1.5.
+        assert!((r.imbalance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let r = sample_report();
+        let json = r.to_json();
+        // Structural sanity without a JSON parser: balanced braces/brackets,
+        // all sections present, no trailing commas.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"space\":\"tele\"",
+            "\"threads\":2",
+            "\"constraints\":[",
+            "\"levels\":[",
+            "\"workers\":[",
+            "\"tuples_per_sec\":",
+            "\"imbalance\":1.5",
+            "\"busy_s\":0.03",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let mut out = String::new();
+        json_str(&mut out, "k", "a\"b\\c\nd");
+        assert_eq!(out, "\"k\":\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn progress_snapshot_reads_counters() {
+        let p = SweepProgress::default();
+        p.chunks_total.store(10, Ordering::Relaxed);
+        p.chunks_done.store(4, Ordering::Relaxed);
+        p.tuples_decided.store(1000, Ordering::Relaxed);
+        let s = p.snapshot();
+        assert_eq!((s.chunks_done, s.chunks_total, s.tuples_decided), (4, 10, 1000));
+        assert!((p.fraction_done() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_rendering_mentions_all_sections() {
+        let r = sample_report();
+        let text = r.render_text();
+        assert!(text.contains("sweep `tele`"));
+        assert!(text.contains("constraint"));
+        assert!(text.contains("worker"));
+        assert!(text.contains("imbalance 1.50"));
+    }
+}

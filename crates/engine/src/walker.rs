@@ -285,7 +285,7 @@ mod tests {
         let walker = Walker::new(&plan, LoopStyle::RangeLazy);
         let out = walker.run(CountVisitor::default()).unwrap();
         // Every (a, b) tuple is checked exactly once: sum over a of |b(a)|.
-        let tuples: u64 = (1..5u64).map(|a| (12 / a)).sum();
+        let tuples: u64 = (1..5u64).map(|a| 12 / a).sum();
         assert_eq!(out.stats.evaluated[0], tuples);
         assert_eq!(
             out.stats.pruned[0] + out.stats.survivors,

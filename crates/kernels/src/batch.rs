@@ -12,7 +12,7 @@
 //!   trick real batched-BLAS implementations use for very small matrices,
 //!   and the source of the large small-size speedups on a single core.
 
-use crossbeam::thread;
+use std::thread;
 
 use crate::cholesky::{cholesky_blocked, cholesky_unblocked, NotPositiveDefinite};
 use crate::cpu_gemm::GemmParams;
@@ -313,7 +313,7 @@ where
         }
         return Ok(());
     }
-    let result = thread::scope(|scope| {
+    thread::scope(|scope| {
         let chunks: Vec<&mut [T]> = items.chunks_mut(chunk).collect();
         let n_workers = threads.min(chunks.len().max(1));
         // Distribute chunks round-robin across workers.
@@ -325,7 +325,7 @@ where
             .into_iter()
             .map(|mine| {
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for c in mine {
                         f(c)?;
                     }
@@ -339,8 +339,6 @@ where
             .collect::<Result<Vec<()>, NotPositiveDefinite>>()
             .map(|_| ())
     })
-    .expect("thread scope");
-    result
 }
 
 #[cfg(test)]

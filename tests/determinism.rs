@@ -1,0 +1,190 @@
+//! Determinism regression suite for the dynamic parallel scheduler.
+//!
+//! `run_parallel` pulls level-0 chunks off a shared atomic cursor, so *which
+//! worker evaluates which chunk* is a race — but the merged outcome must not
+//! be. These tests pin the contract documented on
+//! [`beast_engine::parallel`]: for every space and every thread count, the
+//! parallel sweep reproduces the serial [`Compiled::run`] bit for bit —
+//! same survivors, same visit *order*, same [`PruneStats`] — and repeated
+//! parallel runs reproduce each other.
+
+use std::sync::Arc;
+
+use beast::prelude::*;
+use beast_core::ir::LoweredPlan;
+use beast_engine::parallel::{run_parallel, run_parallel_report, ParallelOptions};
+use beast_gemm::{build_gemm_space, GemmSpaceParams};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn lower(space: &Arc<Space>) -> LoweredPlan {
+    let plan = Plan::new(space, PlanOptions::default()).unwrap();
+    LoweredPlan::new(&plan).unwrap()
+}
+
+/// A uniform space: every level-0 subtree has the same static fanout.
+fn uniform_space() -> Arc<Space> {
+    Space::builder("det_uniform")
+        .range("a", 0, 24)
+        .range("b", 0, 12)
+        .range("c", 0, 6)
+        .derived("abc", var("a") * var("b") + var("c"))
+        .constraint("hard_cut", ConstraintClass::Hard, var("abc").gt(180))
+        .constraint("soft_cut", ConstraintClass::Soft, (var("abc") % 3).eq(0))
+        .build()
+        .unwrap()
+}
+
+/// A deliberately skewed space: the inner domains depend on the level-0
+/// value, and a hoisted constraint kills whole subtrees — the shape the
+/// dynamic scheduler exists for.
+fn skewed_space() -> Arc<Space> {
+    Space::builder("det_skewed")
+        .range("outer", 1, 40)
+        .constraint("upper_half", ConstraintClass::Hard, var("outer").gt(20))
+        .range_step("mid", var("outer"), 200, var("outer"))
+        .range("inner", 0, var("mid"))
+        .derived("w", var("mid") + var("inner"))
+        .constraint("odd_w", ConstraintClass::Soft, (var("w") % 2).ne(0))
+        .build()
+        .unwrap()
+}
+
+/// The paper's own GEMM space on a reduced device.
+fn gemm_space() -> Arc<Space> {
+    build_gemm_space(&GemmSpaceParams::reduced(16)).unwrap()
+}
+
+fn all_spaces() -> Vec<(&'static str, Arc<Space>)> {
+    vec![
+        ("uniform", uniform_space()),
+        ("skewed", skewed_space()),
+        ("gemm", gemm_space()),
+    ]
+}
+
+/// Survivor count and statistics match the serial run at every thread count.
+#[test]
+fn counts_and_stats_are_thread_count_invariant() {
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        let serial = Compiled::new(lp.clone()).run(CountVisitor::default()).unwrap();
+        assert!(serial.visitor.count > 0, "{name}: degenerate test space");
+        for threads in THREAD_COUNTS {
+            let par = run_parallel(&lp, threads, CountVisitor::default).unwrap();
+            assert_eq!(
+                par.visitor.count, serial.visitor.count,
+                "{name}: survivor count diverged at {threads} threads"
+            );
+            assert_eq!(
+                par.stats, serial.stats,
+                "{name}: PruneStats diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The *order* in which the merged visitor sees survivors equals the serial
+/// visit order — full point-by-point equality, not just the same set.
+#[test]
+fn visit_order_matches_serial_exactly() {
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        let compiled = Compiled::new(lp.clone());
+        let names = compiled.point_names().clone();
+        let serial = compiled
+            .run(CollectVisitor::new(names.clone(), usize::MAX))
+            .unwrap();
+        for threads in THREAD_COUNTS {
+            let par = run_parallel(&lp, threads, || {
+                CollectVisitor::new(names.clone(), usize::MAX)
+            })
+            .unwrap();
+            assert_eq!(
+                par.visitor.points.len(),
+                serial.visitor.points.len(),
+                "{name}: survivor count diverged at {threads} threads"
+            );
+            assert_eq!(
+                par.visitor.points, serial.visitor.points,
+                "{name}: visit order diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Order-sensitive visitors (capped collection: keeps the *first* `cap`
+/// survivors) see the same prefix at every thread count.
+#[test]
+fn capped_collection_keeps_the_same_prefix() {
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        let compiled = Compiled::new(lp.clone());
+        let names = compiled.point_names().clone();
+        let serial = compiled.run(CollectVisitor::new(names.clone(), 13)).unwrap();
+        for threads in THREAD_COUNTS {
+            let par =
+                run_parallel(&lp, threads, || CollectVisitor::new(names.clone(), 13)).unwrap();
+            assert_eq!(
+                par.visitor.points, serial.visitor.points,
+                "{name}: capped prefix diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Back-to-back parallel runs agree with each other (the chunk race never
+/// leaks into results), and the report's accounting matches the outcome.
+#[test]
+fn repeated_runs_and_reports_agree() {
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        for threads in THREAD_COUNTS {
+            let opts = ParallelOptions::new(threads);
+            let (a, ra) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+            let (b, rb) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+            assert_eq!(a.stats, b.stats, "{name}: reruns diverged at {threads} threads");
+            assert_eq!(a.visitor.count, b.visitor.count, "{name}");
+            // Scheduler shape is deterministic even though worker
+            // assignment is not.
+            assert_eq!(
+                (ra.chunks, ra.chunk_len, ra.outer_len),
+                (rb.chunks, rb.chunk_len, rb.outer_len),
+                "{name}: scheduler shape diverged at {threads} threads"
+            );
+            assert_eq!(ra.survivors, a.stats.survivors, "{name}");
+            let by_worker: u64 = ra.workers.iter().map(|w| w.survivors).sum();
+            assert_eq!(by_worker, ra.survivors, "{name}: worker accounting leak");
+        }
+    }
+}
+
+/// Forcing pathologically fine chunks (1 outer value per chunk) still
+/// reproduces the serial outcome — chunk granularity is invisible.
+#[test]
+fn chunk_granularity_is_invisible() {
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        let compiled = Compiled::new(lp.clone());
+        let names = compiled.point_names().clone();
+        let serial = compiled
+            .run(CollectVisitor::new(names.clone(), usize::MAX))
+            .unwrap();
+        for chunks_per_thread in [1, 7, 1024] {
+            let opts = ParallelOptions {
+                threads: 3,
+                chunks_per_thread,
+                progress: None,
+            };
+            let (par, _) = run_parallel_report(&lp, &opts, || {
+                CollectVisitor::new(names.clone(), usize::MAX)
+            })
+            .unwrap();
+            assert_eq!(
+                par.visitor.points, serial.visitor.points,
+                "{name}: chunks_per_thread={chunks_per_thread} changed results"
+            );
+            assert_eq!(par.stats, serial.stats, "{name}");
+        }
+    }
+}

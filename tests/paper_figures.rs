@@ -292,13 +292,17 @@ fn sec9_all_sixteen_cases() {
             let params = GemmSpaceParams {
                 precision,
                 transpose,
-                ..GemmSpaceParams::reduced(8)
+                ..GemmSpaceParams::reduced(16)
             };
             let space = build_gemm_space(&params).unwrap();
             let (count, _) = beast_engine::sweep::count(&space).unwrap();
-            // Tiny device: some cases may admit few kernels but never none
-            // at dim 8 (the all-ones-and-warps corner still exists? No:
-            // partial_warps requires multiples of 32 > 8*8 = 64 ≥ 32 ✓).
+            // Dim 16 is the smallest reduced device where every case admits
+            // kernels. At dim 8 all sixteen spaces are provably empty: the
+            // warp_size stays 32, so partial_warps forces
+            // threads_per_block ≥ 32, but cant_reshape_a1 needs the A-read
+            // grid dim_m_a × dim_n_a (bounded by blk_m/dim_vec ≤ 8 and
+            // blk_k ≤ 8) to equal threads_per_block, which low_fmas makes
+            // unreachable.
             assert!(count > 0, "{precision:?}/{}", transpose.suffix());
         }
     }

@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized property tests over the core invariants:
 //!
 //! * the dynamic expression evaluator, the lowered integer IR, and the
 //!   bytecode VM agree on arbitrary expression trees;
@@ -6,53 +6,55 @@
 //! * arbitrary generated spaces produce identical survivors in every
 //!   backend, at any thread count;
 //! * pruning accounting is conserved (evaluated = pruned + passed).
+//!
+//! Cases are generated from a fixed-seed [`StdRng`] (the vendored std-only
+//! shim), so every run exercises the same case set — failures reproduce
+//! without a shrinker.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use beast::prelude::*;
-use beast_core::expr::{Bindings, Expr};
+use beast_core::expr::{lit, max2, min2, ternary, Bindings, Expr, E};
 use beast_core::iterator::Realized;
 use beast_engine::parallel::run_parallel;
-
-// ---------------------------------------------------------------------------
-// Expression-tree strategies
-// ---------------------------------------------------------------------------
 
 const VARS: [&str; 3] = ["va", "vb", "vc"];
 
 /// Random expression trees over three variables. Constants and leaf values
-/// are small so checked arithmetic never overflows (the dynamic evaluator is
-/// checked, the IR wraps like C; keeping magnitudes small makes them agree).
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-4i64..5).prop_map(lit),
-        (0usize..3).prop_map(|i| var(VARS[i])),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.lt(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.ge(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.eq(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| min2(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| max2(a, b)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| ternary(c, t, f)),
-            // Guarded division/remainder: divisor forced nonzero.
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| a / (min2(b, -1))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| a % (max2(b, 1))),
-            inner.prop_map(|a| -a),
-        ]
-    })
+/// are small so checked arithmetic rarely overflows (the dynamic evaluator
+/// is checked, the IR wraps like C; keeping magnitudes small makes them
+/// agree — overflowing cases are skipped as out of contract).
+fn arb_expr(rng: &mut StdRng, depth: usize) -> E {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            lit(rng.gen_range(-4i64..5))
+        } else {
+            var(VARS[rng.gen_range(0usize..3)])
+        };
+    }
+    let a = arb_expr(rng, depth - 1);
+    let b = arb_expr(rng, depth - 1);
+    match rng.gen_range(0u32..14) {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        3 => a.lt(b),
+        4 => a.ge(b),
+        5 => a.eq(b),
+        6 => a.and(b),
+        7 => a.or(b),
+        8 => min2(a, b),
+        9 => max2(a, b),
+        10 => ternary(arb_expr(rng, depth - 1), a, b),
+        // Guarded division/remainder: divisor forced nonzero.
+        11 => a / min2(b, -1),
+        12 => a % max2(b, 1),
+        _ => -a,
+    }
 }
 
 struct MapEnv(HashMap<Arc<str>, Value>);
@@ -63,14 +65,18 @@ impl Bindings for MapEnv {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// The dynamic evaluator (walker path), the lowered IR (compiled path) and
+/// the VM agree on every expression tree — evaluated through a one-point
+/// space so the full pipeline is exercised.
+#[test]
+fn expr_ir_vm_agree() {
+    let mut rng = StdRng::seed_from_u64(0xBEA5_7001);
+    for case in 0..128 {
+        let e = arb_expr(&mut rng, 3);
+        let a = rng.gen_range(-6i64..7);
+        let b = rng.gen_range(-6i64..7);
+        let c = rng.gen_range(-6i64..7);
 
-    /// The dynamic evaluator (walker path), the lowered IR (compiled path)
-    /// and the VM agree on every expression tree — evaluated through a
-    /// one-point space so the full pipeline is exercised.
-    #[test]
-    fn expr_ir_vm_agree(e in arb_expr(), a in -6i64..7, b in -6i64..7, c in -6i64..7) {
         // Dynamic evaluation.
         let env = MapEnv(HashMap::from([
             (Arc::<str>::from("va"), Value::Int(a)),
@@ -78,11 +84,10 @@ proptest! {
             (Arc::<str>::from("vc"), Value::Int(c)),
         ]));
         let expr: &Expr = e.expr();
-        let dynamic = expr.eval(&env);
         // Checked arithmetic may overflow where C wraps; such cases are out
         // of contract (the paper's generated C wraps silently too) — skip.
-        let dynamic = match dynamic {
-            Err(beast_core::error::EvalError::Overflow) => return Ok(()),
+        let dynamic = match expr.eval(&env) {
+            Err(beast_core::error::EvalError::Overflow) => continue,
             other => other.unwrap(),
         };
         let expected = dynamic.as_int().unwrap();
@@ -102,21 +107,38 @@ proptest! {
         let out = compiled
             .run(CollectVisitor::new(compiled.point_names().clone(), 2))
             .unwrap();
-        prop_assert_eq!(out.visitor.points.len(), 1);
-        prop_assert_eq!(out.visitor.points[0].get_int("result"), expected);
+        assert_eq!(out.visitor.points.len(), 1, "case {case}");
+        assert_eq!(
+            out.visitor.points[0].get_int("result"),
+            expected,
+            "case {case}: compiled disagrees with dynamic eval"
+        );
 
         let vm = Vm::compile(&lowered, VmStyle::NumericFor);
         let out = vm
             .run(CollectVisitor::new(vm.point_names().clone(), 2))
             .unwrap();
-        prop_assert_eq!(out.visitor.points[0].get_int("result"), expected);
+        assert_eq!(
+            out.visitor.points[0].get_int("result"),
+            expected,
+            "case {case}: VM disagrees with dynamic eval"
+        );
     }
+}
 
-    /// Realized ranges have Python range semantics: length, membership and
-    /// order.
-    #[test]
-    fn realized_range_semantics(start in -50i64..50, stop in -50i64..50, step in -7i64..8) {
-        prop_assume!(step != 0);
+/// Realized ranges have Python range semantics: length, membership, order.
+#[test]
+fn realized_range_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xBEA5_7002);
+    for _ in 0..256 {
+        let start = rng.gen_range(-50i64..50);
+        let stop = rng.gen_range(-50i64..50);
+        let step = loop {
+            let s = rng.gen_range(-7i64..8);
+            if s != 0 {
+                break s;
+            }
+        };
         let r = Realized::Range { start, stop, step };
         let vals: Vec<i64> = r.iter().map(|v| v.as_int().unwrap()).collect();
         // Python reference.
@@ -126,43 +148,59 @@ proptest! {
             expect.push(x);
             x += step;
         }
-        prop_assert_eq!(&vals, &expect);
-        prop_assert_eq!(r.len(), expect.len());
+        assert_eq!(vals, expect, "range({start}, {stop}, {step})");
+        assert_eq!(r.len(), expect.len(), "range({start}, {stop}, {step})");
     }
+}
 
-    /// Set-algebra on realized domains is really set algebra.
-    #[test]
-    fn realized_set_algebra(xs in proptest::collection::vec(-20i64..20, 0..12),
-                            ys in proptest::collection::vec(-20i64..20, 0..12)) {
-        use std::collections::BTreeSet;
+/// Set-algebra on realized domains is really set algebra.
+#[test]
+fn realized_set_algebra() {
+    use std::collections::BTreeSet;
+    let mut rng = StdRng::seed_from_u64(0xBEA5_7003);
+    for _ in 0..128 {
+        let xs: Vec<i64> = (0..rng.gen_range(0usize..12))
+            .map(|_| rng.gen_range(-20i64..20))
+            .collect();
+        let ys: Vec<i64> = (0..rng.gen_range(0usize..12))
+            .map(|_| rng.gen_range(-20i64..20))
+            .collect();
         let a = Realized::Values(xs.iter().map(|&v| Value::Int(v)).collect());
         let b = Realized::Values(ys.iter().map(|&v| Value::Int(v)).collect());
         let sa: BTreeSet<i64> = xs.iter().copied().collect();
         let sb: BTreeSet<i64> = ys.iter().copied().collect();
 
-        let ints = |r: &Realized| -> Vec<i64> {
-            r.iter().map(|v| v.as_int().unwrap()).collect()
-        };
-        prop_assert_eq!(ints(&a.union(&b).unwrap()),
-                        sa.union(&sb).copied().collect::<Vec<_>>());
-        prop_assert_eq!(ints(&a.intersect(&b).unwrap()),
-                        sa.intersection(&sb).copied().collect::<Vec<_>>());
-        prop_assert_eq!(ints(&a.difference(&b).unwrap()),
-                        sa.difference(&sb).copied().collect::<Vec<_>>());
-        prop_assert_eq!(a.concat(&b).len(), xs.len() + ys.len());
+        let ints =
+            |r: &Realized| -> Vec<i64> { r.iter().map(|v| v.as_int().unwrap()).collect() };
+        assert_eq!(
+            ints(&a.union(&b).unwrap()),
+            sa.union(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            ints(&a.intersect(&b).unwrap()),
+            sa.intersection(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            ints(&a.difference(&b).unwrap()),
+            sa.difference(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(a.concat(&b).len(), xs.len() + ys.len());
     }
+}
 
-    /// Arbitrary three-level spaces: all backends agree, at any thread
-    /// count, and pruning accounting is conserved.
-    #[test]
-    fn random_spaces_agree(
-        len_a in 1i64..8,
-        len_b in 1i64..8,
-        dep_step in 1i64..4,
-        threshold in 0i64..40,
-        use_soft in proptest::bool::ANY,
-        threads in 1usize..7,
-    ) {
+/// Arbitrary three-level spaces: all backends agree, at any thread count,
+/// and pruning accounting is conserved.
+#[test]
+fn random_spaces_agree() {
+    let mut rng = StdRng::seed_from_u64(0xBEA5_7004);
+    for case in 0..64 {
+        let len_a = rng.gen_range(1i64..8);
+        let len_b = rng.gen_range(1i64..8);
+        let dep_step = rng.gen_range(1i64..4);
+        let threshold = rng.gen_range(0i64..40);
+        let use_soft = rng.gen_bool(0.5);
+        let threads = rng.gen_range(1usize..7);
+
         let mut builder = Space::builder("prop_space")
             .range("a", 1, len_a + 1)
             .range("b", 0, len_b)
@@ -170,17 +208,16 @@ proptest! {
             .derived("score", var("a") * var("b") + var("c") * 2)
             .constraint("over", ConstraintClass::Hard, var("score").gt(threshold));
         if use_soft {
-            builder = builder.constraint(
-                "odd_c",
-                ConstraintClass::Soft,
-                (var("c") % 2).ne(0),
-            );
+            builder =
+                builder.constraint("odd_c", ConstraintClass::Soft, (var("c") % 2).ne(0));
         }
         let space = builder.build().unwrap();
         let plan = Plan::new(&space, PlanOptions::default()).unwrap();
         let lowered = LoweredPlan::new(&plan).unwrap();
 
-        let compiled_out = Compiled::new(lowered.clone()).run(CountVisitor::default()).unwrap();
+        let compiled_out = Compiled::new(lowered.clone())
+            .run(CountVisitor::default())
+            .unwrap();
         let walker_out = Walker::new(&plan, LoopStyle::While)
             .run(CountVisitor::default())
             .unwrap();
@@ -189,18 +226,18 @@ proptest! {
             .unwrap();
         let par_out = run_parallel(&lowered, threads, CountVisitor::default).unwrap();
 
-        prop_assert_eq!(compiled_out.visitor.count, walker_out.visitor.count);
-        prop_assert_eq!(compiled_out.visitor.count, vm_out.visitor.count);
-        prop_assert_eq!(compiled_out.visitor.count, par_out.visitor.count);
-        prop_assert_eq!(&compiled_out.stats, &par_out.stats);
+        assert_eq!(compiled_out.visitor.count, walker_out.visitor.count, "case {case}");
+        assert_eq!(compiled_out.visitor.count, vm_out.visitor.count, "case {case}");
+        assert_eq!(compiled_out.visitor.count, par_out.visitor.count, "case {case}");
+        assert_eq!(compiled_out.stats, par_out.stats, "case {case}");
 
         // Conservation: every evaluation either pruned or passed; survivors
         // equal the points that passed the *last* check they reached.
         let s = &compiled_out.stats;
         for i in 0..space.constraints().len() {
-            prop_assert!(s.pruned[i] <= s.evaluated[i]);
+            assert!(s.pruned[i] <= s.evaluated[i], "case {case}");
         }
         let passed_first: u64 = s.evaluated.first().map(|e| e - s.pruned[0]).unwrap_or(0);
-        prop_assert!(s.survivors <= passed_first.max(s.survivors));
+        assert!(s.survivors <= passed_first.max(s.survivors), "case {case}");
     }
 }
