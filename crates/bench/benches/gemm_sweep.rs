@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use beast_core::ir::LoweredPlan;
 use beast_core::plan::{Plan, PlanOptions};
 use beast_engine::compiled::Compiled;
+use beast_engine::parallel::{run_parallel_report, ParallelOptions};
 use beast_engine::visit::CountVisitor;
 use beast_engine::vm::{Vm, VmStyle};
 use beast_engine::walker::{LoopStyle, Walker};
@@ -40,6 +41,16 @@ fn bench(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // Persist one machine-readable sweep report next to the workspace root so
+    // CI and the experiment recipes can diff telemetry across runs.
+    let (_, report) = run_parallel_report(&lp, &ParallelOptions::new(1), CountVisitor::default)
+        .expect("gemm sweep report");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 criterion_group!(benches, bench);

@@ -21,6 +21,11 @@
 //! repro all               everything above with small defaults
 //! ```
 //!
+//! The global `--no-intervals` flag disables the compiled engine's interval
+//! block pruning in the subcommands that use it (`headline`, `funnel`,
+//! `threads`) — the ablation knob behind the `ablation_intervals` benchmark.
+//! Survivor counts are identical either way.
+//!
 //! Numbers are machine-relative; the paper's *shape* (ordering, rough
 //! factors) is the reproduction target. See EXPERIMENTS.md.
 
@@ -31,7 +36,7 @@ use beast_codegen::{all_backends, all_toolchains, ToolchainResult};
 use beast_core::ir::LoweredPlan;
 use beast_core::plan::{Plan, PlanOptions};
 use beast_cuda::{CcLimits, DeviceProps};
-use beast_engine::compiled::Compiled;
+use beast_engine::compiled::{Compiled, EngineOptions};
 use beast_engine::parallel::{run_parallel_report, ParallelOptions};
 use beast_engine::telemetry::SweepReport;
 use beast_engine::visit::CountVisitor;
@@ -48,7 +53,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let no_intervals = args.iter().any(|a| a == "--no-intervals");
+    args.retain(|a| a != "--no-intervals");
+    let engine = if no_intervals {
+        EngineOptions::no_intervals()
+    } else {
+        EngineOptions::default()
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let arg_num = |default: u64| -> u64 {
         args.get(1).and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -67,13 +79,14 @@ fn main() {
         "fig17" => fig17(arg_num(3_000_000)),
         "fig18" => fig18(arg_num(10_000_000)),
         "fig19" => fig19(arg_num(50_000_000)),
-        "headline" => headline(arg_num(32) as i64),
-        "funnel" => funnel(arg_num(32) as i64),
+        "headline" => headline(arg_num(32) as i64, engine),
+        "funnel" => funnel(arg_num(32) as i64, engine),
         "table1" => table1(),
         "threads" => threads(
             arg_num(48) as i64,
             flag("--threads").and_then(|s| s.parse().ok()),
             flag("--json"),
+            engine,
         ),
         "search" => search(arg_num(32) as i64),
         "viz" => viz(arg_num(24) as i64),
@@ -85,11 +98,11 @@ fn main() {
             fig17(1_000_000);
             fig18(3_000_000);
             fig19(20_000_000);
-            headline(24);
-            funnel(24);
+            headline(24, engine);
+            funnel(24, engine);
             table1();
             batched(32);
-            threads(32, None, None);
+            threads(32, None, None, engine);
             search(24);
         }
         other => {
@@ -317,7 +330,7 @@ fn fig19(total: u64) {
 // §XI-B/D headline: GEMM sweep, interpreted vs compiled
 // ---------------------------------------------------------------------------
 
-fn headline(dim: i64) {
+fn headline(dim: i64, engine: EngineOptions) {
     header(&format!(
         "§XI headline — GEMM space sweep on reduced({dim}) device: interpreted vs compiled"
     ));
@@ -338,7 +351,7 @@ fn headline(dim: i64) {
     let vm_out = vm.run(CountVisitor::default()).unwrap();
     let t_vm = t0.elapsed().as_secs_f64();
 
-    let compiled = Compiled::new(lp.clone());
+    let compiled = Compiled::with_options(lp.clone(), engine);
     let t0 = Instant::now();
     let comp_out = compiled.run(CountVisitor::default()).unwrap();
     let t_comp = t0.elapsed().as_secs_f64();
@@ -347,6 +360,12 @@ fn headline(dim: i64) {
     assert_eq!(vm_out.visitor.count, comp_out.visitor.count);
 
     println!("survivors: {}", comp_out.visitor.count);
+    if comp_out.blocks.subtree_skips > 0 {
+        println!(
+            "(compiled engine skipped {} subtrees ≈ {} points via interval analysis)",
+            comp_out.blocks.subtree_skips, comp_out.blocks.points_skipped
+        );
+    }
     println!("{:<26} {:>10} {:>10}", "backend", "seconds", "speedup");
     println!("{:<26} {:>10.3} {:>9.1}x", "walker (Python model)", t_walker, 1.0);
     println!("{:<26} {:>10.3} {:>9.1}x", "VM (Lua model)", t_vm, t_walker / t_vm);
@@ -382,14 +401,20 @@ fn headline(dim: i64) {
 // §VI: pruning funnel
 // ---------------------------------------------------------------------------
 
-fn funnel(dim: i64) {
+fn funnel(dim: i64, engine: EngineOptions) {
     header(&format!("§VI — pruning funnel, GEMM space on reduced({dim}) device"));
     let params = GemmSpaceParams::reduced(dim);
     let space = build_gemm_space(&params).unwrap();
     let plan = Plan::new(&space, PlanOptions::default()).unwrap();
     let lp = LoweredPlan::new(&plan).unwrap();
-    let out = Compiled::new(lp).run(CountVisitor::default()).unwrap();
+    let out = Compiled::with_options(lp, engine).run(CountVisitor::default()).unwrap();
     println!("{}", out.stats.render_funnel(&space));
+    if out.blocks.subtree_skips > 0 || out.blocks.checks_elided > 0 {
+        println!(
+            "block pruning: {} subtree skips (≥ {} points never enumerated), {} checks elided",
+            out.blocks.subtree_skips, out.blocks.points_skipped, out.blocks.checks_elided
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -669,7 +694,7 @@ fn search(dim: i64) {
 // §X-B: multithreaded scaling
 // ---------------------------------------------------------------------------
 
-fn threads(dim: i64, only: Option<usize>, json_path: Option<String>) {
+fn threads(dim: i64, only: Option<usize>, json_path: Option<String>, engine: EngineOptions) {
     header(&format!("§X-B — multithreaded sweep of the GEMM space, reduced({dim}) device"));
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("(host has {cores} hardware thread(s); scaling saturates there)");
@@ -685,9 +710,8 @@ fn threads(dim: i64, only: Option<usize>, json_path: Option<String>) {
     let mut reports = Vec::new();
     let mut t1 = 0.0;
     for &threads in &counts {
-        let (out, report) =
-            run_parallel_report(&lp, &ParallelOptions::new(threads), CountVisitor::default)
-                .unwrap();
+        let opts = ParallelOptions { threads, engine, ..ParallelOptions::default() };
+        let (out, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
         let dt = report.elapsed.as_secs_f64();
         if threads == counts[0] {
             t1 = dt; // speedups are relative to the first count run

@@ -216,9 +216,6 @@ mod tests {
             + src.matches("then\n").count()
             - 1; // "function " appears once in a comment? no: count carefully below
         let _ = opens;
-        assert_eq!(
-            src.matches("\nend").count() + src.matches(" end").count() > 0,
-            true
-        );
+        assert!(src.matches("\nend").count() + src.matches(" end").count() > 0);
     }
 }

@@ -123,11 +123,14 @@ fn interpret(interpreter: PathBuf, src_path: &Path, src: &str) -> ToolchainResul
     }
 }
 
+/// Callback that builds and runs one generated source file.
+type BuildAndRun = Box<dyn Fn(&Path, &str) -> ToolchainResult + Send + Sync>;
+
 /// A language toolchain that can build and execute one backend's output.
 pub struct Toolchain {
     /// Language name (matches the backend).
     pub language: &'static str,
-    build_and_run: Box<dyn Fn(&Path, &str) -> ToolchainResult + Send + Sync>,
+    build_and_run: BuildAndRun,
 }
 
 impl Toolchain {

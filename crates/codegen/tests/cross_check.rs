@@ -11,7 +11,7 @@ use beast_core::expr::{lit, min2, ternary, var};
 use beast_core::ir::LoweredPlan;
 use beast_core::plan::{Plan, PlanOptions};
 use beast_core::space::Space;
-use beast_engine::compiled::Compiled;
+use beast_engine::compiled::{Compiled, EngineOptions};
 use beast_engine::point::PointRef;
 use beast_engine::visit::Visitor;
 
@@ -40,9 +40,16 @@ fn cross_check(space: Arc<Space>) {
     let plan = Plan::new(&space, PlanOptions::default()).unwrap();
     let lp = LoweredPlan::new(&plan).unwrap();
 
-    // Ground truth from the in-process engine.
-    let compiled = Compiled::new(lp.clone());
+    // Ground truth from the in-process engine. The generated programs are
+    // pure per-point evaluators, so compare against the engine with interval
+    // block pruning off — with it on, skipped subtrees legitimately shrink
+    // the per-constraint prune counts (survivors/checksum are unaffected and
+    // are additionally cross-checked against the block-pruning engine below).
+    let compiled = Compiled::with_options(lp.clone(), EngineOptions::no_intervals());
     let truth = compiled.run(ChecksumVisitor::default()).unwrap();
+    let pruning = Compiled::new(lp.clone()).run(ChecksumVisitor::default()).unwrap();
+    assert_eq!(pruning.visitor.survivors, truth.visitor.survivors);
+    assert_eq!(pruning.visitor.checksum, truth.visitor.checksum);
 
     let program = Program::from_lowered(&lp).unwrap();
     let lowered = beast_codegen::lower(&program);

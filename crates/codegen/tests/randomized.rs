@@ -11,7 +11,7 @@ use beast_core::expr::{lit, max2, min2, ternary, var, E};
 use beast_core::ir::LoweredPlan;
 use beast_core::plan::{Plan, PlanOptions};
 use beast_core::space::{Space, SpaceBuilder};
-use beast_engine::compiled::Compiled;
+use beast_engine::compiled::{Compiled, EngineOptions};
 use beast_engine::point::PointRef;
 use beast_engine::visit::Visitor;
 
@@ -133,7 +133,11 @@ fn randomized_spaces_cross_check_all_toolchains() {
         let space = random_space(seed * 7919);
         let plan = Plan::new(&space, PlanOptions::default()).unwrap();
         let lp = LoweredPlan::new(&plan).unwrap();
-        let truth = Compiled::new(lp.clone()).run(ChecksumVisitor::default()).unwrap();
+        // Generated programs evaluate every point, so the per-constraint
+        // prune counts must come from the engine with block pruning off.
+        let truth = Compiled::with_options(lp.clone(), EngineOptions::no_intervals())
+            .run(ChecksumVisitor::default())
+            .unwrap();
         let program =
             beast_codegen::lower(&beast_codegen::Program::from_lowered(&lp).unwrap());
 

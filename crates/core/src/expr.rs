@@ -474,6 +474,7 @@ impl E {
     }
 
     /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> E {
         E(Expr::Unary(UnOp::Not, Box::new(self.0)))
     }
@@ -484,6 +485,7 @@ impl E {
     }
 
     /// Remainder `self % rhs` (also available via the `%` operator).
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, rhs: impl Into<E>) -> E {
         E::bin(BinOp::Rem, self, rhs.into())
     }
@@ -597,6 +599,7 @@ impl VarRef {
     }
 
     /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> E {
         self.e().not()
     }

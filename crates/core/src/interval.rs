@@ -1,0 +1,662 @@
+//! Static interval (bounds) analysis over the lowered integer IR.
+//!
+//! The paper's hoisted constraints prune *point by point*: even when a
+//! constraint's verdict is already decided for every value a loop can take,
+//! the engine still enumerates the loop and re-evaluates the check at each
+//! point. Interval analysis lifts the same expressions from points to
+//! *domains*: given a conservative `[lo, hi]` range per slot, it computes a
+//! range that is guaranteed to contain every value the expression can
+//! evaluate to (constraint-propagation in the sense of Willemsen et al.,
+//! "Efficient Construction of Large Search Spaces for Auto-Tuning"). The
+//! compiled engine uses the verdicts for *block pruning*: a constraint whose
+//! interval excludes 0 rejects the whole subtree; one whose interval is
+//! exactly `[0, 0]` can never reject and its per-point check is elided.
+//!
+//! Soundness contract: for every slot assignment consistent with the
+//! environment, if [`IntExpr::eval`] returns `Ok(v)` then `v` lies inside
+//! the computed interval; and if the analysis reports the expression
+//! *clean*, evaluation cannot return an error (division by zero) or panic
+//! (debug-mode overflow in the `div_ceil`/`round_up` builtins). Wrapping
+//! arithmetic is handled by widening to [`Interval::TOP`] whenever a bound
+//! computation could leave the `i64` range; `/`, `%`, `min`, `max` and
+//! opaque bodies are approximated conservatively, never exactly wrongly.
+
+use crate::expr::Builtin;
+use crate::ir::{IntBinOp, IntExpr};
+
+/// An inclusive integer interval `[lo, hi]`.
+///
+/// The analysis never produces an empty interval: expressions always
+/// evaluate to *some* value, so `lo <= hi` is an invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest value the expression can take.
+    pub lo: i64,
+    /// Largest value the expression can take.
+    pub hi: i64,
+}
+
+/// Result of analyzing one expression: its value interval plus whether
+/// evaluation is guaranteed not to fail for any point in the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalOutcome {
+    /// Conservative bounds on the expression's value.
+    pub iv: Interval,
+    /// True when evaluation can neither return an error (division by zero)
+    /// nor panic (builtin intermediate overflow) for any consistent point.
+    pub clean: bool,
+}
+
+impl IntervalOutcome {
+    fn new(iv: Interval, clean: bool) -> IntervalOutcome {
+        IntervalOutcome { iv, clean }
+    }
+
+    fn top(clean: bool) -> IntervalOutcome {
+        IntervalOutcome { iv: Interval::TOP, clean }
+    }
+}
+
+impl Interval {
+    /// The whole `i64` range: the "don't know" element.
+    pub const TOP: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+
+    /// The boolean range `[0, 1]`.
+    pub const BOOL: Interval = Interval { lo: 0, hi: 1 };
+
+    /// An interval holding exactly one value.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// An interval from unordered endpoints.
+    pub fn new(a: i64, b: i64) -> Interval {
+        Interval { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// Does the interval contain `v`?
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Is this interval a single point?
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn hull(&self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Largest absolute value in the interval (as `u64`, so `i64::MIN` is
+    /// representable).
+    fn max_abs(&self) -> u64 {
+        self.lo.unsigned_abs().max(self.hi.unsigned_abs())
+    }
+
+    /// Clamp an `i128` pair down to an `i64` interval; `None` when the exact
+    /// result range leaves `i64` (wrapping could then land anywhere).
+    fn from_i128(lo: i128, hi: i128) -> Option<Interval> {
+        if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
+            None
+        } else {
+            Some(Interval { lo: lo as i64, hi: hi as i64 })
+        }
+    }
+}
+
+/// Truth-value classification of an interval under `!= 0` semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Truth {
+    /// `0 ∉ [lo, hi]`: every value is truthy.
+    AlwaysTrue,
+    /// `[lo, hi] == [0, 0]`: every value is falsy.
+    AlwaysFalse,
+    /// Contains zero and at least one nonzero value.
+    Unknown,
+}
+
+fn truth(iv: Interval) -> Truth {
+    if !iv.contains(0) {
+        Truth::AlwaysTrue
+    } else if iv.lo == 0 && iv.hi == 0 {
+        Truth::AlwaysFalse
+    } else {
+        Truth::Unknown
+    }
+}
+
+/// Compute a sound interval for `e` given per-slot intervals `env`
+/// (indexed by slot id, like the slot array passed to [`IntExpr::eval`]).
+///
+/// This is the recursive reference evaluator; the engine's hot path uses
+/// the flattened [`IvProg`] form, which produces identical outcomes.
+pub fn interval_of(e: &IntExpr, env: &[Interval]) -> IntervalOutcome {
+    match e {
+        IntExpr::Const(c) => IntervalOutcome::new(Interval::point(*c), true),
+        IntExpr::Slot(s) => IntervalOutcome::new(env[*s as usize], true),
+        IntExpr::Neg(a) => iv_neg(interval_of(a, env)),
+        IntExpr::Not(a) => iv_not(interval_of(a, env)),
+        IntExpr::Abs(a) => iv_abs(interval_of(a, env)),
+        IntExpr::Ternary(c, t, f) => {
+            iv_ternary(interval_of(c, env), interval_of(t, env), interval_of(f, env))
+        }
+        IntExpr::Bin(op, a, b) => iv_bin(*op, interval_of(a, env), interval_of(b, env)),
+        IntExpr::Call2(bi, a, b) => iv_call2(*bi, interval_of(a, env), interval_of(b, env)),
+    }
+}
+
+/// Interval negation.
+pub fn iv_neg(a: IntervalOutcome) -> IntervalOutcome {
+    let lo = -(a.iv.hi as i128);
+    let hi = -(a.iv.lo as i128);
+    match Interval::from_i128(lo, hi) {
+        Some(iv) => IntervalOutcome::new(iv, a.clean),
+        None => IntervalOutcome::top(a.clean),
+    }
+}
+
+/// Interval logical negation under `!= 0` truth semantics.
+pub fn iv_not(a: IntervalOutcome) -> IntervalOutcome {
+    let iv = match truth(a.iv) {
+        Truth::AlwaysTrue => Interval::point(0),
+        Truth::AlwaysFalse => Interval::point(1),
+        Truth::Unknown => Interval::BOOL,
+    };
+    IntervalOutcome::new(iv, a.clean)
+}
+
+/// Interval absolute value.
+pub fn iv_abs(a: IntervalOutcome) -> IntervalOutcome {
+    // `wrapping_abs(i64::MIN)` stays negative: widen to TOP.
+    if a.iv.lo == i64::MIN {
+        return IntervalOutcome::top(a.clean);
+    }
+    let iv = if a.iv.lo >= 0 {
+        a.iv
+    } else if a.iv.hi <= 0 {
+        Interval { lo: -a.iv.hi, hi: -a.iv.lo }
+    } else {
+        Interval { lo: 0, hi: (-a.iv.lo).max(a.iv.hi) }
+    };
+    IntervalOutcome::new(iv, a.clean)
+}
+
+/// Interval ternary. All three operand outcomes are taken *strictly* (the
+/// caller evaluates every branch), but the combine reproduces the lazy
+/// evaluator's cleanliness exactly: a decided condition discards the dead
+/// branch's cleanliness, as point evaluation never runs it.
+pub fn iv_ternary(c: IntervalOutcome, t: IntervalOutcome, f: IntervalOutcome) -> IntervalOutcome {
+    match truth(c.iv) {
+        Truth::AlwaysTrue => IntervalOutcome::new(t.iv, c.clean && t.clean),
+        Truth::AlwaysFalse => IntervalOutcome::new(f.iv, c.clean && f.clean),
+        Truth::Unknown => {
+            IntervalOutcome::new(t.iv.hull(f.iv), c.clean && t.clean && f.clean)
+        }
+    }
+}
+
+/// Interval binary operator. Strict in both operands; for the
+/// short-circuit operators the combine mirrors lazy point evaluation: when
+/// the left operand decides the result, the right operand's cleanliness is
+/// discarded (it would never run), so outcomes match [`interval_of`] and
+/// the recursive walk bit for bit.
+pub fn iv_bin(op: IntBinOp, a: IntervalOutcome, b: IntervalOutcome) -> IntervalOutcome {
+    if matches!(op, IntBinOp::And | IntBinOp::Or) {
+        let ta = truth(a.iv);
+        return match (op, ta) {
+            (IntBinOp::And, Truth::AlwaysFalse) => {
+                IntervalOutcome::new(Interval::point(0), a.clean)
+            }
+            (IntBinOp::Or, Truth::AlwaysTrue) => {
+                IntervalOutcome::new(Interval::point(1), a.clean)
+            }
+            _ => {
+                let tb = truth(b.iv);
+                let iv = match (op, ta, tb) {
+                    (IntBinOp::And, Truth::AlwaysTrue, Truth::AlwaysTrue) => Interval::point(1),
+                    (IntBinOp::And, _, Truth::AlwaysFalse) => Interval::point(0),
+                    (IntBinOp::Or, Truth::AlwaysFalse, Truth::AlwaysTrue) => Interval::point(1),
+                    (IntBinOp::Or, Truth::AlwaysFalse, Truth::AlwaysFalse) => Interval::point(0),
+                    _ => Interval::BOOL,
+                };
+                // When `a` is undecided, `b` may or may not be evaluated; its
+                // failures can only be ruled out if `b` itself is clean.
+                IntervalOutcome::new(iv, a.clean && b.clean)
+            }
+        };
+    }
+
+    let clean = a.clean && b.clean;
+    let (al, ah) = (a.iv.lo as i128, a.iv.hi as i128);
+    let (bl, bh) = (b.iv.lo as i128, b.iv.hi as i128);
+    match op {
+        IntBinOp::Add => match Interval::from_i128(al + bl, ah + bh) {
+            Some(iv) => IntervalOutcome::new(iv, clean),
+            None => IntervalOutcome::top(clean),
+        },
+        IntBinOp::Sub => match Interval::from_i128(al - bh, ah - bl) {
+            Some(iv) => IntervalOutcome::new(iv, clean),
+            None => IntervalOutcome::top(clean),
+        },
+        IntBinOp::Mul => {
+            let products = [al * bl, al * bh, ah * bl, ah * bh];
+            let lo = products.iter().copied().min().expect("nonempty");
+            let hi = products.iter().copied().max().expect("nonempty");
+            match Interval::from_i128(lo, hi) {
+                Some(iv) => IntervalOutcome::new(iv, clean),
+                None => IntervalOutcome::top(clean),
+            }
+        }
+        IntBinOp::Div => {
+            if b.iv.contains(0) {
+                // Division by zero is reachable: no verdict, may fail.
+                return IntervalOutcome::top(false);
+            }
+            if b.iv.is_point() {
+                // Trunc division is monotone in the dividend for a fixed
+                // divisor, so the endpoints bound it (checked in i128:
+                // `i64::MIN / -1` wraps).
+                let d = b.iv.lo as i128;
+                let c0 = trunc_div(al, d);
+                let c1 = trunc_div(ah, d);
+                match Interval::from_i128(c0.min(c1), c0.max(c1)) {
+                    Some(iv) => IntervalOutcome::new(iv, clean),
+                    None => IntervalOutcome::top(clean),
+                }
+            } else {
+                // |a / b| <= |a| for |b| >= 1: conservative symmetric bound.
+                let m = a.iv.max_abs().min(i64::MAX as u64) as i64;
+                IntervalOutcome::new(Interval { lo: -m, hi: m }, clean)
+            }
+        }
+        IntBinOp::FloorDiv => {
+            if b.iv.contains(0) {
+                return IntervalOutcome::top(false);
+            }
+            // |floor(a / b)| <= |a| + 1 for |b| >= 1.
+            let m = (a.iv.max_abs().min(i64::MAX as u64 - 1) + 1) as i64;
+            IntervalOutcome::new(Interval { lo: -m, hi: m }, clean)
+        }
+        IntBinOp::Rem => {
+            if b.iv.contains(0) {
+                return IntervalOutcome::top(false);
+            }
+            // C remainder: |a % b| <= min(|a|, |b| - 1), sign follows `a`.
+            let m = a.iv.max_abs().min(b.iv.max_abs() - 1).min(i64::MAX as u64) as i64;
+            let lo = if a.iv.lo >= 0 { 0 } else { -m };
+            let hi = if a.iv.hi <= 0 { 0 } else { m };
+            IntervalOutcome::new(Interval { lo, hi }, clean)
+        }
+        IntBinOp::Lt => IntervalOutcome::new(cmp_interval(ah < bl, al >= bh), clean),
+        IntBinOp::Le => IntervalOutcome::new(cmp_interval(ah <= bl, al > bh), clean),
+        IntBinOp::Gt => IntervalOutcome::new(cmp_interval(al > bh, ah <= bl), clean),
+        IntBinOp::Ge => IntervalOutcome::new(cmp_interval(al >= bh, ah < bl), clean),
+        IntBinOp::Eq => {
+            let iv = if a.iv.is_point() && b.iv.is_point() && a.iv.lo == b.iv.lo {
+                Interval::point(1)
+            } else if a.iv.hi < b.iv.lo || b.iv.hi < a.iv.lo {
+                Interval::point(0)
+            } else {
+                Interval::BOOL
+            };
+            IntervalOutcome::new(iv, clean)
+        }
+        IntBinOp::Ne => {
+            let iv = if a.iv.is_point() && b.iv.is_point() && a.iv.lo == b.iv.lo {
+                Interval::point(0)
+            } else if a.iv.hi < b.iv.lo || b.iv.hi < a.iv.lo {
+                Interval::point(1)
+            } else {
+                Interval::BOOL
+            };
+            IntervalOutcome::new(iv, clean)
+        }
+        IntBinOp::And | IntBinOp::Or => unreachable!("handled above"),
+    }
+}
+
+/// `[1,1]` when provably true, `[0,0]` when provably false, else `[0,1]`.
+fn cmp_interval(always: bool, never: bool) -> Interval {
+    if always {
+        Interval::point(1)
+    } else if never {
+        Interval::point(0)
+    } else {
+        Interval::BOOL
+    }
+}
+
+/// Trunc-toward-zero division in `i128` (both operands come from `i64`, so
+/// this never overflows).
+fn trunc_div(a: i128, b: i128) -> i128 {
+    a / b
+}
+
+/// Interval builtin call (strict; builtins have no short-circuit forms).
+pub fn iv_call2(bi: Builtin, a: IntervalOutcome, b: IntervalOutcome) -> IntervalOutcome {
+    let clean = a.clean && b.clean;
+    match bi {
+        // min/max map endpoints monotonically; this is exact, which is
+        // "conservative" in the only direction that matters (never narrower
+        // than the truth).
+        Builtin::Min => IntervalOutcome::new(
+            Interval { lo: a.iv.lo.min(b.iv.lo), hi: a.iv.hi.min(b.iv.hi) },
+            clean,
+        ),
+        Builtin::Max => IntervalOutcome::new(
+            Interval { lo: a.iv.lo.max(b.iv.lo), hi: a.iv.hi.max(b.iv.hi) },
+            clean,
+        ),
+        Builtin::DivCeil | Builtin::RoundUp => {
+            if b.iv.contains(0) {
+                return IntervalOutcome::top(false);
+            }
+            // Evaluation computes `a + b - 1` with plain (panicking in
+            // debug) arithmetic; prove it stays in range or give up.
+            let pre_lo = a.iv.lo as i128 + b.iv.lo as i128 - 1;
+            let pre_hi = a.iv.hi as i128 + b.iv.hi as i128 - 1;
+            if Interval::from_i128(pre_lo.min(pre_hi), pre_lo.max(pre_hi)).is_none() {
+                return IntervalOutcome::top(false);
+            }
+            match bi {
+                Builtin::DivCeil => {
+                    // |ceil(a / b)| <= |a| + 1 for |b| >= 1.
+                    let m = (a.iv.max_abs().min(i64::MAX as u64 - 1) + 1) as i64;
+                    IntervalOutcome::new(Interval { lo: -m, hi: m }, clean)
+                }
+                _ => {
+                    // round_up(a, b) = ceil(a / b) * b: |result| <= |a| + |b|.
+                    let m = a.iv.max_abs() as u128 + b.iv.max_abs() as u128;
+                    match Interval::from_i128(-(m as i128), m as i128) {
+                        Some(iv) => IntervalOutcome::new(iv, clean),
+                        None => IntervalOutcome::top(clean),
+                    }
+                }
+            }
+        }
+        Builtin::Gcd => {
+            // gcd(i64::MIN, 0) is 2^63, which wraps negative on the cast
+            // back to i64; rule the pathological operand out, then
+            // 0 <= gcd(a, b) <= max(|a|, |b|).
+            if a.iv.lo == i64::MIN || b.iv.lo == i64::MIN {
+                return IntervalOutcome::top(clean);
+            }
+            let m = a.iv.max_abs().max(b.iv.max_abs()) as i64;
+            IntervalOutcome::new(Interval { lo: 0, hi: m }, clean)
+        }
+        Builtin::Abs => IntervalOutcome::top(clean),
+    }
+}
+
+/// Sound hull of the values a `range(start, stop, step)` iterator can
+/// yield, given intervals for its (already slot-resolved) bounds. Python
+/// range semantics: ascending for positive step (`start <= x < stop`),
+/// descending for negative (`stop < x <= start`), empty for zero. The hull
+/// of both orientations is simply the hull of the two bound intervals.
+pub fn range_value_hull(start: Interval, stop: Interval) -> Interval {
+    start.hull(stop)
+}
+
+/// One instruction of a flattened interval program (see [`IvProg`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IvOp {
+    /// Push a point interval.
+    Const(i64),
+    /// Push the slot's environment interval.
+    Slot(u32),
+    /// Pop one outcome, push its arithmetic negation.
+    Neg,
+    /// Pop one outcome, push its logical negation (`!= 0` semantics).
+    Not,
+    /// Pop one outcome, push its absolute value.
+    Abs,
+    /// Pop right then left, push the binary transfer result.
+    Bin(IntBinOp),
+    /// Pop right then left, push the builtin transfer result.
+    Call2(Builtin),
+    /// Pop else, then, condition; push the ternary transfer result.
+    Ternary,
+}
+
+/// A flattened postfix compilation of an [`IntExpr`] for interval
+/// evaluation: one linear instruction array walked with an explicit operand
+/// stack, no tree recursion and no pointer chasing on the hot path.
+///
+/// Unlike the point-wise postfix programs, there are no jumps: interval
+/// analysis must look at *both* branches of undecided conditionals anyway,
+/// so every operator is strict and the short-circuit/branch semantics live
+/// entirely in the combine functions ([`iv_bin`], [`iv_ternary`]), which
+/// discard a dead operand's cleanliness exactly like the lazy point
+/// evaluator. Outcomes are identical to [`interval_of`] by construction
+/// (same transfer functions, same traversal order).
+#[derive(Debug, Clone)]
+pub struct IvProg {
+    ops: Vec<IvOp>,
+}
+
+impl IvProg {
+    /// Flatten `e` post-order into a linear program.
+    pub fn compile(e: &IntExpr) -> IvProg {
+        fn go(e: &IntExpr, ops: &mut Vec<IvOp>) {
+            match e {
+                IntExpr::Const(c) => ops.push(IvOp::Const(*c)),
+                IntExpr::Slot(s) => ops.push(IvOp::Slot(*s)),
+                IntExpr::Neg(a) => {
+                    go(a, ops);
+                    ops.push(IvOp::Neg);
+                }
+                IntExpr::Not(a) => {
+                    go(a, ops);
+                    ops.push(IvOp::Not);
+                }
+                IntExpr::Abs(a) => {
+                    go(a, ops);
+                    ops.push(IvOp::Abs);
+                }
+                IntExpr::Bin(op, a, b) => {
+                    go(a, ops);
+                    go(b, ops);
+                    ops.push(IvOp::Bin(*op));
+                }
+                IntExpr::Call2(bi, a, b) => {
+                    go(a, ops);
+                    go(b, ops);
+                    ops.push(IvOp::Call2(*bi));
+                }
+                IntExpr::Ternary(c, t, f) => {
+                    go(c, ops);
+                    go(t, ops);
+                    go(f, ops);
+                    ops.push(IvOp::Ternary);
+                }
+            }
+        }
+        let mut ops = Vec::new();
+        go(e, &mut ops);
+        IvProg { ops }
+    }
+
+    /// The slots the program reads.
+    pub fn read_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ops.iter().filter_map(|op| match op {
+            IvOp::Slot(s) => Some(*s),
+            _ => None,
+        })
+    }
+
+    /// Evaluate against per-slot intervals. `stack` is caller-provided
+    /// scratch (cleared here) so repeated evaluation never reallocates.
+    pub fn eval(&self, env: &[Interval], stack: &mut Vec<IntervalOutcome>) -> IntervalOutcome {
+        stack.clear();
+        for op in &self.ops {
+            let out = match op {
+                IvOp::Const(c) => IntervalOutcome::new(Interval::point(*c), true),
+                IvOp::Slot(s) => IntervalOutcome::new(env[*s as usize], true),
+                IvOp::Neg => iv_neg(stack.pop().expect("iv stack")),
+                IvOp::Not => iv_not(stack.pop().expect("iv stack")),
+                IvOp::Abs => iv_abs(stack.pop().expect("iv stack")),
+                IvOp::Bin(o) => {
+                    let b = stack.pop().expect("iv stack");
+                    let a = stack.pop().expect("iv stack");
+                    iv_bin(*o, a, b)
+                }
+                IvOp::Call2(bi) => {
+                    let b = stack.pop().expect("iv stack");
+                    let a = stack.pop().expect("iv stack");
+                    iv_call2(*bi, a, b)
+                }
+                IvOp::Ternary => {
+                    let f = stack.pop().expect("iv stack");
+                    let t = stack.pop().expect("iv stack");
+                    let c = stack.pop().expect("iv stack");
+                    iv_ternary(c, t, f)
+                }
+            };
+            stack.push(out);
+        }
+        stack.pop().expect("nonempty program")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IntExpr as E;
+
+    fn slot(i: u32) -> E {
+        E::Slot(i)
+    }
+
+    fn bin(op: IntBinOp, a: E, b: E) -> E {
+        E::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn add_mul_exact_on_small_ranges() {
+        let env = [Interval { lo: 1, hi: 4 }, Interval { lo: -2, hi: 3 }];
+        let e = bin(IntBinOp::Add, slot(0), slot(1));
+        let out = interval_of(&e, &env);
+        assert_eq!(out.iv, Interval { lo: -1, hi: 7 });
+        assert!(out.clean);
+
+        let e = bin(IntBinOp::Mul, slot(0), slot(1));
+        let out = interval_of(&e, &env);
+        assert_eq!(out.iv, Interval { lo: -8, hi: 12 });
+        assert!(out.clean);
+    }
+
+    #[test]
+    fn overflow_widens_to_top() {
+        let env = [Interval { lo: i64::MAX - 1, hi: i64::MAX }];
+        let e = bin(IntBinOp::Add, slot(0), E::Const(10));
+        let out = interval_of(&e, &env);
+        assert_eq!(out.iv, Interval::TOP);
+        assert!(out.clean, "wrapping add is not an eval failure");
+    }
+
+    #[test]
+    fn division_by_possible_zero_is_unclean() {
+        let env = [Interval { lo: 0, hi: 5 }];
+        let e = bin(IntBinOp::Div, E::Const(10), slot(0));
+        let out = interval_of(&e, &env);
+        assert!(!out.clean);
+
+        let env = [Interval { lo: 1, hi: 5 }];
+        let out = interval_of(&e, &env);
+        assert!(out.clean);
+        assert!(out.iv.contains(2) && out.iv.contains(10));
+    }
+
+    #[test]
+    fn comparisons_decide_on_disjoint_ranges() {
+        let env = [Interval { lo: 1, hi: 4 }, Interval { lo: 10, hi: 20 }];
+        let lt = interval_of(&bin(IntBinOp::Lt, slot(0), slot(1)), &env);
+        assert_eq!(lt.iv, Interval::point(1));
+        let gt = interval_of(&bin(IntBinOp::Gt, slot(0), slot(1)), &env);
+        assert_eq!(gt.iv, Interval::point(0));
+        let eq = interval_of(&bin(IntBinOp::Eq, slot(0), slot(1)), &env);
+        assert_eq!(eq.iv, Interval::point(0));
+    }
+
+    #[test]
+    fn short_circuit_and_skips_unclean_rhs() {
+        // a == 0 short-circuits: the unclean RHS never runs.
+        let env = [Interval::point(0), Interval { lo: 0, hi: 3 }];
+        let e = bin(
+            IntBinOp::And,
+            slot(0),
+            bin(IntBinOp::Div, E::Const(1), slot(1)),
+        );
+        let out = interval_of(&e, &env);
+        assert_eq!(out.iv, Interval::point(0));
+        assert!(out.clean);
+    }
+
+    #[test]
+    fn rem_bounds_follow_divisor_magnitude() {
+        let env = [Interval { lo: 0, hi: 1000 }, Interval { lo: 8, hi: 8 }];
+        let e = bin(IntBinOp::Rem, slot(0), slot(1));
+        let out = interval_of(&e, &env);
+        assert!(out.clean);
+        assert_eq!(out.iv, Interval { lo: 0, hi: 7 });
+    }
+
+    #[test]
+    fn min_max_are_exact() {
+        let env = [Interval { lo: 2, hi: 9 }, Interval { lo: 5, hi: 6 }];
+        let e = E::Call2(Builtin::Min, Box::new(slot(0)), Box::new(slot(1)));
+        let out = interval_of(&e, &env);
+        assert_eq!(out.iv, Interval { lo: 2, hi: 6 });
+        let e = E::Call2(Builtin::Max, Box::new(slot(0)), Box::new(slot(1)));
+        let out = interval_of(&e, &env);
+        assert_eq!(out.iv, Interval { lo: 5, hi: 9 });
+    }
+
+    #[test]
+    fn flattened_program_matches_recursive_walk() {
+        let env = [
+            Interval { lo: 0, hi: 7 },
+            Interval { lo: -3, hi: 3 },
+            Interval::point(4),
+        ];
+        let exprs = [
+            bin(IntBinOp::Add, slot(0), bin(IntBinOp::Mul, slot(1), slot(2))),
+            bin(IntBinOp::Div, E::Const(100), slot(1)), // possible /0: unclean
+            bin(
+                IntBinOp::And,
+                bin(IntBinOp::Lt, slot(0), E::Const(0)), // always false: short-circuit
+                bin(IntBinOp::Div, E::Const(1), slot(1)),
+            ),
+            E::Ternary(
+                Box::new(bin(IntBinOp::Ge, slot(2), E::Const(4))), // always true
+                Box::new(slot(0)),
+                Box::new(bin(IntBinOp::Rem, slot(0), slot(1))),
+            ),
+            E::Call2(
+                Builtin::DivCeil,
+                Box::new(E::Abs(Box::new(slot(1)))),
+                Box::new(slot(2)),
+            ),
+        ];
+        let mut stack = Vec::new();
+        for e in &exprs {
+            let walk = interval_of(e, &env);
+            let flat = IvProg::compile(e).eval(&env, &mut stack);
+            assert_eq!(walk, flat, "flat/walk divergence on {e:?}");
+        }
+    }
+
+    #[test]
+    fn ternary_hulls_unknown_branches() {
+        let env = [Interval { lo: 0, hi: 1 }];
+        let e = E::Ternary(
+            Box::new(slot(0)),
+            Box::new(E::Const(100)),
+            Box::new(E::Const(-3)),
+        );
+        let out = interval_of(&e, &env);
+        assert_eq!(out.iv, Interval { lo: -3, hi: 100 });
+    }
+}

@@ -544,6 +544,34 @@ impl LoweredPlan {
         Some(fanout)
     }
 
+    /// Lower-bound estimate of the number of points below one iteration of
+    /// loop `loop_index` (0 = outermost): the product of the statically
+    /// known inner domain lengths, counting dependent or opaque domains
+    /// as `1`. The interval-based block pruner multiplies this by the
+    /// skipped domain length to estimate how many points a subtree skip
+    /// avoided.
+    pub fn static_fanout_below(&self, loop_index: usize) -> u64 {
+        let mut fanout: u64 = 1;
+        let mut binds_seen = 0usize;
+        for step in &self.steps {
+            if let LStep::Bind { domain, .. } = step {
+                binds_seen += 1;
+                if binds_seen <= loop_index + 1 {
+                    continue;
+                }
+                let len = match domain {
+                    LIter::Values(v) => Some(v.len() as u64),
+                    LIter::Range { start, stop, step } => (|| {
+                        range_len(start.as_const()?, stop.as_const()?, step.as_const()?)
+                    })(),
+                    LIter::Opaque { .. } => None,
+                };
+                fanout = fanout.saturating_mul(len.unwrap_or(1));
+            }
+        }
+        fanout
+    }
+
     /// True if any step requires calling back into an opaque Rust closure.
     pub fn has_opaque_steps(&self) -> bool {
         self.steps.iter().any(|s| match s {

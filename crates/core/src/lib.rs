@@ -52,6 +52,7 @@ pub mod dag;
 pub mod derived;
 pub mod error;
 pub mod expr;
+pub mod interval;
 pub mod ir;
 pub mod iterator;
 mod macros;
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use crate::derived::DerivedKind;
     pub use crate::error::{EvalError, SpaceError};
     pub use crate::expr::{lit, max2, min2, ternary, var, Bindings, Expr, VarRef, E};
+    pub use crate::interval::{interval_of, Interval, IntervalOutcome, IvProg};
     pub use crate::ir::{IntExpr, LoweredPlan};
     pub use crate::iterator::{build as iter_build, IterKind, Realized};
     pub use crate::plan::{LoopOrder, Plan, PlanOptions, Step};

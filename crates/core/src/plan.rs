@@ -220,7 +220,7 @@ impl Plan {
         // nodes assigned there.
         let n_slots = loop_iters.len() + 1;
         let mut slot_nodes: Vec<Vec<usize>> = vec![Vec::new(); n_slots];
-        for v in 0..n_nodes {
+        for (v, &vdepth) in depth.iter().enumerate() {
             let target = space.node_target(v);
             if matches!(target, NodeTarget::Iter(_)) {
                 continue;
@@ -231,7 +231,7 @@ impl Plan {
                 }
             }
             let slot = if options.hoist {
-                match depth[v] {
+                match vdepth {
                     None => 0,
                     Some(p) => p + 1,
                 }

@@ -1,76 +1,263 @@
 //! The *compiled* backend: the in-process analog of the paper's generated C.
 //!
 //! A [`LoweredPlan`] — constants folded, variables assigned to dense `i64`
-//! slots, expressions reduced to integer IR — is reshaped into a loop-nest
-//! tree and executed with plain machine integers for loop control: no name
-//! lookups, no boxed values, no per-iteration allocation. This is the backend
-//! that turns the paper's 18.5-hour Python sweep into minutes (Section XI-D),
-//! and the one the multithreaded driver parallelizes.
+//! slots, expressions reduced to integer IR — is flattened into a **threaded-
+//! code program**: one linear instruction array with explicit jump offsets,
+//! executed with plain machine integers for loop control. There is no node
+//! tree and no recursion on the hot path, mirroring the shape of the paper's
+//! generated C (a single function of nested `for` loops and `continue`s).
+//! Loop bounds are evaluated once at loop entry (they are invariant inside
+//! the loop by the planner's dependency ordering), and every expression is a
+//! peephole-optimized postfix program. This is the backend that turns the
+//! paper's 18.5-hour Python sweep into minutes (Section XI-D), and the one
+//! the multithreaded driver parallelizes.
+//!
+//! # Interval block pruning
+//!
+//! On top of the paper's per-point hoisted checks, the engine performs
+//! *block pruning* driven by the static interval analysis in
+//! [`beast_core::interval`]: at entry to every non-outermost loop it
+//! propagates `[lo, hi]` bounds through the subtree's binds, defines and
+//! checks. A constraint whose interval excludes 0 rejects every point of
+//! the subtree, so the subtree is skipped without enumeration; a constraint
+//! whose interval is exactly `[0, 0]` can never reject, so its per-point
+//! evaluation is elided for the duration of the subtree (while still being
+//! *counted* as evaluated-and-passed, which keeps the pruning funnel
+//! bit-for-bit comparable with the walker). Verdicts are only trusted when
+//! the analysis also proves the subtree cannot raise an evaluation error
+//! before the deciding check, so error semantics are preserved exactly.
+//! Survivors and visit order are identical with intervals on or off; only
+//! the per-constraint `evaluated` totals shrink when whole subtrees are
+//! skipped (reported separately in [`BlockStats`]).
+//!
+//! The outermost loop is deliberately *not* guarded: its entry analysis
+//! would see a chunk-dependent subdomain under the parallel driver, and
+//! constraints hoisted to level 0 are re-checked per outer value anyway.
+//! Skipping it keeps serial and chunked runs bit-for-bit identical.
 //!
 //! Opaque (deferred/closure) definitions are supported by calling back into
 //! the Rust closures through a slot-backed [`Bindings`] view; such calls
 //! happen once per realization, not per point, so they do not change the
-//! asymptotic cost profile.
+//! asymptotic cost profile. Opaque steps are treated as unknowable by the
+//! interval analysis (top interval, possibly failing), which disables block
+//! verdicts below them.
 
 use std::sync::Arc;
 
 use beast_core::error::EvalError;
 use beast_core::expr::Bindings;
+use beast_core::interval::{range_value_hull, Interval, IntervalOutcome, IvProg};
 use beast_core::ir::{LBody, LIter, LStep, LoweredPlan};
 use beast_core::iterator::Realized;
 use beast_core::value::Value;
 
 use crate::point::PointRef;
 use crate::postfix::Postfix;
-use crate::stats::PruneStats;
+
+use crate::stats::{BlockStats, PruneStats};
 use crate::visit::Visitor;
 use crate::walker::SweepOutcome;
 
-/// A loop domain in the executable tree.
+/// Tuning knobs for the compiled engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Enable interval-based block pruning (subtree skips and check
+    /// elision). On by default; survivors and visit order are identical
+    /// either way, so turning it off is only useful for ablations.
+    pub intervals: bool,
+    /// Minimum static fanout (points below one iteration, see
+    /// [`LoweredPlan::static_fanout_below`]) for a loop to get an interval
+    /// guard. Guards on deep loops with tiny subtrees cost more per entry
+    /// than the few points they can skip; gating them *statically* keeps
+    /// the guard set — and therefore every skip/elide decision — identical
+    /// across serial and parallel runs at any thread count. The default of
+    /// 4 sits in the middle of the 2–8 plateau measured on the GEMM space
+    /// (`ablation_intervals`); 1 guards every eligible loop.
+    pub min_guard_fanout: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions { intervals: true, min_guard_fanout: 4 }
+    }
+}
+
+impl EngineOptions {
+    /// Options with block pruning disabled (the paper's plain per-point
+    /// engine; used by the `ablation_intervals` bench and `--no-intervals`).
+    pub fn no_intervals() -> EngineOptions {
+        EngineOptions { intervals: false, ..EngineOptions::default() }
+    }
+}
+
+/// A loop domain in the flat program.
 #[derive(Debug, Clone)]
 enum CDomain {
-    /// Static range with postfix-compiled bounds evaluated at loop entry.
+    /// Range with postfix-compiled bounds evaluated once at loop entry.
     Range { start: Postfix, stop: Postfix, step: Postfix },
-    /// Static list of values.
-    Values(Vec<i64>),
+    /// Static list of values, shared (not deep-copied) across clones and
+    /// parallel chunk runs.
+    Values { values: Arc<[i64]>, lo: i64, hi: i64 },
     /// Opaque: realize through the space's iterator definition.
     Opaque { iter: usize },
 }
 
-/// Executable node tree (the "generated code").
+/// One instruction of the threaded-code program.
+///
+/// Jump fields are absolute instruction indices. Control flow is a single
+/// `ip` cursor: checks jump to the innermost enclosing loop's [`Op::Next`]
+/// on rejection (`continue`), loop entries jump past their [`Op::Next`]
+/// when the domain is empty or the subtree is block-pruned, and preamble
+/// checks jump to [`Op::Halt`].
 #[derive(Debug, Clone)]
-enum CNode {
-    Loop { slot: u32, domain: CDomain, body: Vec<CNode> },
+enum Op {
+    /// Enter loop `loop_id`: realize the domain, run the interval guard,
+    /// bind the first value. `next` is the index of the loop's `Next`
+    /// instruction (the loop exits to `next + 1`).
+    Enter { loop_id: u32, slot: u32, domain: CDomain, next: u32 },
+    /// Advance loop `loop_id`; jump back to `body` (= its `Enter + 1`) or
+    /// fall through when exhausted.
+    Next { loop_id: u32, slot: u32, body: u32 },
+    /// Evaluate a derived expression into a slot.
     Define { slot: u32, expr: Postfix },
+    /// Evaluate an opaque derived through the closure callback.
     DefineOpaque { slot: u32, derived: usize },
-    Check { constraint: u32, expr: Postfix },
-    CheckOpaque { constraint: u32 },
+    /// Evaluate a constraint; on rejection jump to `on_reject`. `elide_bit`
+    /// is this check's position in the block pruner's elision bitmask
+    /// (`None` for preamble checks or beyond 64 constraints).
+    Check { constraint: u32, expr: Postfix, elide_bit: Option<u8>, on_reject: u32 },
+    /// Evaluate an opaque constraint through the closure callback.
+    CheckOpaque { constraint: u32, on_reject: u32 },
+    /// Record a survivor and invoke the visitor.
     Visit,
+    /// End of program.
+    Halt,
+}
+
+/// One step of a loop's precompiled interval-guard program: the lowered
+/// steps of the subtree, lifted to interval semantics. Expressions are
+/// pre-flattened to [`IvProg`] so guard runs, like the point path, execute
+/// linear programs instead of walking boxed trees.
+#[derive(Debug, Clone)]
+enum GStep {
+    /// An inner loop bind over a range: the slot's interval becomes the
+    /// hull of the bound intervals.
+    BindRange { slot: u32, start: IvProg, stop: IvProg, step: IvProg },
+    /// An inner loop bind over a static list (bounds precomputed).
+    BindValues { slot: u32, lo: i64, hi: i64 },
+    /// An inner opaque bind: unknowable, possibly failing.
+    BindOpaque { slot: u32 },
+    /// A derived definition.
+    Define { slot: u32, prog: IvProg },
+    /// An opaque derived: unknowable, possibly failing.
+    DefineOpaque { slot: u32 },
+    /// A constraint check; `elide_bit` mirrors the flat program's bit.
+    Check { prog: IvProg, elide_bit: Option<u8> },
+    /// An opaque constraint: possibly failing, never decidable.
+    CheckOpaque,
+}
+
+/// Memoized outcome of one master guard step (see [`GuardInfo`]).
+#[derive(Debug, Clone, Copy)]
+struct GCache {
+    /// The step cannot raise an evaluation error for any point of the
+    /// subdomain it was last evaluated over.
+    clean: bool,
+    /// Checks only: the interval excludes 0, i.e. the constraint statically
+    /// rejects the whole subdomain (skip-worthy given a clean prefix).
+    worthy: bool,
+    /// Checks only: the interval is exactly [0,0] (statically passes).
+    elidable: bool,
+    /// Loop id of the guard run that last evaluated this position. A cache
+    /// written by a *deeper* guard was computed with tighter, sibling-
+    /// specific inputs (its point seeds and exact domain) and is not an
+    /// over-approximation for a shallower guard, so a guard at loop `l`
+    /// only reuses entries with `writer <= l`.
+    writer: u16,
+    /// For write positions (binds/defines): the interval this step wrote,
+    /// restored into `ivals` on reuse so later dirty steps don't read a
+    /// slot clobbered by a deeper guard's run.
+    iv: Interval,
+}
+
+impl Default for GCache {
+    fn default() -> GCache {
+        GCache { clean: false, worthy: false, elidable: false, writer: 0, iv: Interval::TOP }
+    }
+}
+
+/// The interval-guard program attached to one loop's entry.
+///
+/// All guards share one master step list (each guard's range is a suffix of
+/// it), and step outcomes are memoized per position: a run re-evaluates only
+/// the `dirty` positions — those transitively depending on slots whose
+/// values can have changed since the nearest enclosing kept guard ran — and
+/// reads cached outcomes for the rest. The caches are pure functions of the
+/// current slot values, so verdicts are identical to full re-evaluation
+/// (and hence identical across serial and chunked parallel runs).
+#[derive(Debug, Clone)]
+struct GuardInfo {
+    /// Master index of the first step after this loop's bind.
+    start: u32,
+    /// Slot bound by the guarded loop (receives the domain interval).
+    slot: u32,
+    /// Slots bound/defined between the nearest enclosing kept guard's bind
+    /// and this loop's bind: the only point values that can have changed
+    /// since that guard ran, reseeded from `slots` on every run.
+    seed: Vec<u32>,
+    /// Master positions whose inputs transitively depend on `seed` or this
+    /// loop's own slot; everything else reads its memoized outcome.
+    dirty: Vec<bool>,
+}
+
+/// Verdict of one guard run.
+enum GuardVerdict {
+    /// Some constraint is statically false over the whole subtree: skip it.
+    Skip,
+    /// Bitmask of checks that are statically true over the subtree and can
+    /// be elided (possibly empty).
+    Elide(u64),
 }
 
 /// The compiled evaluation backend.
 pub struct Compiled {
     lp: LoweredPlan,
-    /// Preamble nodes (before the first loop) + the loop nest.
-    roots: Vec<CNode>,
+    /// The flat threaded-code program.
+    ops: Vec<Op>,
+    /// Shared interval-guard step list; each loop's guard range is a suffix.
+    gmaster: Vec<GStep>,
+    /// Per-loop interval guards (`None` for the outermost loop, for loops
+    /// with nothing decidable below them, for loops whose guard could never
+    /// decide anything its nearest guarded ancestor didn't already decide,
+    /// or trivially when the program has no loops).
+    guards: Vec<Option<GuardInfo>>,
+    /// Per-loop lower-bound static fanout below one iteration, for
+    /// points-skipped estimates.
+    fanout_below: Vec<u64>,
+    /// Instruction index of the outermost `Enter` (None for loop-free
+    /// programs, which cannot occur for valid spaces).
+    first_enter: Option<usize>,
     point_names: Arc<[Arc<str>]>,
-}
-
-/// Signal used to implement `continue` on constraint rejection.
-enum Flow {
-    /// Keep executing the current body.
-    Continue,
-    /// A constraint rejected: unwind to the innermost loop.
-    Pruned,
+    opts: EngineOptions,
 }
 
 impl Compiled {
-    /// Build the executable tree from a lowered plan.
+    /// Build the flat program from a lowered plan with default options
+    /// (interval block pruning on).
     pub fn new(lp: LoweredPlan) -> Compiled {
-        let mut steps = lp.steps.iter();
-        let mut stack: Vec<Vec<CNode>> = vec![Vec::new()];
-        let mut open: Vec<(u32, CDomain)> = Vec::new();
-        for step in steps.by_ref() {
+        Compiled::with_options(lp, EngineOptions::default())
+    }
+
+    /// Build the flat program with explicit engine options.
+    pub fn with_options(lp: LoweredPlan, opts: EngineOptions) -> Compiled {
+        let mut ops: Vec<Op> = Vec::new();
+        // Open loops: (loop_id, enter_ip, check ips awaiting this loop's
+        // Next as their reject target).
+        let mut open: Vec<(u32, usize)> = Vec::new();
+        let mut pending_rejects: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut n_loops = 0u32;
+
+        for step in &lp.steps {
             match step {
                 LStep::Bind { slot, domain, iter, .. } => {
                     let d = match domain {
@@ -79,50 +266,92 @@ impl Compiled {
                             stop: Postfix::compile(stop),
                             step: Postfix::compile(step),
                         },
-                        LIter::Values(v) => CDomain::Values(v.clone()),
+                        LIter::Values(v) => CDomain::Values {
+                            values: Arc::from(v.as_slice()),
+                            lo: v.iter().copied().min().unwrap_or(0),
+                            hi: v.iter().copied().max().unwrap_or(0),
+                        },
                         LIter::Opaque { .. } => CDomain::Opaque { iter: *iter },
                     };
-                    open.push((*slot, d));
-                    stack.push(Vec::new());
+                    let loop_id = n_loops;
+                    n_loops += 1;
+                    open.push((loop_id, ops.len()));
+                    pending_rejects.push(Vec::new());
+                    // `next` is patched when the loop closes.
+                    ops.push(Op::Enter { loop_id, slot: *slot, domain: d, next: 0 });
                 }
-                LStep::Define { slot, body, derived } => {
-                    let node = match body {
-                        LBody::Expr(e) => {
-                            CNode::Define { slot: *slot, expr: Postfix::compile(e) }
-                        }
-                        LBody::Opaque => {
-                            CNode::DefineOpaque { slot: *slot, derived: *derived }
-                        }
-                    };
-                    stack.last_mut().expect("stack").push(node);
-                }
+                LStep::Define { slot, body, derived } => ops.push(match body {
+                    LBody::Expr(e) => Op::Define { slot: *slot, expr: Postfix::compile(e) },
+                    LBody::Opaque => Op::DefineOpaque { slot: *slot, derived: *derived },
+                }),
                 LStep::Check { constraint, body } => {
-                    let node = match body {
-                        LBody::Expr(e) => CNode::Check {
+                    pending_rejects.last_mut().expect("scope").push(ops.len());
+                    let elide_bit = if open.is_empty() || *constraint >= 64 {
+                        None
+                    } else {
+                        Some(*constraint as u8)
+                    };
+                    // `on_reject` is patched when the enclosing scope closes.
+                    ops.push(match body {
+                        LBody::Expr(e) => Op::Check {
                             constraint: *constraint as u32,
                             expr: Postfix::compile(e),
+                            elide_bit,
+                            on_reject: 0,
                         },
-                        LBody::Opaque => CNode::CheckOpaque { constraint: *constraint as u32 },
-                    };
-                    stack.last_mut().expect("stack").push(node);
+                        LBody::Opaque => {
+                            Op::CheckOpaque { constraint: *constraint as u32, on_reject: 0 }
+                        }
+                    });
                 }
-                LStep::Visit => stack.last_mut().expect("stack").push(CNode::Visit),
+                LStep::Visit => ops.push(Op::Visit),
             }
         }
-        // Close all open loops, innermost first.
-        while let Some((slot, domain)) = open.pop() {
-            let body = stack.pop().expect("loop body");
-            stack
-                .last_mut()
-                .expect("outer body")
-                .push(CNode::Loop { slot, domain, body });
+
+        // Close loops innermost-first: emit each Next, patch its Enter and
+        // the reject targets of the checks in its body.
+        let mut first_enter = None;
+        while let Some((loop_id, enter_ip)) = open.pop() {
+            let next_ip = ops.len();
+            let slot = match &ops[enter_ip] {
+                Op::Enter { slot, .. } => *slot,
+                _ => unreachable!("enter ip points at Enter"),
+            };
+            ops.push(Op::Next { loop_id, slot, body: (enter_ip + 1) as u32 });
+            if let Op::Enter { next, .. } = &mut ops[enter_ip] {
+                *next = next_ip as u32;
+            }
+            for check_ip in pending_rejects.pop().expect("scope") {
+                match &mut ops[check_ip] {
+                    Op::Check { on_reject, .. } | Op::CheckOpaque { on_reject, .. } => {
+                        *on_reject = next_ip as u32;
+                    }
+                    _ => unreachable!("check ip points at a check"),
+                }
+            }
+            first_enter = Some(enter_ip);
         }
-        let roots = stack.pop().expect("roots");
-        debug_assert!(stack.is_empty());
+        let halt_ip = ops.len();
+        ops.push(Op::Halt);
+        // Preamble checks (outside every loop) reject the whole space.
+        for check_ip in pending_rejects.pop().expect("preamble scope") {
+            match &mut ops[check_ip] {
+                Op::Check { on_reject, .. } | Op::CheckOpaque { on_reject, .. } => {
+                    *on_reject = halt_ip as u32;
+                }
+                _ => unreachable!("check ip points at a check"),
+            }
+        }
+        debug_assert!(pending_rejects.is_empty());
+
+        let fanout_below: Vec<u64> =
+            (0..n_loops as usize).map(|l| lp.static_fanout_below(l)).collect();
+        let (gmaster, guards) =
+            build_guards(&lp, n_loops as usize, &fanout_below, opts.min_guard_fanout);
 
         let point_names: Arc<[Arc<str>]> =
             Arc::from(lp.slot_names.clone().into_boxed_slice());
-        Compiled { lp, roots, point_names }
+        Compiled { lp, ops, gmaster, guards, fanout_below, first_enter, point_names, opts }
     }
 
     /// Names reported for visited points (slot order).
@@ -135,70 +364,67 @@ impl Compiled {
         &self.lp
     }
 
-    /// Run the full sweep.
-    pub fn run<V: Visitor>(&self, visitor: V) -> Result<SweepOutcome<V>, EvalError> {
-        let space = self.lp.plan.space();
-        let mut slots = vec![0i64; self.lp.n_slots as usize];
-        let mut state = State {
-            stats: PruneStats::new(space.constraints().len()),
+    /// The options this backend was built with.
+    pub fn options(&self) -> EngineOptions {
+        self.opts
+    }
+
+    /// Fresh per-run interpreter state.
+    fn fresh_state<V: Visitor>(&self, visitor: V) -> State<V> {
+        State {
+            stats: PruneStats::new(self.lp.plan.space().constraints().len()),
+            blocks: BlockStats::default(),
             visitor,
             stack: Vec::new(),
-        };
-        self.exec_body(&self.roots, &mut slots, &mut state)?;
-        Ok(SweepOutcome { stats: state.stats, visitor: state.visitor })
+            ivals: vec![Interval::TOP; self.lp.n_slots as usize],
+            gcache: vec![GCache::default(); self.gmaster.len()],
+            gprimed: vec![false; self.guards.len()],
+            gstack: Vec::new(),
+            elide: 0,
+        }
+    }
+
+    /// Run the full sweep.
+    pub fn run<V: Visitor>(&self, visitor: V) -> Result<SweepOutcome<V>, EvalError> {
+        let mut slots = vec![0i64; self.lp.n_slots as usize];
+        let mut state = self.fresh_state(visitor);
+        self.exec(0, None, &mut slots, &mut state, true)?;
+        Ok(SweepOutcome { stats: state.stats, blocks: state.blocks, visitor: state.visitor })
     }
 
     /// Run only a chunk of the outermost loop's domain — the parallel driver
     /// realizes the outer domain once, splits it, and calls this per worker.
     ///
-    /// Preamble nodes (defines/checks before the first loop) are re-executed
-    /// per chunk; they are loop-invariant so this is correct, and they are
-    /// evaluated against constants so it is cheap. Their constraint counters
-    /// are *not* re-recorded to keep merged statistics meaningful.
+    /// Preamble instructions (defines/checks before the first loop) are
+    /// re-executed per chunk; they are loop-invariant so this is correct,
+    /// and they are evaluated against constants so it is cheap. Their
+    /// constraint counters are *not* re-recorded to keep merged statistics
+    /// meaningful.
     pub(crate) fn run_outer_chunk<V: Visitor>(
         &self,
         outer_values: &[i64],
         visitor: V,
     ) -> Result<SweepOutcome<V>, EvalError> {
-        let space = self.lp.plan.space();
         let mut slots = vec![0i64; self.lp.n_slots as usize];
-        let mut state = State {
-            stats: PruneStats::new(space.constraints().len()),
-            visitor,
-            stack: Vec::new(),
+        let mut state = self.fresh_state(visitor);
+        let Some(first_enter) = self.first_enter else {
+            return Ok(SweepOutcome {
+                stats: state.stats,
+                blocks: state.blocks,
+                visitor: state.visitor,
+            });
         };
-        // Execute the preamble without recording, find the outermost loop.
-        let mut outer: Option<&CNode> = None;
-        for node in &self.roots {
-            match node {
-                CNode::Loop { .. } => {
-                    outer = Some(node);
-                    break;
-                }
-                _ => {
-                    // Preamble define/check: execute silently.
-                    match self.exec_node_quiet(node, &mut slots)? {
-                        Flow::Continue => {}
-                        Flow::Pruned => {
-                            // A constants-only constraint rejected everything.
-                            return Ok(SweepOutcome {
-                                stats: state.stats,
-                                visitor: state.visitor,
-                            });
-                        }
-                    }
-                }
-            }
+        // Execute the preamble quietly.
+        if !self.preamble(&mut slots, &mut state.stack, None)? {
+            // A constants-only constraint rejected everything.
+            return Ok(SweepOutcome {
+                stats: state.stats,
+                blocks: state.blocks,
+                visitor: state.visitor,
+            });
         }
-        let Some(CNode::Loop { slot, body, .. }) = outer else {
-            // No loops at all (cannot happen: spaces require iterators).
-            return Ok(SweepOutcome { stats: state.stats, visitor: state.visitor });
-        };
-        for &v in outer_values {
-            slots[*slot as usize] = v;
-            self.exec_body(body, &mut slots, &mut state)?;
-        }
-        Ok(SweepOutcome { stats: state.stats, visitor: state.visitor })
+        self.exec(first_enter, Some(outer_values), &mut slots, &mut state, true)?;
+        Ok(SweepOutcome { stats: state.stats, blocks: state.blocks, visitor: state.visitor })
     }
 
     /// Execute the preamble (pre-loop defines/checks) once, *recording* the
@@ -209,31 +435,53 @@ impl Compiled {
     pub(crate) fn preamble_record(&self, stats: &mut PruneStats) -> Result<bool, EvalError> {
         let mut slots = vec![0i64; self.lp.n_slots as usize];
         let mut stack = Vec::new();
-        for node in &self.roots {
-            match node {
-                CNode::Loop { .. } => break,
-                CNode::Check { constraint, expr } => {
-                    let rejected = expr.eval(&slots, &mut stack)? != 0;
-                    stats.record(*constraint as usize, rejected);
+        self.preamble(&mut slots, &mut stack, Some(stats))
+    }
+
+    /// Shared preamble executor; records into `stats` when provided.
+    fn preamble(
+        &self,
+        slots: &mut [i64],
+        stack: &mut Vec<i64>,
+        mut stats: Option<&mut PruneStats>,
+    ) -> Result<bool, EvalError> {
+        let end = self.first_enter.unwrap_or(self.ops.len().saturating_sub(1));
+        for op in &self.ops[..end] {
+            match op {
+                Op::Define { slot, expr } => {
+                    slots[*slot as usize] = expr.eval(slots, stack)?;
+                }
+                Op::DefineOpaque { slot, derived } => {
+                    let v = {
+                        let view = self.bindings_view(slots);
+                        self.lp.plan.space().deriveds()[*derived].kind.eval(&view)?
+                    };
+                    slots[*slot as usize] = v.as_int()?;
+                }
+                Op::Check { constraint, expr, .. } => {
+                    let rejected = expr.eval(slots, stack)? != 0;
+                    if let Some(stats) = stats.as_deref_mut() {
+                        stats.record(*constraint as usize, rejected);
+                    }
                     if rejected {
                         return Ok(false);
                     }
                 }
-                CNode::CheckOpaque { constraint } => {
+                Op::CheckOpaque { constraint, .. } => {
                     let rejected = {
-                        let view = self.bindings_view(&slots);
+                        let view = self.bindings_view(slots);
                         self.lp.plan.space().constraints()[*constraint as usize]
                             .kind
                             .rejects(&view)?
                     };
-                    stats.record(*constraint as usize, rejected);
+                    if let Some(stats) = stats.as_deref_mut() {
+                        stats.record(*constraint as usize, rejected);
+                    }
                     if rejected {
                         return Ok(false);
                     }
                 }
-                other => {
-                    let _ = self.exec_node_quiet(other, &mut slots)?;
-                }
+                Op::Visit | Op::Enter { .. } | Op::Next { .. } | Op::Halt => break,
             }
         }
         Ok(true)
@@ -247,28 +495,29 @@ impl Compiled {
     /// inspect a sweep before running it.
     pub fn outer_domain(&self) -> Result<Vec<i64>, EvalError> {
         let slots = vec![0i64; self.lp.n_slots as usize];
-        for node in &self.roots {
-            if let CNode::Loop { domain, .. } = node {
-                return match domain {
-                    CDomain::Range { start, stop, step } => {
-                        let mut stack = Vec::new();
-                        let r = Realized::Range {
-                            start: start.eval(&slots, &mut stack)?,
-                            stop: stop.eval(&slots, &mut stack)?,
-                            step: step.eval(&slots, &mut stack)?,
-                        };
-                        r.iter().map(|v| v.as_int()).collect()
-                    }
-                    CDomain::Values(v) => Ok(v.clone()),
-                    CDomain::Opaque { iter } => {
-                        let view = self.bindings_view(&slots);
-                        let r = self.lp.plan.space().realize_iter(*iter, &view)?;
-                        r.iter().map(|v| v.as_int()).collect()
-                    }
+        let Some(first_enter) = self.first_enter else {
+            return Ok(Vec::new());
+        };
+        let Op::Enter { domain, .. } = &self.ops[first_enter] else {
+            unreachable!("first_enter points at Enter");
+        };
+        match domain {
+            CDomain::Range { start, stop, step } => {
+                let mut stack = Vec::new();
+                let r = Realized::Range {
+                    start: start.eval(&slots, &mut stack)?,
+                    stop: stop.eval(&slots, &mut stack)?,
+                    step: step.eval(&slots, &mut stack)?,
                 };
+                r.iter().map(|v| v.as_int()).collect()
+            }
+            CDomain::Values { values, .. } => Ok(values.to_vec()),
+            CDomain::Opaque { iter } => {
+                let view = self.bindings_view(&slots);
+                let r = self.lp.plan.space().realize_iter(*iter, &view)?;
+                r.iter().map(|v| v.as_int()).collect()
             }
         }
-        Ok(Vec::new())
     }
 
     fn bindings_view<'a>(&'a self, slots: &'a [i64]) -> SlotBindings<'a> {
@@ -279,115 +528,199 @@ impl Compiled {
         }
     }
 
-    /// Execute a preamble node without recording statistics.
-    fn exec_node_quiet(&self, node: &CNode, slots: &mut [i64]) -> Result<Flow, EvalError> {
-        let mut stack = Vec::new();
-        match node {
-            CNode::Define { slot, expr } => {
-                slots[*slot as usize] = expr.eval(slots, &mut stack)?;
-                Ok(Flow::Continue)
-            }
-            CNode::DefineOpaque { slot, derived } => {
-                let v = {
-                    let view = self.bindings_view(slots);
-                    self.lp.plan.space().deriveds()[*derived].kind.eval(&view)?
-                };
-                slots[*slot as usize] = v.as_int()?;
-                Ok(Flow::Continue)
-            }
-            CNode::Check { expr, .. } => {
-                if expr.eval(slots, &mut stack)? != 0 {
-                    Ok(Flow::Pruned)
-                } else {
-                    Ok(Flow::Continue)
-                }
-            }
-            CNode::CheckOpaque { constraint } => {
-                let rejected = {
-                    let view = self.bindings_view(slots);
-                    self.lp.plan.space().constraints()[*constraint as usize]
-                        .kind
-                        .rejects(&view)?
-                };
-                if rejected {
-                    Ok(Flow::Pruned)
-                } else {
-                    Ok(Flow::Continue)
-                }
-            }
-            CNode::Visit | CNode::Loop { .. } => Ok(Flow::Continue),
-        }
-    }
-
-    fn exec_body<V: Visitor>(
+    /// The threaded-code interpreter: a single `ip` cursor over the flat
+    /// instruction array. `outer_override`, when given, replaces the
+    /// outermost loop's domain with an explicit value list (the parallel
+    /// driver's chunk); `record_preamble` is false only in that chunked
+    /// mode, where the driver records the preamble once.
+    fn exec<V: Visitor>(
         &self,
-        body: &[CNode],
-        slots: &mut Vec<i64>,
+        start_ip: usize,
+        outer_override: Option<&[i64]>,
+        slots: &mut [i64],
         state: &mut State<V>,
-    ) -> Result<Flow, EvalError> {
-        for node in body {
-            match node {
-                CNode::Loop { slot, domain, body } => {
-                    match domain {
-                        CDomain::Range { start, stop, step } => {
-                            // The tight path: loop control on locals.
-                            let start = start.eval(slots, &mut state.stack)?;
-                            let stop = stop.eval(slots, &mut state.stack)?;
-                            let step = step.eval(slots, &mut state.stack)?;
-                            if step > 0 {
-                                let mut x = start;
-                                while x < stop {
-                                    slots[*slot as usize] = x;
-                                    self.exec_body(body, slots, state)?;
-                                    x += step;
+        _record: bool,
+    ) -> Result<(), EvalError> {
+        let empty: Arc<[i64]> = Arc::from([] as [i64; 0]);
+        let mut frames: Vec<Frame> = (0..self.guards.len())
+            .map(|_| Frame {
+                kind: FrameKind::Range,
+                cur: 0,
+                stop: 0,
+                step: 0,
+                idx: 0,
+                vals: empty.clone(),
+                buf: Vec::new(),
+                saved_elide: 0,
+            })
+            .collect();
+        let ops = &self.ops[..];
+        let mut ip = start_ip;
+        loop {
+            match &ops[ip] {
+                Op::Enter { loop_id, slot, domain, next } => {
+                    let l = *loop_id as usize;
+                    let exit = *next as usize + 1;
+                    // Realize the domain into the loop frame and compute the
+                    // exact value interval for the guard.
+                    let f = &mut frames[l];
+                    let (first, iv, len): (Option<i64>, Interval, u64) =
+                        if let (0, Some(chunk)) = (l, outer_override) {
+                            f.kind = FrameKind::Buffer;
+                            f.buf.clear();
+                            f.buf.extend_from_slice(chunk);
+                            f.idx = 0;
+                            // The outer loop is never guarded; TOP is fine.
+                            (chunk.first().copied(), Interval::TOP, chunk.len() as u64)
+                        } else {
+                            match domain {
+                                CDomain::Range { start, stop, step } => {
+                                    let start = start.eval(slots, &mut state.stack)?;
+                                    let stop = stop.eval(slots, &mut state.stack)?;
+                                    let step = step.eval(slots, &mut state.stack)?;
+                                    f.kind = FrameKind::Range;
+                                    f.cur = start;
+                                    f.stop = stop;
+                                    f.step = step;
+                                    let n = range_len(start, stop, step);
+                                    if n == 0 {
+                                        (None, Interval::TOP, 0)
+                                    } else {
+                                        let last = (start as i128
+                                            + step as i128 * (n as i128 - 1))
+                                            as i64;
+                                        (Some(start), Interval::new(start, last), n)
+                                    }
                                 }
-                            } else if step < 0 {
-                                let mut x = start;
-                                while x > stop {
-                                    slots[*slot as usize] = x;
-                                    self.exec_body(body, slots, state)?;
-                                    x += step;
+                                CDomain::Values { values, lo, hi } => {
+                                    f.kind = FrameKind::Values;
+                                    f.vals = values.clone();
+                                    f.idx = 0;
+                                    (
+                                        values.first().copied(),
+                                        Interval { lo: *lo, hi: *hi },
+                                        values.len() as u64,
+                                    )
+                                }
+                                CDomain::Opaque { iter } => {
+                                    f.buf.clear();
+                                    let realized = {
+                                        let view = SlotBindings {
+                                            names: &self.lp.slot_names,
+                                            slots,
+                                            consts: self.lp.plan.space().consts(),
+                                        };
+                                        self.lp.plan.space().realize_iter(*iter, &view)?
+                                    };
+                                    for v in realized.iter() {
+                                        f.buf.push(v.as_int()?);
+                                    }
+                                    f.kind = FrameKind::Buffer;
+                                    f.idx = 0;
+                                    let (lo, hi) = (
+                                        f.buf.iter().copied().min().unwrap_or(0),
+                                        f.buf.iter().copied().max().unwrap_or(0),
+                                    );
+                                    (f.buf.first().copied(), Interval { lo, hi }, f.buf.len() as u64)
                                 }
                             }
-                        }
-                        CDomain::Values(values) => {
-                            for &v in values {
-                                slots[*slot as usize] = v;
-                                self.exec_body(body, slots, state)?;
-                            }
-                        }
-                        CDomain::Opaque { iter } => {
-                            let realized = {
-                                let view = self.bindings_view(slots);
-                                self.lp.plan.space().realize_iter(*iter, &view)?
-                            };
-                            let mut cursor = realized.iter();
-                            while let Some(v) = cursor.next() {
-                                slots[*slot as usize] = v.as_int()?;
-                                self.exec_body(body, slots, state)?;
+                        };
+                    let Some(first) = first else {
+                        ip = exit;
+                        continue;
+                    };
+                    // Interval guard: skip the subtree or elide checks.
+                    let mut elide_add = 0u64;
+                    if self.opts.intervals {
+                        if let Some(info) = &self.guards[l] {
+                            match self.run_guard(
+                                l,
+                                info,
+                                iv,
+                                slots,
+                                &mut state.ivals,
+                                &mut state.gcache,
+                                &mut state.gprimed,
+                                &mut state.gstack,
+                            ) {
+                                GuardVerdict::Skip => {
+                                    state.blocks.subtree_skips += 1;
+                                    state.blocks.points_skipped =
+                                        state.blocks.points_skipped.saturating_add(
+                                            len.saturating_mul(self.fanout_below[l]),
+                                        );
+                                    ip = exit;
+                                    continue;
+                                }
+                                GuardVerdict::Elide(mask) => elide_add = mask,
                             }
                         }
                     }
-                    // A loop consumes prunes from its body; continue after it.
+                    let f = &mut frames[l];
+                    f.saved_elide = state.elide;
+                    state.elide |= elide_add;
+                    slots[*slot as usize] = first;
+                    ip += 1;
                 }
-                CNode::Define { slot, expr } => {
+                Op::Next { loop_id, slot, body } => {
+                    let f = &mut frames[*loop_id as usize];
+                    let next_val = match f.kind {
+                        FrameKind::Range => {
+                            let x = f.cur.wrapping_add(f.step);
+                            f.cur = x;
+                            let more =
+                                (f.step > 0 && x < f.stop) || (f.step < 0 && x > f.stop);
+                            more.then_some(x)
+                        }
+                        FrameKind::Values => {
+                            f.idx += 1;
+                            f.vals.get(f.idx).copied()
+                        }
+                        FrameKind::Buffer => {
+                            f.idx += 1;
+                            f.buf.get(f.idx).copied()
+                        }
+                    };
+                    match next_val {
+                        Some(v) => {
+                            slots[*slot as usize] = v;
+                            ip = *body as usize;
+                        }
+                        None => {
+                            state.elide = f.saved_elide;
+                            ip += 1;
+                        }
+                    }
+                }
+                Op::Define { slot, expr } => {
                     slots[*slot as usize] = expr.eval(slots, &mut state.stack)?;
+                    ip += 1;
                 }
-                CNode::DefineOpaque { slot, derived } => {
+                Op::DefineOpaque { slot, derived } => {
                     let v = {
                         let view = self.bindings_view(slots);
                         self.lp.plan.space().deriveds()[*derived].kind.eval(&view)?
                     };
                     slots[*slot as usize] = v.as_int()?;
+                    ip += 1;
                 }
-                CNode::Check { constraint, expr } => {
+                Op::Check { constraint, expr, elide_bit, on_reject } => {
+                    if let Some(bit) = elide_bit {
+                        if state.elide & (1u64 << bit) != 0 {
+                            // Statically true for this subtree: count the
+                            // evaluation the per-point engine would have
+                            // done (it always passes) without doing it.
+                            state.stats.record(*constraint as usize, false);
+                            state.blocks.checks_elided += 1;
+                            ip += 1;
+                            continue;
+                        }
+                    }
                     let rejected = expr.eval(slots, &mut state.stack)? != 0;
                     state.stats.record(*constraint as usize, rejected);
-                    if rejected {
-                        return Ok(Flow::Pruned);
-                    }
+                    ip = if rejected { *on_reject as usize } else { ip + 1 };
                 }
-                CNode::CheckOpaque { constraint } => {
+                Op::CheckOpaque { constraint, on_reject } => {
                     let rejected = {
                         let view = self.bindings_view(slots);
                         self.lp.plan.space().constraints()[*constraint as usize]
@@ -395,26 +728,371 @@ impl Compiled {
                             .rejects(&view)?
                     };
                     state.stats.record(*constraint as usize, rejected);
-                    if rejected {
-                        return Ok(Flow::Pruned);
-                    }
+                    ip = if rejected { *on_reject as usize } else { ip + 1 };
                 }
-                CNode::Visit => {
+                Op::Visit => {
                     state.stats.record_survivor();
-                    let view =
-                        PointRef::Slots { names: &self.lp.slot_names, slots };
+                    let view = PointRef::Slots { names: &self.lp.slot_names, slots };
                     state.visitor.visit(&view);
+                    ip += 1;
+                }
+                Op::Halt => return Ok(()),
+            }
+        }
+    }
+
+    /// Run one loop's interval-guard program against the current outer slot
+    /// values and the just-realized domain interval.
+    ///
+    /// Memoized: only `dirty` positions are re-evaluated; the rest read the
+    /// outcome cached by this guard's own last completed scan or by an
+    /// enclosing guard's run (their inputs are unchanged either way, so the
+    /// cached outcome equals what re-evaluation would produce). A run that
+    /// returns [`GuardVerdict::Skip`] aborts mid-scan and leaves the guard
+    /// unprimed — safe, because a skip means no deeper guard runs under
+    /// this entry, and the next entry re-scans.
+    #[allow(clippy::too_many_arguments)]
+    fn run_guard(
+        &self,
+        loop_id: usize,
+        info: &GuardInfo,
+        domain_iv: Interval,
+        slots: &[i64],
+        ivals: &mut [Interval],
+        gcache: &mut [GCache],
+        gprimed: &mut [bool],
+        gstack: &mut Vec<IntervalOutcome>,
+    ) -> GuardVerdict {
+        let primed = gprimed[loop_id];
+        // Point values that can have changed since the enclosing kept guard
+        // ran; everything deeper is overwritten by a (dirty) guard step
+        // before any use (the planner's dependency order guarantees defs
+        // precede uses), or holds a still-valid cached interval.
+        for &q in &info.seed {
+            ivals[q as usize] = Interval::point(slots[q as usize]);
+        }
+        ivals[info.slot as usize] = domain_iv;
+        // `clean` = no step so far can raise an evaluation error, so a
+        // statically-false check really is reached (or the point was
+        // rejected earlier without error) for every point of the subtree.
+        let mut clean = true;
+        let mut elide = 0u64;
+        let w = loop_id as u16;
+        for (i, step) in self.gmaster.iter().enumerate().skip(info.start as usize) {
+            // Re-evaluate when nothing is cached yet, when the position's
+            // inputs may have changed, or when the cached entry was written
+            // by a deeper guard: deeper runs compute over a strict subset of
+            // this subtree, so their outcomes don't over-approximate it.
+            if !primed || info.dirty[i] || gcache[i].writer > w {
+                gcache[i] = match step {
+                    GStep::BindRange { slot, start, stop, step } => {
+                        let s = start.eval(ivals, gstack);
+                        let e = stop.eval(ivals, gstack);
+                        let st = step.eval(ivals, gstack);
+                        let iv = range_value_hull(s.iv, e.iv);
+                        ivals[*slot as usize] = iv;
+                        GCache {
+                            clean: s.clean && e.clean && st.clean,
+                            iv,
+                            writer: w,
+                            ..GCache::default()
+                        }
+                    }
+                    GStep::BindValues { slot, lo, hi } => {
+                        let iv = Interval { lo: *lo, hi: *hi };
+                        ivals[*slot as usize] = iv;
+                        GCache { clean: true, iv, writer: w, ..GCache::default() }
+                    }
+                    GStep::BindOpaque { slot } | GStep::DefineOpaque { slot } => {
+                        ivals[*slot as usize] = Interval::TOP;
+                        GCache { writer: w, ..GCache::default() }
+                    }
+                    GStep::Define { slot, prog } => {
+                        let o = prog.eval(ivals, gstack);
+                        ivals[*slot as usize] = o.iv;
+                        GCache { clean: o.clean, iv: o.iv, writer: w, ..GCache::default() }
+                    }
+                    GStep::Check { prog, .. } => {
+                        let o = prog.eval(ivals, gstack);
+                        GCache {
+                            clean: o.clean,
+                            worthy: o.clean && !o.iv.contains(0),
+                            elidable: o.clean && o.iv == Interval::point(0),
+                            writer: w,
+                            ..GCache::default()
+                        }
+                    }
+                    GStep::CheckOpaque => GCache { writer: w, ..GCache::default() },
+                };
+            } else if let Some(slot) = gstep_write_slot(step) {
+                // Reused write position: restore the slot's interval, which
+                // a deeper guard's run may have clobbered with a tighter,
+                // sibling-specific value that later dirty steps must not
+                // read.
+                ivals[slot as usize] = gcache[i].iv;
+            }
+            let c = gcache[i];
+            if c.worthy && clean {
+                // Statically false (the expression is the rejection
+                // condition): every point of the subtree is rejected at or
+                // before this check, error-free.
+                return GuardVerdict::Skip;
+            }
+            if c.elidable {
+                if let GStep::Check { elide_bit: Some(bit), .. } = step {
+                    elide |= 1u64 << bit;
+                }
+            }
+            clean &= c.clean;
+        }
+        gprimed[loop_id] = true;
+        GuardVerdict::Elide(elide)
+    }
+}
+
+/// The slot a guard step writes, if any (allocation-free hot-path variant
+/// of [`gstep_deps`]).
+fn gstep_write_slot(g: &GStep) -> Option<u32> {
+    match g {
+        GStep::BindRange { slot, .. }
+        | GStep::BindValues { slot, .. }
+        | GStep::BindOpaque { slot }
+        | GStep::Define { slot, .. }
+        | GStep::DefineOpaque { slot } => Some(*slot),
+        GStep::Check { .. } | GStep::CheckOpaque => None,
+    }
+}
+
+/// The slots a guard step reads, and the slot it writes (if any). Opaque
+/// steps read nothing *as far as dirtiness is concerned*: their outcome
+/// (TOP / unclean) is input-independent.
+fn gstep_deps(g: &GStep) -> (std::collections::BTreeSet<u32>, Option<u32>) {
+    let mut reads = std::collections::BTreeSet::new();
+    let writes = match g {
+        GStep::BindRange { slot, start, stop, step } => {
+            reads.extend(start.read_slots());
+            reads.extend(stop.read_slots());
+            reads.extend(step.read_slots());
+            Some(*slot)
+        }
+        GStep::BindValues { slot, .. }
+        | GStep::BindOpaque { slot }
+        | GStep::DefineOpaque { slot } => Some(*slot),
+        GStep::Define { slot, prog } => {
+            reads.extend(prog.read_slots());
+            Some(*slot)
+        }
+        GStep::Check { prog, .. } => {
+            reads.extend(prog.read_slots());
+            None
+        }
+        GStep::CheckOpaque => None,
+    };
+    (reads, writes)
+}
+
+/// Lift one lowered step to interval semantics (`None` for `Visit`).
+fn lift_gstep(step: &LStep) -> Option<GStep> {
+    match step {
+        LStep::Bind { slot, domain, .. } => Some(match domain {
+            LIter::Range { start, stop, step } => GStep::BindRange {
+                slot: *slot,
+                start: IvProg::compile(start),
+                stop: IvProg::compile(stop),
+                step: IvProg::compile(step),
+            },
+            LIter::Values(v) => GStep::BindValues {
+                slot: *slot,
+                lo: v.iter().copied().min().unwrap_or(0),
+                hi: v.iter().copied().max().unwrap_or(0),
+            },
+            LIter::Opaque { .. } => GStep::BindOpaque { slot: *slot },
+        }),
+        LStep::Define { slot, body, .. } => Some(match body {
+            LBody::Expr(e) => GStep::Define { slot: *slot, prog: IvProg::compile(e) },
+            LBody::Opaque => GStep::DefineOpaque { slot: *slot },
+        }),
+        LStep::Check { constraint, body } => Some(match body {
+            LBody::Expr(e) => GStep::Check {
+                prog: IvProg::compile(e),
+                elide_bit: (*constraint < 64).then_some(*constraint as u8),
+            },
+            LBody::Opaque => GStep::CheckOpaque,
+        }),
+        LStep::Visit => None,
+    }
+}
+
+/// Build the per-loop guard programs: for loop `l >= 1` with a decidable
+/// (non-opaque) check below it, the lowered steps after its bind lifted to
+/// interval semantics. The outermost loop gets no guard — its subdomain is
+/// chunk-dependent under the parallel driver, and determinism across thread
+/// counts takes priority over one extra level of block pruning.
+///
+/// All guard ranges are suffixes of one shared master list, and each guard
+/// records which positions can evaluate differently than they did at the
+/// nearest enclosing *kept* guard: positions transitively depending on slots
+/// bound/defined since that guard's bind (plus this loop's own slot). A loop
+/// where no decidable check is dirty in this sense gets no guard at all —
+/// its verdict would always equal the ancestor's, which already skipped or
+/// elided accordingly — so the dropped guard changes no decision.
+fn build_guards(
+    lp: &LoweredPlan,
+    n_loops: usize,
+    fanout_below: &[u64],
+    min_guard_fanout: u64,
+) -> (Vec<GStep>, Vec<Option<GuardInfo>>) {
+    let mut guards: Vec<Option<GuardInfo>> = vec![None; n_loops];
+    // Indices into lp.steps of each bind, to slice the subtree per loop.
+    let bind_positions: Vec<(usize, u32)> = lp
+        .steps
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s {
+            LStep::Bind { slot, .. } => Some((i, *slot)),
+            _ => None,
+        })
+        .collect();
+    debug_assert_eq!(bind_positions.len(), n_loops);
+
+    // The first candidate: the shallowest loop l >= 1 with a non-opaque
+    // check below its bind. Without one, no guard can ever decide anything.
+    let first = (1..bind_positions.len()).find(|&l| {
+        lp.steps[bind_positions[l].0 + 1..].iter().any(|s| {
+            matches!(s, LStep::Check { body: LBody::Expr(_), .. })
+        })
+    });
+    let Some(first) = first else {
+        return (Vec::new(), guards);
+    };
+
+    // Master step list: everything after the first candidate's bind. Each
+    // deeper loop's guard range is the suffix starting after its own bind.
+    let mut master: Vec<GStep> = Vec::new();
+    let mut m_start = vec![0u32; n_loops];
+    {
+        let mut loop_idx = first;
+        for step in &lp.steps[bind_positions[first].0 + 1..] {
+            if let LStep::Bind { .. } = step {
+                loop_idx += 1;
+            }
+            if let Some(g) = lift_gstep(step) {
+                master.push(g);
+            }
+            if let LStep::Bind { .. } = step {
+                m_start[loop_idx] = master.len() as u32;
+            }
+        }
+    }
+    let deps: Vec<(std::collections::BTreeSet<u32>, Option<u32>)> =
+        master.iter().map(gstep_deps).collect();
+
+    // `prev_kept` tracks the nearest enclosing kept guard; its bind position
+    // starts the seed tile (inclusive, so the ancestor's own loop slot —
+    // a fresh point on every one of its iterations — is reseeded too).
+    let mut prev_kept: Option<usize> = None;
+    for l in first..n_loops {
+        let (pos, slot) = bind_positions[l];
+        // Seed tile: slots bound/defined since the nearest kept guard's
+        // bind (or since the start of the plan for the first kept guard).
+        let tile_begin = prev_kept.map_or(0, |p| bind_positions[p].0);
+        let seed: Vec<u32> = lp.steps[tile_begin..pos]
+            .iter()
+            .filter_map(|s| match s {
+                LStep::Bind { slot, .. } | LStep::Define { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+
+        // Forward dirtiness pass over this guard's range.
+        let mut dirty_slots: std::collections::BTreeSet<u32> =
+            seed.iter().copied().collect();
+        dirty_slots.insert(slot);
+        let mut dirty = vec![false; master.len()];
+        let mut any_dirty_check = false;
+        let mut any_check = false;
+        for i in m_start[l] as usize..master.len() {
+            let (reads, writes) = &deps[i];
+            if matches!(master[i], GStep::Check { .. }) {
+                any_check = true;
+            }
+            if reads.iter().any(|r| dirty_slots.contains(r)) {
+                dirty[i] = true;
+                if let Some(w) = writes {
+                    dirty_slots.insert(*w);
+                }
+                if matches!(master[i], GStep::Check { .. }) {
+                    any_dirty_check = true;
                 }
             }
         }
-        Ok(Flow::Continue)
+        // Keep the guard if a decidable check can evaluate differently than
+        // it did at the nearest kept guard; the first kept guard has no
+        // ancestor verdict to inherit, so plain decidability suffices.
+        // Either way, the subtree must be big enough that a skip pays for
+        // the guard run (`min_guard_fanout` gates deep, tiny subtrees).
+        if fanout_below[l] >= min_guard_fanout
+            && (any_dirty_check || (prev_kept.is_none() && any_check))
+        {
+            guards[l] = Some(GuardInfo { start: m_start[l], slot, seed, dirty });
+            prev_kept = Some(l);
+        }
     }
+    (master, guards)
+}
+
+/// Python-range length (0 for empty or zero-step ranges).
+fn range_len(start: i64, stop: i64, step: i64) -> u64 {
+    if step > 0 && start < stop {
+        ((stop as i128 - start as i128 - 1) / step as i128 + 1) as u64
+    } else if step < 0 && start > stop {
+        ((start as i128 - stop as i128 - 1) / (-(step as i128)) + 1) as u64
+    } else {
+        0
+    }
+}
+
+/// Runtime iteration state for one loop of the flat program.
+struct Frame {
+    kind: FrameKind,
+    /// Range iteration.
+    cur: i64,
+    stop: i64,
+    step: i64,
+    /// Values/Buffer cursor.
+    idx: usize,
+    /// Shared static value list (Values domains).
+    vals: Arc<[i64]>,
+    /// Reusable buffer for opaque realizations and outer chunk overrides.
+    buf: Vec<i64>,
+    /// Elision mask to restore when this loop exhausts.
+    saved_elide: u64,
+}
+
+/// Which iteration fields of a [`Frame`] are live.
+enum FrameKind {
+    Range,
+    Values,
+    Buffer,
 }
 
 struct State<V> {
     stats: PruneStats,
+    blocks: BlockStats,
     visitor: V,
     stack: Vec<i64>,
+    /// Per-slot interval environment for guard runs, maintained
+    /// incrementally across runs (see [`GuardInfo`]).
+    ivals: Vec<Interval>,
+    /// Per-master-position memoized guard step outcomes.
+    gcache: Vec<GCache>,
+    /// Per-loop flag: this guard has completed at least one full scan, so
+    /// every position in its range has a cached outcome.
+    gprimed: Vec<bool>,
+    /// Reusable operand stack for [`IvProg`] guard evaluations.
+    gstack: Vec<IntervalOutcome>,
+    /// Bitmask of currently elided checks (bit = constraint index).
+    elide: u64,
 }
 
 /// [`Bindings`] view over the compiled backend's slots plus the constant
@@ -454,6 +1132,25 @@ mod tests {
     fn compile(space: &std::sync::Arc<Space>) -> Compiled {
         let plan = Plan::new(space, PlanOptions::default()).unwrap();
         Compiled::new(LoweredPlan::new(&plan).unwrap())
+    }
+
+    fn compile_no_intervals(space: &std::sync::Arc<Space>) -> Compiled {
+        let plan = Plan::new(space, PlanOptions::default()).unwrap();
+        Compiled::with_options(
+            LoweredPlan::new(&plan).unwrap(),
+            EngineOptions::no_intervals(),
+        )
+    }
+
+    /// Compile with a guard on every eligible loop (`min_guard_fanout: 1`):
+    /// the test spaces here are tiny, so the default fanout gate would drop
+    /// the very guards the tests exercise.
+    fn compile_all_guards(space: &std::sync::Arc<Space>) -> Compiled {
+        let plan = Plan::new(space, PlanOptions::default()).unwrap();
+        Compiled::with_options(
+            LoweredPlan::new(&plan).unwrap(),
+            EngineOptions { min_guard_fanout: 1, ..EngineOptions::default() },
+        )
     }
 
     fn mini_space() -> std::sync::Arc<Space> {
@@ -542,14 +1239,17 @@ mod tests {
         assert_eq!(outer, vec![1, 2, 3, 4]);
 
         let mut merged = PruneStats::new(1);
+        let mut blocks = BlockStats::default();
         let mut count = 0u64;
         for chunk in outer.chunks(2) {
             let out = compiled.run_outer_chunk(chunk, CountVisitor::default()).unwrap();
             merged.merge(&out.stats);
+            blocks.merge(&out.blocks);
             count += out.visitor.count;
         }
         assert_eq!(count, full.visitor.count);
         assert_eq!(merged, full.stats);
+        assert_eq!(blocks, full.blocks);
     }
 
     #[test]
@@ -576,5 +1276,106 @@ mod tests {
         let compiled = compile(&space);
         let err = compiled.run(CountVisitor::default()).unwrap_err();
         assert_eq!(err, EvalError::DivisionByZero);
+    }
+
+    #[test]
+    fn intervals_skip_always_rejected_subtrees() {
+        // b in [a, 12]; a*b > 20 rejects the whole b-loop once a >= 5
+        // (min product a*a = 25 > 20).
+        let space = Space::builder("skip")
+            .constant("cap", 20)
+            .range("a", 1, 9)
+            .range_step("b", var("a"), 13, 1)
+            .derived("ab", var("a") * var("b"))
+            .constraint("over", ConstraintClass::Hard, var("ab").gt(var("cap")))
+            .build()
+            .unwrap();
+        let on = compile_all_guards(&space).run(CountVisitor::default()).unwrap();
+        let off = compile_no_intervals(&space).run(CountVisitor::default()).unwrap();
+        assert!(on.blocks.subtree_skips > 0, "expected subtree skips");
+        assert!(on.blocks.points_skipped > 0);
+        assert_eq!(off.blocks, BlockStats::default());
+        // Identical survivors; fewer per-point evaluations with intervals.
+        assert_eq!(on.visitor.count, off.visitor.count);
+        assert_eq!(on.stats.survivors, off.stats.survivors);
+        assert!(
+            on.stats.evaluated[0] < off.stats.evaluated[0],
+            "skips must remove per-point evaluations"
+        );
+    }
+
+    #[test]
+    fn intervals_elide_always_true_checks_with_identical_stats() {
+        // For a = 1, max a*b = 12 <= 20: the check is statically true over
+        // the whole b-subtree and is elided, but still counted.
+        let space = mini_space();
+        let on = compile_all_guards(&space).run(CountVisitor::default()).unwrap();
+        let off = compile_no_intervals(&space).run(CountVisitor::default()).unwrap();
+        assert!(on.blocks.checks_elided > 0, "expected elided checks");
+        assert_eq!(on.blocks.subtree_skips, 0, "mini space has no skippable subtree");
+        // Elision is invisible in the funnel: identical PruneStats.
+        assert_eq!(on.stats, off.stats);
+        assert_eq!(on.visitor.count, off.visitor.count);
+    }
+
+    #[test]
+    fn intervals_on_and_off_agree_on_survivors_and_order() {
+        let space = Space::builder("agree")
+            .constant("cap", 40)
+            .range("a", 1, 12)
+            .range("b", 1, 12)
+            .range_step("c", var("a"), 30, var("a"))
+            .derived("abc", var("a") * var("b") + var("c"))
+            .constraint("over", ConstraintClass::Hard, var("abc").gt(var("cap")))
+            .constraint("odd", ConstraintClass::Soft, (var("c") % 2).ne(0))
+            .build()
+            .unwrap();
+        let on = compile_all_guards(&space);
+        let off = compile_no_intervals(&space);
+        let a = on
+            .run(CollectVisitor::new(on.point_names().clone(), usize::MAX))
+            .unwrap();
+        let b = off
+            .run(CollectVisitor::new(off.point_names().clone(), usize::MAX))
+            .unwrap();
+        assert_eq!(a.stats.survivors, b.stats.survivors);
+        let pa: Vec<Vec<i64>> = a
+            .visitor
+            .points
+            .iter()
+            .map(|p| p.values().iter().map(|v| v.as_int().unwrap()).collect())
+            .collect();
+        let pb: Vec<Vec<i64>> = b
+            .visitor
+            .points
+            .iter()
+            .map(|p| p.values().iter().map(|v| v.as_int().unwrap()).collect())
+            .collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn guards_respect_error_semantics() {
+        // The check is statically false (always rejecting) for x >= 5
+        // (x*x > 20), but it depends on `bad`, whose define errors at
+        // x = 5 and precedes it in the subtree. The guard must see the
+        // unclean define and refuse to skip, so the sweep errors exactly
+        // like the per-point engine instead of silently skipping x = 5.
+        let space = Space::builder("err")
+            .range("x", 0, 8)
+            .range("y", 1, 4)
+            .derived("xx", var("x") * var("x"))
+            .derived("bad", var("y") / (var("x") - 5))
+            .constraint(
+                "big",
+                ConstraintClass::Hard,
+                var("xx").gt(20).or(var("bad").gt(99)),
+            )
+            .build()
+            .unwrap();
+        let on = compile_all_guards(&space).run(CountVisitor::default());
+        let off = compile_no_intervals(&space).run(CountVisitor::default());
+        assert_eq!(on.unwrap_err(), EvalError::DivisionByZero);
+        assert_eq!(off.unwrap_err(), EvalError::DivisionByZero);
     }
 }

@@ -51,10 +51,10 @@ pub mod walker;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
-    pub use crate::compiled::Compiled;
+    pub use crate::compiled::{Compiled, EngineOptions};
     pub use crate::parallel::{run_parallel, run_parallel_report, ParallelOptions};
     pub use crate::point::{Point, PointRef};
-    pub use crate::stats::PruneStats;
+    pub use crate::stats::{BlockStats, PruneStats};
     pub use crate::telemetry::{SweepProgress, SweepReport};
     pub use crate::visit::{BestK, CollectVisitor, CountVisitor, Reservoir, Visitor};
     pub use crate::vm::{Vm, VmStyle};

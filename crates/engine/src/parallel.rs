@@ -50,8 +50,8 @@ use std::time::{Duration, Instant};
 use beast_core::error::EvalError;
 use beast_core::ir::LoweredPlan;
 
-use crate::compiled::Compiled;
-use crate::stats::PruneStats;
+use crate::compiled::{Compiled, EngineOptions};
+use crate::stats::{BlockStats, PruneStats};
 use crate::telemetry::{SweepProgress, SweepReport, WorkerTelemetry};
 use crate::visit::Visitor;
 use crate::walker::SweepOutcome;
@@ -74,6 +74,9 @@ pub struct ParallelOptions {
     pub chunks_per_thread: usize,
     /// Optional shared progress counters, bumped once per completed chunk.
     pub progress: Option<Arc<SweepProgress>>,
+    /// Compiled-engine options (interval block pruning is on by default;
+    /// results are identical either way, see the determinism contract).
+    pub engine: EngineOptions,
 }
 
 impl ParallelOptions {
@@ -121,20 +124,23 @@ where
 {
     let threads = opts.threads.max(1);
     let t_start = Instant::now();
-    let compiled = Compiled::new(lp.clone());
+    let compiled = Compiled::with_options(lp.clone(), opts.engine);
     let space = lp.plan.space();
 
     let mut stats = PruneStats::new(space.constraints().len());
+    let mut blocks = BlockStats::default();
     // Preamble constraints (constants only) run once, recorded here.
     if !compiled.preamble_record(&mut stats)? {
-        let report = SweepReport::new(space, &stats, threads, 0, 0, 0, t_start.elapsed(), vec![]);
-        return Ok((SweepOutcome { stats, visitor: make_visitor() }, report));
+        let report =
+            SweepReport::new(space, &stats, &blocks, threads, 0, 0, 0, t_start.elapsed(), vec![]);
+        return Ok((SweepOutcome { stats, blocks, visitor: make_visitor() }, report));
     }
 
     let outer = compiled.outer_domain()?;
     if outer.is_empty() {
-        let report = SweepReport::new(space, &stats, threads, 0, 0, 0, t_start.elapsed(), vec![]);
-        return Ok((SweepOutcome { stats, visitor: make_visitor() }, report));
+        let report =
+            SweepReport::new(space, &stats, &blocks, threads, 0, 0, 0, t_start.elapsed(), vec![]);
+        return Ok((SweepOutcome { stats, blocks, visitor: make_visitor() }, report));
     }
 
     let chunk_len = chunk_len_for(lp, outer.len(), threads, opts.chunks_per_thread);
@@ -224,6 +230,7 @@ where
     for out in by_chunk.into_iter() {
         let out = out.expect("every chunk evaluated exactly once");
         stats.merge(&out.stats);
+        blocks.merge(&out.blocks);
         merged_visitor = Some(match merged_visitor {
             None => out.visitor,
             Some(mut acc) => {
@@ -235,6 +242,7 @@ where
     let report = SweepReport::new(
         space,
         &stats,
+        &blocks,
         threads,
         outer.len(),
         chunk_len,
@@ -245,6 +253,7 @@ where
     Ok((
         SweepOutcome {
             stats,
+            blocks,
             visitor: merged_visitor.unwrap_or_else(make_visitor),
         },
         report,
@@ -340,7 +349,7 @@ mod tests {
         let opts = ParallelOptions {
             threads: 2,
             chunks_per_thread: 4,
-            progress: None,
+            ..ParallelOptions::default()
         };
         let (_, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
         // 32 outer values into 2×4 = 8 target chunks → chunk_len 4.
@@ -400,6 +409,7 @@ mod tests {
             threads: 4,
             chunks_per_thread: 0,
             progress: Some(progress.clone()),
+            ..ParallelOptions::default()
         };
         let (out, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
         let snap = progress.snapshot();

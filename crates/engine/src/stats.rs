@@ -23,6 +23,34 @@ pub struct PruneStats {
     pub survivors: u64,
 }
 
+/// Counters for the interval-based block pruner (subtree skips and check
+/// elisions). Kept separate from [`PruneStats`] so the per-constraint
+/// funnel stays directly comparable across backends that do not block-prune
+/// (walker, VM, generated code): elided checks are still *counted* as
+/// evaluated-and-passed in `PruneStats`, and only genuinely skipped
+/// subtrees make `evaluated` totals diverge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Loop subtrees skipped because a constraint was statically false
+    /// (always rejecting) over the remaining subdomain.
+    pub subtree_skips: u64,
+    /// Lower-bound estimate of points never enumerated thanks to subtree
+    /// skips: skipped domain length × statically known inner fanout.
+    pub points_skipped: u64,
+    /// Per-point check evaluations avoided because a constraint was
+    /// statically true (never rejecting) over the remaining subdomain.
+    pub checks_elided: u64,
+}
+
+impl BlockStats {
+    /// Merge counters from another sweep chunk (parallel workers).
+    pub fn merge(&mut self, other: &BlockStats) {
+        self.subtree_skips += other.subtree_skips;
+        self.points_skipped = self.points_skipped.saturating_add(other.points_skipped);
+        self.checks_elided += other.checks_elided;
+    }
+}
+
 impl PruneStats {
     /// Fresh counters for a space with `n_constraints` constraints.
     pub fn new(n_constraints: usize) -> PruneStats {

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use beast_core::space::Space;
 
-use crate::stats::PruneStats;
+use crate::stats::{BlockStats, PruneStats};
 
 /// Shared progress counters for a running sweep.
 ///
@@ -143,6 +143,15 @@ pub struct SweepReport {
     pub evaluated: u64,
     /// Total rejections.
     pub pruned: u64,
+    /// Loop subtrees skipped by the interval block pruner (0 with
+    /// `--no-intervals` or when nothing was statically decidable).
+    pub subtree_skips: u64,
+    /// Lower-bound estimate of raw tuples never enumerated thanks to
+    /// subtree skips.
+    pub points_skipped: u64,
+    /// Per-point constraint evaluations elided because the check was
+    /// statically true over its subtree (still counted in `evaluated`).
+    pub checks_elided: u64,
     /// Per-constraint rows, in plan order.
     pub constraints: Vec<ConstraintTelemetry>,
     /// Per-DAG-level aggregation, ascending by level.
@@ -154,9 +163,11 @@ pub struct SweepReport {
 impl SweepReport {
     /// Assemble a report from merged sweep statistics plus scheduler and
     /// worker bookkeeping.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         space: &Space,
         stats: &PruneStats,
+        blocks: &BlockStats,
         threads: usize,
         outer_len: usize,
         chunk_len: usize,
@@ -202,6 +213,9 @@ impl SweepReport {
             survivors: stats.survivors,
             evaluated: stats.evaluated.iter().sum(),
             pruned: stats.pruned.iter().sum(),
+            subtree_skips: blocks.subtree_skips,
+            points_skipped: blocks.points_skipped,
+            checks_elided: blocks.checks_elided,
             constraints,
             levels,
             workers,
@@ -260,6 +274,12 @@ impl SweepReport {
         json_num(&mut out, "evaluated", self.evaluated as f64);
         out.push(',');
         json_num(&mut out, "pruned", self.pruned as f64);
+        out.push(',');
+        json_num(&mut out, "subtree_skips", self.subtree_skips as f64);
+        out.push(',');
+        json_num(&mut out, "points_skipped", self.points_skipped as f64);
+        out.push(',');
+        json_num(&mut out, "checks_elided", self.checks_elided as f64);
         out.push(',');
         json_num(&mut out, "imbalance", self.imbalance());
         out.push_str(",\"constraints\":[");
@@ -333,6 +353,13 @@ impl SweepReport {
             self.pruned,
             self.imbalance()
         );
+        if self.subtree_skips > 0 || self.checks_elided > 0 {
+            let _ = writeln!(
+                out,
+                "block pruning: {} subtree skips (≥ {} points never enumerated), {} checks elided",
+                self.subtree_skips, self.points_skipped, self.checks_elided
+            );
+        }
         let _ = writeln!(
             out,
             "\n{:<24} {:<12} {:>5} {:>14} {:>14} {:>8}",
@@ -453,7 +480,8 @@ mod tests {
                 survivors: 24,
             },
         ];
-        SweepReport::new(&space, &stats, 2, 8, 2, 4, Duration::from_millis(40), workers)
+        let blocks = BlockStats { subtree_skips: 3, points_skipped: 120, checks_elided: 5 };
+        SweepReport::new(&space, &stats, &blocks, 2, 8, 2, 4, Duration::from_millis(40), workers)
     }
 
     #[test]
@@ -500,6 +528,9 @@ mod tests {
             "\"tuples_per_sec\":",
             "\"imbalance\":1.5",
             "\"busy_s\":0.03",
+            "\"subtree_skips\":3",
+            "\"points_skipped\":120",
+            "\"checks_elided\":5",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -27,7 +27,7 @@ use beast_core::iterator::Realized;
 
 use crate::compiled::SlotBindings;
 use crate::point::PointRef;
-use crate::stats::PruneStats;
+use crate::stats::{BlockStats, PruneStats};
 use crate::visit::Visitor;
 use crate::walker::SweepOutcome;
 
@@ -358,7 +358,7 @@ impl Vm {
                 Op::Halt => break,
             }
         }
-        Ok(SweepOutcome { stats, visitor })
+        Ok(SweepOutcome { stats, blocks: BlockStats::default(), visitor })
     }
 }
 

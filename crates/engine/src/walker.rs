@@ -24,7 +24,7 @@ use beast_core::plan::{Plan, Step};
 use beast_core::value::Value;
 
 use crate::point::PointRef;
-use crate::stats::PruneStats;
+use crate::stats::{BlockStats, PruneStats};
 use crate::visit::Visitor;
 
 /// Loop-control strategy, the experimental variable of Fig. 17.
@@ -45,6 +45,10 @@ pub enum LoopStyle {
 pub struct SweepOutcome<V> {
     /// Per-constraint pruning counters.
     pub stats: PruneStats,
+    /// Interval block-pruning counters. Always zero for backends without
+    /// block pruning (walker, VM) and for the compiled engine with
+    /// intervals disabled.
+    pub blocks: BlockStats,
     /// The visitor, holding whatever it accumulated.
     pub visitor: V,
 }
@@ -84,7 +88,11 @@ impl<'p> Walker<'p> {
             visitor,
         };
         self.exec(0, &mut env, &mut state)?;
-        Ok(SweepOutcome { stats: state.stats, visitor: state.visitor })
+        Ok(SweepOutcome {
+            stats: state.stats,
+            blocks: BlockStats::default(),
+            visitor: state.visitor,
+        })
     }
 
     fn exec<V: Visitor>(
@@ -171,8 +179,7 @@ impl<'p> Walker<'p> {
                     }
                     LoopStyle::RangeLazy => {
                         let domain = def.kind.realize(&EnvView(env))?;
-                        let mut cursor = domain.iter();
-                        while let Some(v) = cursor.next() {
+                        for v in domain.iter() {
                             env.insert(name.clone(), v);
                             self.exec(pos + 1, env, state)?;
                         }

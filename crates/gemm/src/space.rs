@@ -461,6 +461,49 @@ mod tests {
         assert_eq!((soft, correctness), (4, 4));
     }
 
+    /// The peephole pass must pay for itself on the paper's own workload:
+    /// across the lowered GEMM plan's derived/constraint expressions and
+    /// range bounds, optimized programs are never longer than the raw
+    /// flattening and are strictly shorter in aggregate (constant folds in
+    /// the `(dim + tile - 1) / tile`-style derived chains and redundant
+    /// bool normalization in the `&&`-chained constraints).
+    #[test]
+    fn peephole_shrinks_lowered_gemm_programs() {
+        use beast_core::ir::{IntExpr, LBody, LIter, LStep, LoweredPlan};
+        use beast_engine::postfix::Postfix;
+
+        let space = build_gemm_space(&GemmSpaceParams::paper_default()).unwrap();
+        let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+        let lp = LoweredPlan::new(&plan).unwrap();
+
+        let mut exprs: Vec<&IntExpr> = Vec::new();
+        for step in &lp.steps {
+            match step {
+                LStep::Bind { domain: LIter::Range { start, stop, step }, .. } => {
+                    exprs.extend([start, stop, step]);
+                }
+                LStep::Define { body: LBody::Expr(e), .. }
+                | LStep::Check { body: LBody::Expr(e), .. } => exprs.push(e),
+                _ => {}
+            }
+        }
+        assert!(!exprs.is_empty(), "lowered GEMM plan has no integer expressions");
+
+        let mut raw_total = 0usize;
+        let mut opt_total = 0usize;
+        for e in exprs {
+            let raw = Postfix::compile_unoptimized(e).len();
+            let opt = Postfix::compile(e).len();
+            assert!(opt <= raw, "peephole grew a program ({opt} > {raw}) for {e:?}");
+            raw_total += raw;
+            opt_total += opt;
+        }
+        assert!(
+            opt_total < raw_total,
+            "peephole removed no ops across the GEMM plan ({opt_total} vs {raw_total})"
+        );
+    }
+
     #[test]
     fn dag_levels_are_sensible() {
         let space = build_gemm_space(&GemmSpaceParams::paper_default()).unwrap();

@@ -51,9 +51,9 @@ pub fn workload_compatible(cfg: &GemmConfig, m: usize, n: usize, k: usize) -> bo
     cfg.blk_m > 0
         && cfg.blk_n > 0
         && cfg.blk_k > 0
-        && m % cfg.blk_m as usize == 0
-        && n % cfg.blk_n as usize == 0
-        && k % cfg.blk_k as usize == 0
+        && m.is_multiple_of(cfg.blk_m as usize)
+        && n.is_multiple_of(cfg.blk_n as usize)
+        && k.is_multiple_of(cfg.blk_k as usize)
 }
 
 /// Simulate `C = op(A) * op(B)` with the given configuration.
@@ -267,6 +267,7 @@ mod tests {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn check_against_reference<T: crate::scalar::Scalar>(
         cfg: &GemmConfig,
         m: usize,

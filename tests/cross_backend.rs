@@ -4,11 +4,19 @@
 //! produce identical survivors and pruning statistics for the same space.
 //! This is the load-bearing guarantee behind the paper's performance claims:
 //! the backends differ *only* in speed.
+//!
+//! The compiled engine's interval block pruner is exercised as a second
+//! cohort: with intervals *off* the compiled/parallel backends match the
+//! walker's statistics bit for bit; with intervals *on* they must still
+//! produce identical survivors in identical order, agree exactly with each
+//! other, and may only ever *shrink* per-constraint evaluation counts
+//! (skipped subtrees are work the per-point backends did needlessly).
 
 use std::sync::Arc;
 
 use beast::prelude::*;
-use beast_engine::parallel::run_parallel;
+use beast_engine::compiled::EngineOptions;
+use beast_engine::parallel::{run_parallel_report, ParallelOptions};
 
 /// Canonical result of a sweep: survivors as sorted tuples + stats.
 fn all_backend_results(space: &Arc<Space>) -> Vec<(String, PruneStats, Vec<Vec<i64>>)> {
@@ -46,7 +54,8 @@ fn all_backend_results(space: &Arc<Space>) -> Vec<(String, PruneStats, Vec<Vec<i
         ));
     }
     {
-        let compiled = Compiled::new(lowered.clone());
+        let compiled =
+            Compiled::with_options(lowered.clone(), EngineOptions::no_intervals());
         let out = compiled
             .run(CollectVisitor::new(compiled.point_names().clone(), usize::MAX))
             .unwrap();
@@ -54,12 +63,61 @@ fn all_backend_results(space: &Arc<Space>) -> Vec<(String, PruneStats, Vec<Vec<i
     }
     for threads in [2usize, 5] {
         let names = Compiled::new(lowered.clone()).point_names().clone();
-        let out =
-            run_parallel(&lowered, threads, || CollectVisitor::new(names.clone(), usize::MAX))
-                .unwrap();
+        let opts = ParallelOptions {
+            threads,
+            engine: EngineOptions::no_intervals(),
+            ..ParallelOptions::default()
+        };
+        let (out, _) = run_parallel_report(&lowered, &opts, || {
+            CollectVisitor::new(names.clone(), usize::MAX)
+        })
+        .unwrap();
         results.push((
             format!("parallel/{threads}"),
             out.stats,
+            points_of(&out.visitor.points),
+        ));
+    }
+    results
+}
+
+/// The intervals-on cohort: serial compiled engine plus the parallel driver
+/// at two thread counts, all with block pruning enabled.
+fn interval_backend_results(
+    space: &Arc<Space>,
+) -> Vec<(String, PruneStats, BlockStats, Vec<Vec<i64>>)> {
+    let plan = Plan::new(space, PlanOptions::default()).unwrap();
+    let lowered = LoweredPlan::new(&plan).unwrap();
+    let points_of = |points: &[Point]| -> Vec<Vec<i64>> {
+        points
+            .iter()
+            .map(|p| p.values().iter().map(|v| v.as_int().unwrap()).collect())
+            .collect()
+    };
+    let mut results = Vec::new();
+    {
+        let compiled = Compiled::new(lowered.clone());
+        let out = compiled
+            .run(CollectVisitor::new(compiled.point_names().clone(), usize::MAX))
+            .unwrap();
+        results.push((
+            "compiled+iv".to_string(),
+            out.stats,
+            out.blocks,
+            points_of(&out.visitor.points),
+        ));
+    }
+    for threads in [2usize, 5] {
+        let names = Compiled::new(lowered.clone()).point_names().clone();
+        let opts = ParallelOptions { threads, ..ParallelOptions::default() };
+        let (out, _) = run_parallel_report(&lowered, &opts, || {
+            CollectVisitor::new(names.clone(), usize::MAX)
+        })
+        .unwrap();
+        results.push((
+            format!("parallel+iv/{threads}"),
+            out.stats,
+            out.blocks,
             points_of(&out.visitor.points),
         ));
     }
@@ -79,6 +137,28 @@ fn assert_all_agree(space: Arc<Space>) {
     for (name, stats, points) in &results[1..] {
         assert_eq!(stats, ref_stats, "{name} vs {ref_name}: stats differ");
         assert_eq!(points, ref_points, "{name} vs {ref_name}: survivors differ");
+    }
+
+    // Intervals-on cohort: identical survivors and visit order, identical
+    // rejections-or-fewer, never more work than the per-point backends —
+    // and exact agreement (stats and block counters) within the cohort.
+    let iv = interval_backend_results(&space);
+    let (iv_ref_name, iv_ref_stats, iv_ref_blocks, iv_ref_points) = &iv[0];
+    assert_eq!(
+        iv_ref_points, ref_points,
+        "{iv_ref_name} vs {ref_name}: intervals changed survivors"
+    );
+    assert_eq!(iv_ref_stats.survivors, ref_stats.survivors);
+    for (i, (a, b)) in iv_ref_stats.evaluated.iter().zip(&ref_stats.evaluated).enumerate() {
+        assert!(a <= b, "{iv_ref_name}: intervals increased evaluations of constraint {i}");
+    }
+    for (i, (a, b)) in iv_ref_stats.pruned.iter().zip(&ref_stats.pruned).enumerate() {
+        assert!(a <= b, "{iv_ref_name}: intervals increased rejections of constraint {i}");
+    }
+    for (name, stats, blocks, points) in &iv[1..] {
+        assert_eq!(stats, iv_ref_stats, "{name} vs {iv_ref_name}: stats differ");
+        assert_eq!(blocks, iv_ref_blocks, "{name} vs {iv_ref_name}: block counters differ");
+        assert_eq!(points, iv_ref_points, "{name} vs {iv_ref_name}: survivors differ");
     }
 }
 

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use beast::prelude::*;
 use beast_core::ir::LoweredPlan;
+use beast_engine::compiled::EngineOptions;
 use beast_engine::parallel::{run_parallel, run_parallel_report, ParallelOptions};
 use beast_gemm::{build_gemm_space, GemmSpaceParams};
 
@@ -159,6 +160,70 @@ fn repeated_runs_and_reports_agree() {
     }
 }
 
+/// Interval block pruning is invisible in results: with intervals on or
+/// off, serial and parallel sweeps at every thread count produce the same
+/// survivors in the same order. Only `PruneStats::evaluated` may shrink
+/// (subtree skips remove per-point evaluations), and `pruned`/`survivors`
+/// never change. The intervals-on runs must additionally be bit-for-bit
+/// identical to each other across thread counts.
+#[test]
+fn intervals_on_and_off_agree_at_every_thread_count() {
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        let on = Compiled::new(lp.clone());
+        let off = Compiled::with_options(lp.clone(), EngineOptions::no_intervals());
+        let names = on.point_names().clone();
+        let serial_on = on.run(CollectVisitor::new(names.clone(), usize::MAX)).unwrap();
+        let serial_off = off.run(CollectVisitor::new(names.clone(), usize::MAX)).unwrap();
+
+        // Same survivors, same order, same rejection counts; evaluations
+        // can only shrink with intervals on.
+        assert_eq!(
+            serial_on.visitor.points, serial_off.visitor.points,
+            "{name}: intervals changed survivors or their order"
+        );
+        assert_eq!(serial_on.stats.survivors, serial_off.stats.survivors, "{name}");
+        for i in 0..serial_off.stats.evaluated.len() {
+            assert!(
+                serial_on.stats.evaluated[i] <= serial_off.stats.evaluated[i],
+                "{name}: intervals *increased* evaluations of constraint {i}"
+            );
+            // A skipped subtree removes the skip-deciding constraint's
+            // per-point rejections along with the evaluations.
+            assert!(
+                serial_on.stats.pruned[i] <= serial_off.stats.pruned[i],
+                "{name}: intervals *increased* rejections of constraint {i}"
+            );
+        }
+        assert_eq!(serial_off.blocks, BlockStats::default(), "{name}: off mode counted blocks");
+
+        for threads in THREAD_COUNTS {
+            for (mode, engine, serial) in [
+                ("on", EngineOptions::default(), &serial_on),
+                ("off", EngineOptions::no_intervals(), &serial_off),
+            ] {
+                let opts = ParallelOptions { threads, engine, ..ParallelOptions::default() };
+                let (par, _) = run_parallel_report(&lp, &opts, || {
+                    CollectVisitor::new(names.clone(), usize::MAX)
+                })
+                .unwrap();
+                assert_eq!(
+                    par.visitor.points, serial.visitor.points,
+                    "{name}: intervals-{mode} visit order diverged at {threads} threads"
+                );
+                assert_eq!(
+                    par.stats, serial.stats,
+                    "{name}: intervals-{mode} stats diverged at {threads} threads"
+                );
+                assert_eq!(
+                    par.blocks, serial.blocks,
+                    "{name}: intervals-{mode} block counters diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
 /// Forcing pathologically fine chunks (1 outer value per chunk) still
 /// reproduces the serial outcome — chunk granularity is invisible.
 #[test]
@@ -174,7 +239,7 @@ fn chunk_granularity_is_invisible() {
             let opts = ParallelOptions {
                 threads: 3,
                 chunks_per_thread,
-                progress: None,
+                ..ParallelOptions::default()
             };
             let (par, _) = run_parallel_report(&lp, &opts, || {
                 CollectVisitor::new(names.clone(), usize::MAX)

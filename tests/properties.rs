@@ -5,7 +5,11 @@
 //! * realized range domains behave like their Python counterparts;
 //! * arbitrary generated spaces produce identical survivors in every
 //!   backend, at any thread count;
-//! * pruning accounting is conserved (evaluated = pruned + passed).
+//! * pruning accounting is conserved (evaluated = pruned + passed);
+//! * the static interval analysis is *sound*: every successful evaluation
+//!   lands inside the predicted interval, and an expression marked `clean`
+//!   never fails at runtime (the contract the block pruner's subtree skips
+//!   rely on).
 //!
 //! Cases are generated from a fixed-seed [`StdRng`] (the vendored std-only
 //! shim), so every run exercises the same case set — failures reproduce
@@ -19,8 +23,11 @@ use rand::{Rng, SeedableRng};
 
 use beast::prelude::*;
 use beast_core::expr::{lit, max2, min2, ternary, Bindings, Expr, E};
+use beast_core::interval::{interval_of, Interval};
+use beast_core::ir::{LBody, LIter, LStep};
 use beast_core::iterator::Realized;
 use beast_engine::parallel::run_parallel;
+use beast_engine::postfix::Postfix;
 
 const VARS: [&str; 3] = ["va", "vb", "vc"];
 
@@ -240,4 +247,171 @@ fn random_spaces_agree() {
         let passed_first: u64 = s.evaluated.first().map(|e| e - s.pruned[0]).unwrap_or(0);
         assert!(s.survivors <= passed_first.max(s.survivors), "case {case}");
     }
+}
+
+/// Random expression trees *including unguarded division and remainder*, so
+/// the interval analysis sees both failure-free and possibly-failing shapes.
+fn arb_expr_unguarded(rng: &mut StdRng, depth: usize) -> E {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            lit(rng.gen_range(-4i64..5))
+        } else {
+            var(VARS[rng.gen_range(0usize..3)])
+        };
+    }
+    let a = arb_expr_unguarded(rng, depth - 1);
+    let b = arb_expr_unguarded(rng, depth - 1);
+    match rng.gen_range(0u32..14) {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        3 => a.lt(b),
+        4 => a.ge(b),
+        5 => a.eq(b),
+        6 => a.and(b),
+        7 => a.or(b),
+        8 => min2(a, b),
+        9 => max2(a, b),
+        10 => ternary(arb_expr_unguarded(rng, depth - 1), a, b),
+        11 => a / b,
+        12 => a % b,
+        _ => -a,
+    }
+}
+
+/// Soundness of the static interval analysis behind block pruning, checked
+/// exhaustively against evaluation over small random domains:
+///
+/// * whenever evaluation succeeds, the result is inside the predicted
+///   interval;
+/// * whenever the analysis claims `clean`, evaluation never errors.
+///
+/// This pair is exactly what makes an interval-guard subtree skip safe.
+#[test]
+fn interval_analysis_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0xBEA5_7005);
+    let mut checked_points = 0u64;
+    let mut unclean_cases = 0u64;
+    for case in 0..256 {
+        let e = arb_expr_unguarded(&mut rng, 3);
+        let mut domain = |_: &str| -> Vec<i64> {
+            (0..rng.gen_range(1usize..4)).map(|_| rng.gen_range(-6i64..7)).collect()
+        };
+        let (da, db, dc) = (domain("va"), domain("vb"), domain("vc"));
+        let space = Space::builder("prop_iv")
+            .list("va", da.clone())
+            .list("vb", db.clone())
+            .list("vc", dc.clone())
+            .derived("result", e)
+            .build()
+            .unwrap();
+        let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+        let lp = LoweredPlan::new(&plan).unwrap();
+
+        // Domain intervals per slot, plus the realized value lists to
+        // enumerate; the simplifier may have folded the derived into the
+        // bind exprs, so walk the lowered steps rather than assuming shape.
+        let mut ivals = vec![Interval::TOP; lp.n_slots as usize];
+        let mut binds: Vec<(u32, Vec<i64>)> = Vec::new();
+        let mut target = None;
+        for step in &lp.steps {
+            match step {
+                LStep::Bind { slot, domain: LIter::Values(v), .. } => {
+                    ivals[*slot as usize] = Interval {
+                        lo: v.iter().copied().min().unwrap(),
+                        hi: v.iter().copied().max().unwrap(),
+                    };
+                    binds.push((*slot, v.clone()));
+                }
+                LStep::Define { slot, body: LBody::Expr(expr), .. }
+                    if &*lp.slot_names[*slot as usize] == "result" =>
+                {
+                    target = Some(expr.clone());
+                }
+                _ => {}
+            }
+        }
+        let Some(expr) = target else {
+            // Fully constant-folded away; nothing to check for this case.
+            continue;
+        };
+        let outcome = interval_of(&expr, &ivals);
+        unclean_cases += u64::from(!outcome.clean);
+
+        let mut slots = vec![0i64; lp.n_slots as usize];
+        let mut enumerate = vec![0usize; binds.len()];
+        loop {
+            for (k, (slot, values)) in binds.iter().enumerate() {
+                slots[*slot as usize] = values[enumerate[k]];
+            }
+            checked_points += 1;
+            match expr.eval(&slots) {
+                Ok(v) => assert!(
+                    outcome.iv.contains(v),
+                    "case {case}: eval {v} escapes predicted {:?} for {expr:?}",
+                    outcome.iv
+                ),
+                Err(e) => assert!(
+                    !outcome.clean,
+                    "case {case}: `clean` expression failed with {e:?}: {expr:?}"
+                ),
+            }
+            // Odometer over the bind domains.
+            let mut k = binds.len();
+            loop {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+                enumerate[k] += 1;
+                if enumerate[k] < binds[k].1.len() {
+                    break;
+                }
+                enumerate[k] = 0;
+            }
+            if enumerate.iter().all(|&i| i == 0) {
+                break;
+            }
+        }
+    }
+    // The generator must exercise both sides of the contract.
+    assert!(checked_points > 1000, "degenerate case set: {checked_points} points");
+    assert!(unclean_cases > 0, "no possibly-failing expressions generated");
+}
+
+/// The peephole pass shortens the real GEMM plan's postfix programs: every
+/// program is no longer than its unoptimized form, and the plan as a whole
+/// gets strictly shorter (folded constant subtrees, elided `Jmp 0`s and
+/// redundant boolean normalizations).
+#[test]
+fn gemm_postfix_peephole_reduces_ops() {
+    let params = beast::gemm::GemmSpaceParams::reduced(12);
+    let space = beast::gemm::build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let mut raw_total = 0usize;
+    let mut opt_total = 0usize;
+    for step in &lp.steps {
+        let exprs = match step {
+            LStep::Define { body: LBody::Expr(e), .. }
+            | LStep::Check { body: LBody::Expr(e), .. } => vec![e],
+            LStep::Bind { domain: LIter::Range { start, stop, step }, .. } => {
+                vec![start, stop, step]
+            }
+            _ => vec![],
+        };
+        for e in exprs {
+            let raw = Postfix::compile_unoptimized(e).len();
+            let opt = Postfix::compile(e).len();
+            assert!(opt <= raw, "peephole grew a program: {opt} > {raw} for {e:?}");
+            raw_total += raw;
+            opt_total += opt;
+        }
+    }
+    assert!(raw_total > 0, "GEMM plan lowered to no programs at all");
+    assert!(
+        opt_total < raw_total,
+        "peephole found nothing to fold in the GEMM plan ({opt_total} vs {raw_total} ops)"
+    );
 }
