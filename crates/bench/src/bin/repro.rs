@@ -26,6 +26,13 @@
 //! `threads`) — the ablation knob behind the `ablation_intervals` benchmark.
 //! Survivor counts are identical either way.
 //!
+//! The global `--schedule {declared,static,adaptive}` flag picks the
+//! constraint-schedule mode for the same subcommands (default: `adaptive`,
+//! the profile-guided mode behind the `ablation_schedule` benchmark). The
+//! chosen per-level check order is printed alongside the results; survivors
+//! and emission order are identical in every mode. Composes with
+//! `--no-intervals`.
+//!
 //! Numbers are machine-relative; the paper's *shape* (ordering, rough
 //! factors) is the reproduction target. See EXPERIMENTS.md.
 
@@ -36,9 +43,10 @@ use beast_codegen::{all_backends, all_toolchains, ToolchainResult};
 use beast_core::ir::LoweredPlan;
 use beast_core::plan::{Plan, PlanOptions};
 use beast_cuda::{CcLimits, DeviceProps};
+use beast_core::schedule::ScheduleMode;
 use beast_engine::compiled::{Compiled, EngineOptions};
 use beast_engine::parallel::{run_parallel_report, ParallelOptions};
-use beast_engine::telemetry::SweepReport;
+use beast_engine::telemetry::{ScheduleTelemetry, SweepReport};
 use beast_engine::visit::CountVisitor;
 use beast_engine::vm::{Vm, VmStyle};
 use beast_engine::walker::{LoopStyle, Walker};
@@ -56,11 +64,24 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let no_intervals = args.iter().any(|a| a == "--no-intervals");
     args.retain(|a| a != "--no-intervals");
-    let engine = if no_intervals {
+    let mut schedule = ScheduleMode::Adaptive;
+    if let Some(i) = args.iter().position(|a| a == "--schedule") {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("error: --schedule needs a value: declared, static or adaptive");
+            std::process::exit(2);
+        };
+        schedule = value.parse().unwrap_or_else(|e| {
+            eprintln!("error: --schedule: {e}");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+    }
+    let mut engine = if no_intervals {
         EngineOptions::no_intervals()
     } else {
         EngineOptions::default()
     };
+    engine.schedule = schedule;
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let arg_num = |default: u64| -> u64 {
         args.get(1).and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -114,6 +135,22 @@ fn main() {
 
 fn header(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// Print the engine's per-level check order (and, for adaptive runs, the
+/// final order it converged to).
+fn print_schedule(tele: &ScheduleTelemetry) {
+    if tele.groups.is_empty() {
+        return;
+    }
+    println!("check schedule ({}):", tele.mode);
+    for g in &tele.groups {
+        let mut line = format!("  level {}: {}", g.level, g.initial.join(" → "));
+        if g.final_order != g.initial {
+            line.push_str(&format!("   (final: {})", g.final_order.join(" → ")));
+        }
+        println!("{line}");
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -366,13 +403,20 @@ fn headline(dim: i64, engine: EngineOptions) {
             comp_out.blocks.subtree_skips, comp_out.blocks.points_skipped
         );
     }
+    print_schedule(&compiled.schedule_telemetry(comp_out.schedule.as_deref()));
     println!("{:<26} {:>10} {:>10}", "backend", "seconds", "speedup");
     println!("{:<26} {:>10.3} {:>9.1}x", "walker (Python model)", t_walker, 1.0);
     println!("{:<26} {:>10.3} {:>9.1}x", "VM (Lua model)", t_vm, t_walker / t_vm);
     println!("{:<26} {:>10.3} {:>9.1}x", "compiled (C model)", t_comp, t_walker / t_comp);
 
     // Generated C through gcc, when available — the paper's actual artifact.
-    let program = beast_codegen::Program::from_lowered(&lp).unwrap();
+    // Codegen consumes the lowered steps in order, so statically scheduling
+    // the plan first makes every backend emit the scheduled check order.
+    let mut cg_lp = lp.clone();
+    if engine.schedule != ScheduleMode::Declared {
+        beast_core::schedule::static_schedule(&mut cg_lp);
+    }
+    let program = beast_codegen::Program::from_lowered(&cg_lp).unwrap();
     let lowered = beast_codegen::lower(&program);
     let toolchain = beast_codegen::Toolchain::c();
     let backend = beast_codegen::CBackend;
@@ -407,7 +451,8 @@ fn funnel(dim: i64, engine: EngineOptions) {
     let space = build_gemm_space(&params).unwrap();
     let plan = Plan::new(&space, PlanOptions::default()).unwrap();
     let lp = LoweredPlan::new(&plan).unwrap();
-    let out = Compiled::with_options(lp, engine).run(CountVisitor::default()).unwrap();
+    let compiled = Compiled::with_options(lp, engine);
+    let out = compiled.run(CountVisitor::default()).unwrap();
     println!("{}", out.stats.render_funnel(&space));
     if out.blocks.subtree_skips > 0 || out.blocks.checks_elided > 0 {
         println!(
@@ -415,6 +460,7 @@ fn funnel(dim: i64, engine: EngineOptions) {
             out.blocks.subtree_skips, out.blocks.points_skipped, out.blocks.checks_elided
         );
     }
+    print_schedule(&compiled.schedule_telemetry(out.schedule.as_deref()));
 }
 
 // ---------------------------------------------------------------------------

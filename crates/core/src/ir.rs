@@ -185,6 +185,49 @@ impl IntExpr {
         }
     }
 
+    /// Number of IR nodes — the cost proxy used by the constraint scheduler
+    /// (`crate::schedule`). Tracks the length of the postfix program an
+    /// engine compiles this expression to, up to peephole folding.
+    pub fn op_count(&self) -> u32 {
+        match self {
+            IntExpr::Const(_) | IntExpr::Slot(_) => 1,
+            IntExpr::Neg(a) | IntExpr::Not(a) | IntExpr::Abs(a) => 1 + a.op_count(),
+            IntExpr::Bin(_, a, b) | IntExpr::Call2(_, a, b) => {
+                1 + a.op_count() + b.op_count()
+            }
+            IntExpr::Ternary(c, t, f) => 1 + c.op_count() + t.op_count() + f.op_count(),
+        }
+    }
+
+    /// True if evaluation can never fail or panic for *any* slot values:
+    /// no division/remainder by a possibly-zero divisor, and no `div_ceil`/
+    /// `round_up` (whose `a + b - 1` can overflow in debug builds).
+    ///
+    /// Only infallible checks may be reordered by the constraint scheduler —
+    /// a rejection by a reordered check must not mask (or unmask) an
+    /// evaluation error another check in the same run would have raised.
+    pub fn infallible(&self) -> bool {
+        match self {
+            IntExpr::Const(_) | IntExpr::Slot(_) => true,
+            IntExpr::Neg(a) | IntExpr::Not(a) | IntExpr::Abs(a) => a.infallible(),
+            IntExpr::Bin(IntBinOp::Div | IntBinOp::Rem, a, b) => {
+                a.infallible() && matches!(b.as_const(), Some(k) if k != 0)
+            }
+            // `div_euclid` panics on `i64::MIN / -1` in every build profile.
+            IntExpr::Bin(IntBinOp::FloorDiv, a, b) => {
+                a.infallible() && matches!(b.as_const(), Some(k) if k != 0 && k != -1)
+            }
+            IntExpr::Bin(_, a, b) => a.infallible() && b.infallible(),
+            IntExpr::Call2(Builtin::Min | Builtin::Max | Builtin::Gcd, a, b) => {
+                a.infallible() && b.infallible()
+            }
+            IntExpr::Call2(_, _, _) => false,
+            IntExpr::Ternary(c, t, f) => {
+                c.infallible() && t.infallible() && f.infallible()
+            }
+        }
+    }
+
     /// Peephole simplification: constant folding, identity elimination,
     /// branch selection on constant conditions. Applied bottom-up.
     pub fn simplify(self) -> IntExpr {

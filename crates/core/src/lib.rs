@@ -57,6 +57,7 @@ pub mod ir;
 pub mod iterator;
 mod macros;
 pub mod plan;
+pub mod schedule;
 pub mod space;
 pub mod value;
 
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::ir::{IntExpr, LoweredPlan};
     pub use crate::iterator::{build as iter_build, IterKind, Realized};
     pub use crate::plan::{LoopOrder, Plan, PlanOptions, Step};
+    pub use crate::schedule::ScheduleMode;
     pub use crate::space::{Space, SpaceBuilder};
     pub use crate::value::Value;
 }

@@ -49,12 +49,14 @@ use beast_core::expr::Bindings;
 use beast_core::interval::{range_value_hull, Interval, IntervalOutcome, IvProg};
 use beast_core::ir::{LBody, LIter, LStep, LoweredPlan};
 use beast_core::iterator::Realized;
+use beast_core::schedule::{self, ScheduleMode};
 use beast_core::value::Value;
 
 use crate::point::PointRef;
 use crate::postfix::Postfix;
 
 use crate::stats::{BlockStats, PruneStats};
+use crate::telemetry::{GroupSchedule, ScheduleTelemetry};
 use crate::visit::Visitor;
 use crate::walker::SweepOutcome;
 
@@ -74,11 +76,24 @@ pub struct EngineOptions {
     /// 4 sits in the middle of the 2–8 plateau measured on the GEMM space
     /// (`ablation_intervals`); 1 guards every eligible loop.
     pub min_guard_fanout: u64,
+    /// How to order the checks within each loop level (see
+    /// [`beast_core::schedule`]). `Declared` — the library default — runs
+    /// checks in plan order and reproduces the walker's per-constraint
+    /// statistics exactly. `Static`/`Adaptive` reorder reorder-safe groups,
+    /// which never changes survivors or emission order but does shift
+    /// *which* constraint gets credit for a kill, so `PruneStats` may
+    /// differ from declared-order runs (and, under `Adaptive`, between
+    /// serial and chunked runs of the same sweep).
+    pub schedule: ScheduleMode,
 }
 
 impl Default for EngineOptions {
     fn default() -> EngineOptions {
-        EngineOptions { intervals: true, min_guard_fanout: 4 }
+        EngineOptions {
+            intervals: true,
+            min_guard_fanout: 4,
+            schedule: ScheduleMode::Declared,
+        }
     }
 }
 
@@ -87,6 +102,11 @@ impl EngineOptions {
     /// engine; used by the `ablation_intervals` bench and `--no-intervals`).
     pub fn no_intervals() -> EngineOptions {
         EngineOptions { intervals: false, ..EngineOptions::default() }
+    }
+
+    /// Default options with the given constraint-schedule mode.
+    pub fn scheduled(mode: ScheduleMode) -> EngineOptions {
+        EngineOptions { schedule: mode, ..EngineOptions::default() }
     }
 }
 
@@ -128,10 +148,138 @@ enum Op {
     Check { constraint: u32, expr: Postfix, elide_bit: Option<u8>, on_reject: u32 },
     /// Evaluate an opaque constraint through the closure callback.
     CheckOpaque { constraint: u32, on_reject: u32 },
+    /// Adaptive-schedule check group: evaluate the members of
+    /// `agroups[group]` in the group's *current* per-run order — each
+    /// member preceded by the not-yet-run defines of its closure — jumping
+    /// to the shared reject target on the first rejection, and executing
+    /// the remaining defines before falling through when every member
+    /// passes (survivor points must carry all derived slots). Replaces the
+    /// first op of a reorder-safe region; the remaining region positions
+    /// keep their original (now unreachable) ops — the only jump into a
+    /// region targets its first position (`Enter + 1` when the region
+    /// opens the loop body), since reject targets are always a `Next`, an
+    /// `Enter + 1`, or `Halt`. Once a group's order freezes mid-run, the
+    /// whole span is patched back to straight-line `Define`/`Check` ops in
+    /// the learned order (see `patch_frozen`), so this dispatch only pays
+    /// for itself while the order is still being learned.
+    CheckGroup { group: u32 },
     /// Record a survivor and invoke the visitor.
     Visit,
     /// End of program.
     Halt,
+}
+
+/// One member of an adaptive check group.
+#[derive(Debug, Clone)]
+struct AMember {
+    /// Constraint index (also the `PruneStats` row and elision-bit key).
+    constraint: u32,
+    /// Compiled predicate.
+    expr: Postfix,
+    /// Elision bit, as on [`Op::Check`].
+    elide_bit: Option<u8>,
+    /// Unit cost — postfix op count of the predicate plus its define
+    /// closure, the denominator for kill-rate-per-op.
+    cost: u32,
+    /// Ascending indices into [`AGroup::defines`]: the transitive closure
+    /// of region defines this predicate reads, executed on demand before
+    /// the predicate (ascending = dependency order).
+    deps: Vec<u16>,
+}
+
+/// One lazily-executed define of an adaptive check group's region.
+#[derive(Debug, Clone)]
+struct ADefine {
+    /// Destination slot.
+    slot: u32,
+    /// Compiled body (infallible over the subtree by region construction).
+    expr: Postfix,
+}
+
+/// A reorder-safe region (checks + interleaved defines) executed through
+/// [`Op::CheckGroup`].
+///
+/// All members share one loop scope, hence one reject target; members and
+/// defines are infallible, so evaluating units in any order — defines on
+/// demand, the rest before falling through — is semantics-preserving (AND
+/// over pure predicates; defines are pure functions of bound slots).
+/// Orders and counters live in per-run [`State`] — worker-local under the
+/// parallel driver — so adapting the order can never perturb survivors or
+/// emission order at any thread count.
+#[derive(Debug, Clone)]
+struct AGroup {
+    /// Members in static-schedule order (the initial per-run order).
+    members: Vec<AMember>,
+    /// The region's defines in dependency order, run at most once per
+    /// group execution (tracked in a bitmask, hence ≤ 64 per region).
+    defines: Vec<ADefine>,
+    /// Shared reject target (the enclosing loop's `Next`).
+    on_reject: u32,
+    /// Instruction index of the region's first op (the `CheckGroup`).
+    start: u32,
+    /// Instruction index just past the region (the all-pass successor).
+    end: u32,
+}
+
+/// Per-run mutable state of one adaptive group.
+#[derive(Debug, Clone)]
+struct GroupState {
+    /// Current evaluation order (member indices).
+    order: Vec<u16>,
+    /// Per-member evaluations this run.
+    evaluated: Vec<u64>,
+    /// Per-member rejections this run.
+    killed: Vec<u64>,
+    /// Group executions since the run started; every
+    /// [`ADAPT_EPOCH`]th execution re-sorts `order`.
+    ticks: u32,
+    /// Consecutive re-sorts that left `order` unchanged. At
+    /// [`ADAPT_FREEZE`] the group is converged: counter updates and
+    /// re-sorts stop, so the steady-state dispatch costs the same as the
+    /// plain per-check path (the counters are only read by `resort`).
+    stable: u8,
+}
+
+/// Group executions between adaptive re-sorts. Small enough to adapt within
+/// one scheduler chunk, large enough that sorting cost vanishes against the
+/// member evaluations it amortizes.
+const ADAPT_EPOCH: u32 = 256;
+
+/// Consecutive no-change re-sorts after which a group's order is frozen
+/// for the rest of the run (chunk-local, like all adaptive state).
+const ADAPT_FREEZE: u8 = 4;
+
+/// Re-sort a group's evaluation order by observed kill rate per unit cost,
+/// descending — the online analogue of the static expected-cost-to-kill
+/// ordering. Members never evaluated this run (everything ahead of them
+/// always killed first) sink to the back; ties keep static-schedule order.
+/// Tracks convergence: an unchanged order bumps [`GroupState::stable`],
+/// a changed one resets it.
+fn resort(g: &AGroup, gs: &mut GroupState) {
+    let mut order = std::mem::take(&mut gs.order);
+    let before = order.clone();
+    let score = |mi: u16| {
+        let mi = mi as usize;
+        if gs.evaluated[mi] == 0 {
+            return -1.0;
+        }
+        let kill_rate = gs.killed[mi] as f64 / gs.evaluated[mi] as f64;
+        kill_rate / g.members[mi].cost as f64
+    };
+    order.sort_by(|&a, &b| {
+        score(b).partial_cmp(&score(a)).unwrap().then_with(|| a.cmp(&b))
+    });
+    gs.stable = if order == before { gs.stable.saturating_add(1) } else { 0 };
+    gs.order = order;
+}
+
+/// A reorder-safe check group as reported in telemetry: its loop level and
+/// member constraints in scheduled order (tracked for every mode, not just
+/// adaptive, so reports can always show the per-level order).
+#[derive(Debug, Clone)]
+struct SchedGroup {
+    level: usize,
+    constraints: Vec<u32>,
 }
 
 /// One step of a loop's precompiled interval-guard program: the lowered
@@ -237,6 +385,10 @@ pub struct Compiled {
     /// Instruction index of the outermost `Enter` (None for loop-free
     /// programs, which cannot occur for valid spaces).
     first_enter: Option<usize>,
+    /// Adaptive check groups (empty unless `opts.schedule` is `Adaptive`).
+    agroups: Vec<AGroup>,
+    /// Reorder-safe groups in scheduled order, for telemetry (all modes).
+    sched_groups: Vec<SchedGroup>,
     point_names: Arc<[Arc<str>]>,
     opts: EngineOptions,
 }
@@ -249,15 +401,25 @@ impl Compiled {
     }
 
     /// Build the flat program with explicit engine options.
-    pub fn with_options(lp: LoweredPlan, opts: EngineOptions) -> Compiled {
+    pub fn with_options(mut lp: LoweredPlan, opts: EngineOptions) -> Compiled {
+        // Static constraint scheduling happens on the lowered plan itself,
+        // before ops and guards are built, so both see the scheduled order
+        // (adaptive mode starts from the static order).
+        if opts.schedule != ScheduleMode::Declared {
+            schedule::static_schedule(&mut lp);
+        }
         let mut ops: Vec<Op> = Vec::new();
         // Open loops: (loop_id, enter_ip, check ips awaiting this loop's
         // Next as their reject target).
         let mut open: Vec<(u32, usize)> = Vec::new();
         let mut pending_rejects: Vec<Vec<usize>> = vec![Vec::new()];
         let mut n_loops = 0u32;
+        // Step index → the instruction it emitted (every step emits exactly
+        // one op), for locating check-group runs after patching.
+        let mut step_ops: Vec<u32> = Vec::with_capacity(lp.steps.len());
 
         for step in &lp.steps {
+            step_ops.push(ops.len() as u32);
             match step {
                 LStep::Bind { slot, domain, iter, .. } => {
                     let d = match domain {
@@ -344,6 +506,74 @@ impl Compiled {
         }
         debug_assert!(pending_rejects.is_empty());
 
+        // Reorder-safe regions: recorded for telemetry in every mode; in
+        // adaptive mode each region is additionally rewired through a
+        // single `CheckGroup` dispatch so the member order can change
+        // per-run without touching the instruction stream.
+        let mut agroups: Vec<AGroup> = Vec::new();
+        let mut sched_groups: Vec<SchedGroup> = Vec::new();
+        for region in schedule::check_regions(&lp) {
+            let constraints: Vec<u32> = region
+                .checks
+                .iter()
+                .map(|&si| match &lp.steps[si] {
+                    LStep::Check { constraint, .. } => *constraint as u32,
+                    other => unreachable!("check group holds non-check step {other:?}"),
+                })
+                .collect();
+            sched_groups.push(SchedGroup {
+                level: schedule::group_level(&lp, &region.checks),
+                constraints,
+            });
+            if opts.schedule != ScheduleMode::Adaptive {
+                continue;
+            }
+            let first_ip = step_ops[region.start] as usize;
+            let defines: Vec<ADefine> = region
+                .defines
+                .iter()
+                .map(|&si| {
+                    let Op::Define { slot, expr } = &ops[step_ops[si] as usize] else {
+                        unreachable!("region define lowered to a non-Define op");
+                    };
+                    ADefine { slot: *slot, expr: expr.clone() }
+                })
+                .collect();
+            let mut members = Vec::with_capacity(region.checks.len());
+            let mut reject = 0u32;
+            for (k, &si) in region.checks.iter().enumerate() {
+                let ip = step_ops[si] as usize;
+                debug_assert!(
+                    (first_ip..first_ip + (region.end - region.start)).contains(&ip),
+                    "region ops must be contiguous"
+                );
+                let Op::Check { constraint, expr, elide_bit, on_reject } = &ops[ip] else {
+                    unreachable!("check group step lowered to a non-Check op");
+                };
+                debug_assert!(k == 0 || reject == *on_reject, "members share one scope");
+                reject = *on_reject;
+                let deps: Vec<u16> = region.deps[k].iter().map(|&d| d as u16).collect();
+                let closure_cost: usize =
+                    deps.iter().map(|&d| defines[d as usize].expr.len()).sum();
+                members.push(AMember {
+                    constraint: *constraint,
+                    expr: expr.clone(),
+                    elide_bit: *elide_bit,
+                    cost: (expr.len() + closure_cost).max(1) as u32,
+                    deps,
+                });
+            }
+            let end = (first_ip + (region.end - region.start)) as u32;
+            ops[first_ip] = Op::CheckGroup { group: agroups.len() as u32 };
+            agroups.push(AGroup {
+                members,
+                defines,
+                on_reject: reject,
+                start: first_ip as u32,
+                end,
+            });
+        }
+
         let fanout_below: Vec<u64> =
             (0..n_loops as usize).map(|l| lp.static_fanout_below(l)).collect();
         let (gmaster, guards) =
@@ -351,7 +581,18 @@ impl Compiled {
 
         let point_names: Arc<[Arc<str>]> =
             Arc::from(lp.slot_names.clone().into_boxed_slice());
-        Compiled { lp, ops, gmaster, guards, fanout_below, first_enter, point_names, opts }
+        Compiled {
+            lp,
+            ops,
+            gmaster,
+            guards,
+            fanout_below,
+            first_enter,
+            agroups,
+            sched_groups,
+            point_names,
+            opts,
+        }
     }
 
     /// Names reported for visited points (slot order).
@@ -369,7 +610,9 @@ impl Compiled {
         self.opts
     }
 
-    /// Fresh per-run interpreter state.
+    /// Fresh per-run interpreter state. Adaptive group orders start from
+    /// the static schedule on every run — chunk-local under the parallel
+    /// driver, which keeps results deterministic at any thread count.
     fn fresh_state<V: Visitor>(&self, visitor: V) -> State<V> {
         State {
             stats: PruneStats::new(self.lp.plan.space().constraints().len()),
@@ -381,7 +624,36 @@ impl Compiled {
             gprimed: vec![false; self.guards.len()],
             gstack: Vec::new(),
             elide: 0,
+            sched: self
+                .agroups
+                .iter()
+                .map(|g| GroupState {
+                    order: (0..g.members.len() as u16).collect(),
+                    evaluated: vec![0; g.members.len()],
+                    killed: vec![0; g.members.len()],
+                    ticks: 0,
+                    stable: 0,
+                })
+                .collect(),
         }
+    }
+
+    /// The final adaptive group orders of a finished run, as constraint
+    /// indices (`None` unless running with an adaptive schedule).
+    fn final_orders<V>(&self, state: &State<V>) -> Option<Vec<Vec<u32>>> {
+        if self.opts.schedule != ScheduleMode::Adaptive {
+            return None;
+        }
+        Some(
+            state
+                .sched
+                .iter()
+                .zip(&self.agroups)
+                .map(|(gs, g)| {
+                    gs.order.iter().map(|&k| g.members[k as usize].constraint).collect()
+                })
+                .collect(),
+        )
     }
 
     /// Run the full sweep.
@@ -389,7 +661,13 @@ impl Compiled {
         let mut slots = vec![0i64; self.lp.n_slots as usize];
         let mut state = self.fresh_state(visitor);
         self.exec(0, None, &mut slots, &mut state, true)?;
-        Ok(SweepOutcome { stats: state.stats, blocks: state.blocks, visitor: state.visitor })
+        let schedule = self.final_orders(&state);
+        Ok(SweepOutcome {
+            stats: state.stats,
+            blocks: state.blocks,
+            schedule,
+            visitor: state.visitor,
+        })
     }
 
     /// Run only a chunk of the outermost loop's domain — the parallel driver
@@ -411,6 +689,7 @@ impl Compiled {
             return Ok(SweepOutcome {
                 stats: state.stats,
                 blocks: state.blocks,
+                schedule: None,
                 visitor: state.visitor,
             });
         };
@@ -420,11 +699,18 @@ impl Compiled {
             return Ok(SweepOutcome {
                 stats: state.stats,
                 blocks: state.blocks,
+                schedule: None,
                 visitor: state.visitor,
             });
         }
         self.exec(first_enter, Some(outer_values), &mut slots, &mut state, true)?;
-        Ok(SweepOutcome { stats: state.stats, blocks: state.blocks, visitor: state.visitor })
+        let schedule = self.final_orders(&state);
+        Ok(SweepOutcome {
+            stats: state.stats,
+            blocks: state.blocks,
+            schedule,
+            visitor: state.visitor,
+        })
     }
 
     /// Execute the preamble (pre-loop defines/checks) once, *recording* the
@@ -481,10 +767,46 @@ impl Compiled {
                         return Ok(false);
                     }
                 }
+                Op::CheckGroup { .. } => {
+                    unreachable!("check groups require an enclosing loop")
+                }
                 Op::Visit | Op::Enter { .. } | Op::Next { .. } | Op::Halt => break,
             }
         }
         Ok(true)
+    }
+
+    /// The constraint schedule this backend runs, for
+    /// [`SweepReport`](crate::telemetry::SweepReport)s:
+    /// mode, per-constraint ranks in the flattened (scheduled) check order,
+    /// and per-group initial/final member orders. `final_orders` — the
+    /// [`SweepOutcome::schedule`] of a finished adaptive run — substitutes
+    /// the observed final orders; without it (or for declared/static modes)
+    /// the final order equals the initial one.
+    pub fn schedule_telemetry(
+        &self,
+        final_orders: Option<&[Vec<u32>]>,
+    ) -> ScheduleTelemetry {
+        let constraints = self.lp.plan.space().constraints();
+        let name = |c: &u32| constraints[*c as usize].name.to_string();
+        let groups = self
+            .sched_groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let initial: Vec<String> = g.constraints.iter().map(name).collect();
+                let final_order = final_orders
+                    .and_then(|f| f.get(i))
+                    .map(|o| o.iter().map(name).collect())
+                    .unwrap_or_else(|| initial.clone());
+                GroupSchedule { level: g.level, initial, final_order }
+            })
+            .collect();
+        ScheduleTelemetry {
+            mode: self.opts.schedule.to_string(),
+            ranks: schedule::check_ranks(&self.lp),
+            groups,
+        }
     }
 
     /// Realize the outermost (level-0) loop's domain.
@@ -554,9 +876,19 @@ impl Compiled {
                 saved_elide: 0,
             })
             .collect();
-        let ops = &self.ops[..];
+        // Adaptive runs execute a run-local copy of the instruction stream:
+        // when a group's order freezes, its learned order is patched back
+        // into this copy as straight-line `Define`/`Check` ops, removing
+        // the `CheckGroup` dispatch from the steady state. Other modes run
+        // the shared ops directly.
+        let mut owned_ops: Option<Vec<Op>> =
+            (!self.agroups.is_empty()).then(|| self.ops.clone());
         let mut ip = start_ip;
         loop {
+            let ops: &[Op] = owned_ops.as_deref().unwrap_or(&self.ops);
+            // Group index to patch after the match releases its borrow of
+            // the op array (set only when a group just froze).
+            let mut freeze: Option<usize> = None;
             match &ops[ip] {
                 Op::Enter { loop_id, slot, domain, next } => {
                     let l = *loop_id as usize;
@@ -730,6 +1062,69 @@ impl Compiled {
                     state.stats.record(*constraint as usize, rejected);
                     ip = if rejected { *on_reject as usize } else { ip + 1 };
                 }
+                Op::CheckGroup { group } => {
+                    let gi = *group as usize;
+                    let g = &self.agroups[gi];
+                    let gs = &mut state.sched[gi];
+                    let mut rejected = false;
+                    // Region defines already executed this point (lazily,
+                    // on first demand by a member's closure).
+                    let mut done = 0u64;
+                    for k in 0..gs.order.len() {
+                        let mi = gs.order[k] as usize;
+                        let m = &g.members[mi];
+                        if let Some(bit) = m.elide_bit {
+                            if state.elide & (1u64 << bit) != 0 {
+                                // As on Op::Check: count the pass the
+                                // per-point engine would have recorded.
+                                // Elided members don't feed the adaptive
+                                // counters — no expression actually ran.
+                                state.stats.record(m.constraint as usize, false);
+                                state.blocks.checks_elided += 1;
+                                continue;
+                            }
+                        }
+                        for &d in &m.deps {
+                            if done & (1u64 << d) == 0 {
+                                done |= 1u64 << d;
+                                let def = &g.defines[d as usize];
+                                slots[def.slot as usize] =
+                                    def.expr.eval(slots, &mut state.stack)?;
+                            }
+                        }
+                        let r = m.expr.eval(slots, &mut state.stack)? != 0;
+                        state.stats.record(m.constraint as usize, r);
+                        if gs.stable < ADAPT_FREEZE {
+                            gs.evaluated[mi] += 1;
+                            gs.killed[mi] += r as u64;
+                        }
+                        if r {
+                            rejected = true;
+                            break;
+                        }
+                    }
+                    if !rejected {
+                        // Every member passed: run the defines no closure
+                        // demanded, so the surviving point (and everything
+                        // below this level) sees all derived slots.
+                        for (d, def) in g.defines.iter().enumerate() {
+                            if done & (1u64 << d) == 0 {
+                                slots[def.slot as usize] =
+                                    def.expr.eval(slots, &mut state.stack)?;
+                            }
+                        }
+                    }
+                    if gs.stable < ADAPT_FREEZE {
+                        gs.ticks = gs.ticks.wrapping_add(1);
+                        if gs.ticks.is_multiple_of(ADAPT_EPOCH) {
+                            resort(g, gs);
+                            if gs.stable >= ADAPT_FREEZE {
+                                freeze = Some(gi);
+                            }
+                        }
+                    }
+                    ip = if rejected { g.on_reject as usize } else { g.end as usize };
+                }
                 Op::Visit => {
                     state.stats.record_survivor();
                     let view = PointRef::Slots { names: &self.lp.slot_names, slots };
@@ -738,6 +1133,57 @@ impl Compiled {
                 }
                 Op::Halt => return Ok(()),
             }
+            if let Some(gi) = freeze {
+                self.patch_frozen(
+                    owned_ops.as_mut().expect("check groups imply owned ops"),
+                    gi,
+                    &state.sched[gi].order,
+                );
+            }
+        }
+    }
+
+    /// Patch a frozen group's learned order back into the run-local
+    /// instruction stream: the region's op span is rewritten as
+    /// straight-line `Define`/`Check` ops in unit-linearized frozen order
+    /// — each member preceded by its not-yet-emitted define closure, the
+    /// remaining defines last — and the `CheckGroup` dispatch disappears,
+    /// so the steady state costs exactly what a statically scheduled plan
+    /// costs. The patched sequence evaluates the same expressions and
+    /// records the same `PruneStats` on every path as group execution; the
+    /// only divergence is that an elided member's closure defines now run
+    /// unconditionally, which is unobservable (they are infallible, and
+    /// every define runs before the span is left on the all-pass path
+    /// either way).
+    fn patch_frozen(&self, ops: &mut [Op], gi: usize, order: &[u16]) {
+        let g = &self.agroups[gi];
+        let span = g.start as usize..g.end as usize;
+        let mut seq: Vec<Op> = Vec::with_capacity(span.len());
+        let mut emitted = 0u64;
+        for &mi in order {
+            let m = &g.members[mi as usize];
+            for &d in &m.deps {
+                if emitted & (1u64 << d) == 0 {
+                    emitted |= 1u64 << d;
+                    let def = &g.defines[d as usize];
+                    seq.push(Op::Define { slot: def.slot, expr: def.expr.clone() });
+                }
+            }
+            seq.push(Op::Check {
+                constraint: m.constraint,
+                expr: m.expr.clone(),
+                elide_bit: m.elide_bit,
+                on_reject: g.on_reject,
+            });
+        }
+        for (d, def) in g.defines.iter().enumerate() {
+            if emitted & (1u64 << d) == 0 {
+                seq.push(Op::Define { slot: def.slot, expr: def.expr.clone() });
+            }
+        }
+        debug_assert_eq!(seq.len(), span.len(), "patched region must fill its span");
+        for (dst, op) in ops[span].iter_mut().zip(seq) {
+            *dst = op;
         }
     }
 
@@ -1093,6 +1539,8 @@ struct State<V> {
     gstack: Vec<IntervalOutcome>,
     /// Bitmask of currently elided checks (bit = constraint index).
     elide: u64,
+    /// Per-group adaptive schedule state (empty unless adaptive).
+    sched: Vec<GroupState>,
 }
 
 /// [`Bindings`] view over the compiled backend's slots plus the constant
@@ -1377,5 +1825,102 @@ mod tests {
         let off = compile_no_intervals(&space).run(CountVisitor::default());
         assert_eq!(on.unwrap_err(), EvalError::DivisionByZero);
         assert_eq!(off.unwrap_err(), EvalError::DivisionByZero);
+    }
+
+    /// A space with a run of three reorder-safe checks at the innermost
+    /// level, declared weakest-first so scheduling has room to improve.
+    fn sched_space() -> std::sync::Arc<Space> {
+        Space::builder("sched")
+            .constant("cap", 60)
+            .range("a", 1, 9)
+            .range("b", 1, 9)
+            .range("c", 1, 9)
+            .derived("abc", var("a") * var("b") * var("c"))
+            // Declared first, kills almost nothing.
+            .constraint("rare", ConstraintClass::Soft, var("abc").gt(500))
+            // Declared second, kills some.
+            .constraint("mid", ConstraintClass::Soft, var("abc").gt(200))
+            // Declared last, kills most.
+            .constraint("deadly", ConstraintClass::Hard, var("abc").gt(var("cap")))
+            .build()
+            .unwrap()
+    }
+
+    fn scheduled(space: &std::sync::Arc<Space>, mode: ScheduleMode) -> Compiled {
+        let plan = Plan::new(space, PlanOptions::default()).unwrap();
+        Compiled::with_options(
+            LoweredPlan::new(&plan).unwrap(),
+            EngineOptions::scheduled(mode),
+        )
+    }
+
+    #[test]
+    fn schedule_modes_agree_on_survivors_and_order() {
+        let space = sched_space();
+        let mut baseline: Option<Vec<Vec<i64>>> = None;
+        for mode in [ScheduleMode::Declared, ScheduleMode::Static, ScheduleMode::Adaptive] {
+            let c = scheduled(&space, mode);
+            let out = c
+                .run(CollectVisitor::new(c.point_names().clone(), usize::MAX))
+                .unwrap();
+            let points: Vec<Vec<i64>> = out
+                .visitor
+                .points
+                .iter()
+                .map(|p| p.values().iter().map(|v| v.as_int().unwrap()).collect())
+                .collect();
+            match &baseline {
+                None => baseline = Some(points),
+                Some(b) => assert_eq!(&points, b, "{mode} diverged from declared"),
+            }
+        }
+    }
+
+    #[test]
+    fn static_schedule_reorders_checks_by_expected_cost_to_kill() {
+        let space = sched_space();
+        let tele = scheduled(&space, ScheduleMode::Static).schedule_telemetry(None);
+        assert_eq!(tele.mode, "static");
+        assert_eq!(tele.groups.len(), 1);
+        // The deadliest check moves to the front of its group.
+        assert_eq!(tele.groups[0].initial[0], "deadly");
+        assert_eq!(tele.groups[0].initial.len(), 3);
+        // Declared mode reports the declared order untouched.
+        let declared = scheduled(&space, ScheduleMode::Declared).schedule_telemetry(None);
+        assert_eq!(declared.groups[0].initial, vec!["rare", "mid", "deadly"]);
+    }
+
+    #[test]
+    fn adaptive_run_reports_final_orders() {
+        let space = sched_space();
+        let c = scheduled(&space, ScheduleMode::Adaptive);
+        let out = c.run(CountVisitor::default()).unwrap();
+        let finals = out.schedule.as_ref().expect("adaptive runs report a schedule");
+        assert_eq!(finals.len(), 1);
+        // 9^3 = 729 group executions > ADAPT_EPOCH, so at least one re-sort
+        // ran; "deadly" (constraint 2) has by far the best kill rate per op
+        // and must end up first.
+        let tele = c.schedule_telemetry(Some(finals));
+        assert_eq!(tele.groups[0].final_order[0], "deadly");
+        // Declared-mode runs don't carry a schedule.
+        let d = scheduled(&space, ScheduleMode::Declared);
+        assert!(d.run(CountVisitor::default()).unwrap().schedule.is_none());
+    }
+
+    #[test]
+    fn adaptive_stats_still_count_every_tuple_once() {
+        // Reordering shifts which constraint gets the kill credit, but the
+        // totals must still account for every tuple: survivors + pruned
+        // equals the full cross product at the innermost level.
+        let space = sched_space();
+        let out = scheduled(&space, ScheduleMode::Adaptive)
+            .run(CountVisitor::default())
+            .unwrap();
+        let declared = scheduled(&space, ScheduleMode::Declared)
+            .run(CountVisitor::default())
+            .unwrap();
+        assert_eq!(out.stats.survivors, declared.stats.survivors);
+        assert_eq!(out.stats.total_pruned(), declared.stats.total_pruned());
+        assert_eq!(out.visitor.count, declared.visitor.count);
     }
 }

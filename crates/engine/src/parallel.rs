@@ -131,16 +131,42 @@ where
     let mut blocks = BlockStats::default();
     // Preamble constraints (constants only) run once, recorded here.
     if !compiled.preamble_record(&mut stats)? {
-        let report =
-            SweepReport::new(space, &stats, &blocks, threads, 0, 0, 0, t_start.elapsed(), vec![]);
-        return Ok((SweepOutcome { stats, blocks, visitor: make_visitor() }, report));
+        let report = SweepReport::new(
+            space,
+            &stats,
+            &blocks,
+            threads,
+            0,
+            0,
+            0,
+            t_start.elapsed(),
+            vec![],
+            compiled.schedule_telemetry(None),
+        );
+        return Ok((
+            SweepOutcome { stats, blocks, schedule: None, visitor: make_visitor() },
+            report,
+        ));
     }
 
     let outer = compiled.outer_domain()?;
     if outer.is_empty() {
-        let report =
-            SweepReport::new(space, &stats, &blocks, threads, 0, 0, 0, t_start.elapsed(), vec![]);
-        return Ok((SweepOutcome { stats, blocks, visitor: make_visitor() }, report));
+        let report = SweepReport::new(
+            space,
+            &stats,
+            &blocks,
+            threads,
+            0,
+            0,
+            0,
+            t_start.elapsed(),
+            vec![],
+            compiled.schedule_telemetry(None),
+        );
+        return Ok((
+            SweepOutcome { stats, blocks, schedule: None, visitor: make_visitor() },
+            report,
+        ));
     }
 
     let chunk_len = chunk_len_for(lp, outer.len(), threads, opts.chunks_per_thread);
@@ -225,12 +251,19 @@ where
     workers.sort_by_key(|w| w.worker);
 
     // Merge in chunk order — this is what makes the outcome independent of
-    // which worker ran which chunk.
+    // which worker ran which chunk. Adaptive-schedule state is chunk-local,
+    // so the representative final order reported is chunk 0's: it is the
+    // one order that is deterministic across thread counts (chunk 0 always
+    // covers the same level-0 prefix).
     let mut merged_visitor: Option<V> = None;
-    for out in by_chunk.into_iter() {
+    let mut schedule = None;
+    for (i, out) in by_chunk.into_iter().enumerate() {
         let out = out.expect("every chunk evaluated exactly once");
         stats.merge(&out.stats);
         blocks.merge(&out.blocks);
+        if i == 0 {
+            schedule = out.schedule;
+        }
         merged_visitor = Some(match merged_visitor {
             None => out.visitor,
             Some(mut acc) => {
@@ -249,11 +282,13 @@ where
         chunks.len(),
         t_start.elapsed(),
         workers,
+        compiled.schedule_telemetry(schedule.as_deref()),
     );
     Ok((
         SweepOutcome {
             stats,
             blocks,
+            schedule,
             visitor: merged_visitor.unwrap_or_else(make_visitor),
         },
         report,

@@ -89,6 +89,10 @@ pub struct ConstraintTelemetry {
     pub class: String,
     /// DAG level the planner hoisted the check to (0 = outermost).
     pub level: usize,
+    /// Position of this constraint's check in the engine's flattened check
+    /// order — the *scheduled* order, which differs from plan order under
+    /// static/adaptive constraint scheduling.
+    pub schedule_rank: usize,
     /// Times evaluated.
     pub evaluated: u64,
     /// Times it rejected the tuple.
@@ -116,6 +120,44 @@ pub struct LevelTelemetry {
     pub evaluated: u64,
     /// Rejections at this level.
     pub pruned: u64,
+}
+
+impl LevelTelemetry {
+    /// Rejections per evaluation at this level (0 when never evaluated).
+    pub fn kill_rate(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.evaluated as f64
+        }
+    }
+}
+
+/// How one reorder-safe check group (the checks sharing a loop level) was
+/// ordered by the constraint scheduler.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GroupSchedule {
+    /// Loop level of the group (0 = directly under the outermost loop).
+    pub level: usize,
+    /// Constraint names in the order checks *started* executing (declared
+    /// order, or the cost-model order under static/adaptive scheduling).
+    pub initial: Vec<String>,
+    /// Constraint names in the order in effect when the sweep finished
+    /// (differs from `initial` only when adaptive re-sorting fired; under
+    /// the parallel driver this is chunk 0's final order).
+    pub final_order: Vec<String>,
+}
+
+/// The constraint schedule a sweep ran with.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleTelemetry {
+    /// Schedule mode name: `declared`, `static` or `adaptive`.
+    pub mode: String,
+    /// Constraint index → rank in the engine's flattened check order
+    /// (surfaced per constraint as `schedule_rank`).
+    pub ranks: Vec<usize>,
+    /// Per-group orders, outermost group first.
+    pub groups: Vec<GroupSchedule>,
 }
 
 /// Machine-readable record of one parallel sweep: configuration, pruning
@@ -158,6 +200,8 @@ pub struct SweepReport {
     pub levels: Vec<LevelTelemetry>,
     /// Per-worker load, ascending by worker index.
     pub workers: Vec<WorkerTelemetry>,
+    /// The constraint schedule the sweep ran with.
+    pub schedule: ScheduleTelemetry,
 }
 
 impl SweepReport {
@@ -174,6 +218,7 @@ impl SweepReport {
         chunks: usize,
         elapsed: Duration,
         workers: Vec<WorkerTelemetry>,
+        schedule: ScheduleTelemetry,
     ) -> SweepReport {
         let dag = space.dag();
         let constraints: Vec<ConstraintTelemetry> = space
@@ -184,6 +229,7 @@ impl SweepReport {
                 name: c.name.to_string(),
                 class: c.class.to_string(),
                 level: dag.level(space.constraint_node(i)),
+                schedule_rank: schedule.ranks.get(i).copied().unwrap_or(i),
                 evaluated: stats.evaluated[i],
                 pruned: stats.pruned[i],
             })
@@ -219,13 +265,18 @@ impl SweepReport {
             constraints,
             levels,
             workers,
+            schedule,
         }
     }
 
     /// Tuples decided per second: (survivors + rejections) / elapsed.
+    ///
+    /// Sub-microsecond elapsed times (trivial spaces, timer granularity)
+    /// are noise, not throughput; they return 0 instead of a huge or
+    /// infinite rate leaking into JSON.
     pub fn tuples_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
-        if secs == 0.0 {
+        if secs < 1e-6 {
             0.0
         } else {
             (self.survivors + self.pruned) as f64 / secs
@@ -244,7 +295,10 @@ impl SweepReport {
         let busys: Vec<f64> = self.workers.iter().map(|w| w.busy.as_secs_f64()).collect();
         let max = busys.iter().cloned().fold(0.0f64, f64::max);
         let mean = busys.iter().sum::<f64>() / busys.len() as f64;
-        if mean == 0.0 {
+        // Near-zero mean busy time (trivial spaces finish inside timer
+        // granularity) would turn the ratio into noise, inf, or NaN;
+        // report a perfectly balanced 1.0 instead.
+        if mean < 1e-9 {
             1.0
         } else {
             max / mean
@@ -294,6 +348,8 @@ impl SweepReport {
             out.push(',');
             json_num(&mut out, "level", c.level as f64);
             out.push(',');
+            json_num(&mut out, "schedule_rank", c.schedule_rank as f64);
+            out.push(',');
             json_num(&mut out, "evaluated", c.evaluated as f64);
             out.push(',');
             json_num(&mut out, "pruned", c.pruned as f64);
@@ -312,9 +368,26 @@ impl SweepReport {
             json_num(&mut out, "evaluated", l.evaluated as f64);
             out.push(',');
             json_num(&mut out, "pruned", l.pruned as f64);
+            out.push(',');
+            json_num(&mut out, "kill_rate", l.kill_rate());
             out.push('}');
         }
-        out.push_str("],\"workers\":[");
+        out.push_str("],\"schedule\":{");
+        json_str(&mut out, "mode", &self.schedule.mode);
+        out.push_str(",\"levels\":[");
+        for (i, g) in self.schedule.groups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_num(&mut out, "level", g.level as f64);
+            out.push_str(",\"initial\":");
+            json_str_array(&mut out, &g.initial);
+            out.push_str(",\"final\":");
+            json_str_array(&mut out, &g.final_order);
+            out.push('}');
+        }
+        out.push_str("]},\"workers\":[");
         for (i, w) in self.workers.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -377,9 +450,35 @@ impl SweepReport {
                 100.0 * c.kill_rate()
             );
         }
-        let _ = writeln!(out, "\n{:<6} {:>14} {:>14}", "level", "evaluated", "pruned");
+        let _ = writeln!(
+            out,
+            "\n{:<6} {:>14} {:>14} {:>8}",
+            "level", "evaluated", "pruned", "kill%"
+        );
         for l in &self.levels {
-            let _ = writeln!(out, "{:<6} {:>14} {:>14}", l.level, l.evaluated, l.pruned);
+            let _ = writeln!(
+                out,
+                "{:<6} {:>14} {:>14} {:>7.2}%",
+                l.level,
+                l.evaluated,
+                l.pruned,
+                100.0 * l.kill_rate()
+            );
+        }
+        if !self.schedule.groups.is_empty() {
+            let _ = writeln!(out, "\ncheck schedule ({}):", self.schedule.mode);
+            for g in &self.schedule.groups {
+                let _ =
+                    writeln!(out, "  level {}: {}", g.level, g.initial.join(" → "));
+                if g.final_order != g.initial {
+                    let _ = writeln!(
+                        out,
+                        "  level {} (final): {}",
+                        g.level,
+                        g.final_order.join(" → ")
+                    );
+                }
+            }
         }
         let _ = writeln!(
             out,
@@ -420,6 +519,29 @@ fn json_str(out: &mut String, key: &str, value: &str) {
         }
     }
     out.push('"');
+}
+
+/// Append `["a","b",...]` of escaped strings.
+fn json_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        for c in item.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push(']');
 }
 
 /// Append `"key":number` (non-finite values become 0 — JSON has no NaN).
@@ -481,7 +603,27 @@ mod tests {
             },
         ];
         let blocks = BlockStats { subtree_skips: 3, points_skipped: 120, checks_elided: 5 };
-        SweepReport::new(&space, &stats, &blocks, 2, 8, 2, 4, Duration::from_millis(40), workers)
+        let schedule = ScheduleTelemetry {
+            mode: "adaptive".to_string(),
+            ranks: vec![0, 1],
+            groups: vec![GroupSchedule {
+                level: 1,
+                initial: vec!["a_odd".to_string(), "over".to_string()],
+                final_order: vec!["over".to_string(), "a_odd".to_string()],
+            }],
+        };
+        SweepReport::new(
+            &space,
+            &stats,
+            &blocks,
+            2,
+            8,
+            2,
+            4,
+            Duration::from_millis(40),
+            workers,
+            schedule,
+        )
     }
 
     #[test]
@@ -531,10 +673,53 @@ mod tests {
             "\"subtree_skips\":3",
             "\"points_skipped\":120",
             "\"checks_elided\":5",
+            "\"schedule_rank\":",
+            "\"schedule\":{\"mode\":\"adaptive\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    /// Pin the serialized shape of the scheduling fields: per-constraint
+    /// `schedule_rank`, per-level `kill_rate`, and the `schedule` section
+    /// with per-group initial/final orders.
+    #[test]
+    fn schedule_fields_have_pinned_json_shape() {
+        let r = sample_report();
+        let json = r.to_json();
+        assert!(
+            json.contains(
+                "\"schedule\":{\"mode\":\"adaptive\",\"levels\":[{\"level\":1,\
+                 \"initial\":[\"a_odd\",\"over\"],\"final\":[\"over\",\"a_odd\"]}]}"
+            ),
+            "schedule section shape changed: {json}"
+        );
+        // Each constraint row carries its rank in the scheduled check order.
+        assert!(
+            json.contains("\"name\":\"a_odd\",\"class\":\"soft\",\"level\":1,\"schedule_rank\":0"),
+            "{json}"
+        );
+        assert!(json.contains("\"schedule_rank\":1"));
+        // Levels carry a kill_rate (over: 16 pruned / 64 evaluated = 0.25).
+        assert!(json.contains("\"pruned\":16,\"kill_rate\":0.25"), "{json}");
+    }
+
+    /// Near-zero elapsed/busy times must not leak inf/NaN into the report.
+    #[test]
+    fn trivial_sweeps_guard_against_non_finite_rates() {
+        let mut r = sample_report();
+        r.elapsed = Duration::ZERO;
+        for w in &mut r.workers {
+            w.busy = Duration::ZERO;
+        }
+        assert_eq!(r.tuples_per_sec(), 0.0);
+        assert_eq!(r.imbalance(), 1.0);
+        // Sub-microsecond times are timer noise, not throughput.
+        r.elapsed = Duration::from_nanos(1);
+        assert_eq!(r.tuples_per_sec(), 0.0);
+        let json = r.to_json();
+        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
     }
 
     #[test]

@@ -358,7 +358,7 @@ impl Vm {
                 Op::Halt => break,
             }
         }
-        Ok(SweepOutcome { stats, blocks: BlockStats::default(), visitor })
+        Ok(SweepOutcome { stats, blocks: BlockStats::default(), schedule: None, visitor })
     }
 }
 

@@ -49,6 +49,11 @@ pub struct SweepOutcome<V> {
     /// block pruning (walker, VM) and for the compiled engine with
     /// intervals disabled.
     pub blocks: BlockStats,
+    /// Final per-group check order observed by an adaptive-schedule run
+    /// (constraint indices, one inner `Vec` per reorder-safe check group).
+    /// `None` for backends and modes without online scheduling (walker, VM,
+    /// and the compiled engine under declared/static schedules).
+    pub schedule: Option<Vec<Vec<u32>>>,
     /// The visitor, holding whatever it accumulated.
     pub visitor: V,
 }
@@ -91,6 +96,7 @@ impl<'p> Walker<'p> {
         Ok(SweepOutcome {
             stats: state.stats,
             blocks: BlockStats::default(),
+            schedule: None,
             visitor: state.visitor,
         })
     }

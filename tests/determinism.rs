@@ -224,6 +224,54 @@ fn intervals_on_and_off_agree_at_every_thread_count() {
     }
 }
 
+/// Constraint scheduling is invisible in results: static and adaptive
+/// check ordering — with intervals on or off, serial and parallel at every
+/// thread count — reproduces the declared-order survivors in the identical
+/// emission order. Only the per-constraint kill *credit* may move between
+/// the members of a reorder-safe group.
+#[test]
+fn schedule_modes_agree_at_every_thread_count() {
+    use beast_core::schedule::ScheduleMode;
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        let baseline_engine = Compiled::new(lp.clone());
+        let names = baseline_engine.point_names().clone();
+        let baseline = baseline_engine
+            .run(CollectVisitor::new(names.clone(), usize::MAX))
+            .unwrap();
+        for mode in [ScheduleMode::Static, ScheduleMode::Adaptive] {
+            for intervals in [true, false] {
+                let mut engine = if intervals {
+                    EngineOptions::default()
+                } else {
+                    EngineOptions::no_intervals()
+                };
+                engine.schedule = mode;
+                let serial = Compiled::with_options(lp.clone(), engine)
+                    .run(CollectVisitor::new(names.clone(), usize::MAX))
+                    .unwrap();
+                assert_eq!(
+                    serial.visitor.points, baseline.visitor.points,
+                    "{name}: {mode} (intervals={intervals}) changed survivors or order"
+                );
+                assert_eq!(serial.stats.survivors, baseline.stats.survivors, "{name}");
+                for threads in THREAD_COUNTS {
+                    let opts = ParallelOptions { threads, engine, ..ParallelOptions::default() };
+                    let (par, report) = run_parallel_report(&lp, &opts, || {
+                        CollectVisitor::new(names.clone(), usize::MAX)
+                    })
+                    .unwrap();
+                    assert_eq!(
+                        par.visitor.points, baseline.visitor.points,
+                        "{name}: {mode} (intervals={intervals}) diverged at {threads} threads"
+                    );
+                    assert_eq!(report.schedule.mode, mode.as_str(), "{name}");
+                }
+            }
+        }
+    }
+}
+
 /// Forcing pathologically fine chunks (1 outer value per chunk) still
 /// reproduces the serial outcome — chunk granularity is invisible.
 #[test]
