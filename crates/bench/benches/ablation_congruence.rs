@@ -1,0 +1,115 @@
+//! Ablation: the congruence half of the guard product on vs off.
+//!
+//! Interval guards decide magnitude constraints; the GEMM space's
+//! correctness constraints are mostly *divisibility* facts (`% == 0`,
+//! equality against a multiple) that an interval hull cannot settle. The
+//! congruence domain tracks `x ≡ r (mod m)` alongside the intervals and
+//! turns those constraints into subtree skips. This benchmark runs the
+//! GEMM sweep both ways and — before timing — asserts the determinism
+//! contract the optimization is sold on: bit-identical survivors *and
+//! visit order* with congruence on and off, serial and at every measured
+//! thread count, with a nonzero number of subtrees skipped only by the
+//! congruence half.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_engine::compiled::{Compiled, EngineOptions};
+use beast_engine::parallel::{run_parallel_report, ParallelOptions};
+use beast_engine::point::PointRef;
+use beast_engine::visit::{CountVisitor, Visitor};
+use beast_gemm::{build_gemm_space, GemmSpaceParams};
+
+const DIM: i64 = 16;
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// Order-sensitive survivor fingerprint: an FNV-style rolling hash over the
+/// visited points *in order*, so two sweeps agree only if they visit the
+/// same survivors in the same sequence.
+#[derive(Default)]
+struct OrderHashVisitor {
+    count: u64,
+    hash: u64,
+}
+
+impl Visitor for OrderHashVisitor {
+    fn visit(&mut self, point: &PointRef<'_>) {
+        self.count += 1;
+        for i in 0..point.names().len() {
+            let v = point.value(i).as_int().unwrap() as u64;
+            self.hash = (self.hash ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        // Chunk merges happen in chunk order, so folding the partial hash
+        // keeps the fingerprint order-sensitive.
+        self.count += other.count;
+        self.hash = (self.hash ^ other.hash).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let params = GemmSpaceParams::reduced(DIM);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let on = Compiled::new(lp.clone());
+    let off = Compiled::with_options(lp.clone(), EngineOptions::no_congruence());
+
+    // The ablation changes cost only: same survivors, same visit order —
+    // serially and at every measured thread count.
+    let a = on.run(OrderHashVisitor::default()).unwrap();
+    let b = off.run(OrderHashVisitor::default()).unwrap();
+    assert_eq!(a.visitor.count, b.visitor.count, "congruence changed the survivor count");
+    assert_eq!(a.visitor.hash, b.visitor.hash, "congruence changed the visit order");
+    assert!(
+        a.blocks.congruence_skips > 0,
+        "congruence guards decided nothing on the GEMM space — ablation is vacuous"
+    );
+    assert_eq!(b.blocks.congruence_skips, 0, "congruence-off mode counted congruence skips");
+    // Parallel merges fold per-chunk hashes, so the merged fingerprint is
+    // only comparable between runs with identical chunking — i.e. at the
+    // same thread count. (Exact parallel-vs-serial point order is pinned
+    // separately by the determinism suite with a collecting visitor.)
+    for threads in THREAD_COUNTS {
+        let run = |engine: EngineOptions| {
+            let opts = ParallelOptions { threads, engine, ..ParallelOptions::default() };
+            run_parallel_report(&lp, &opts, OrderHashVisitor::default).unwrap().0
+        };
+        let par_on = run(EngineOptions::default());
+        let par_off = run(EngineOptions::no_congruence());
+        assert_eq!(
+            (par_on.visitor.count, par_on.visitor.hash),
+            (par_off.visitor.count, par_off.visitor.hash),
+            "congruence changed the survivor fingerprint at {threads} threads"
+        );
+        assert_eq!(
+            par_on.blocks, a.blocks,
+            "congruence-on block counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            par_off.blocks, b.blocks,
+            "congruence-off block counters diverged at {threads} threads"
+        );
+    }
+    eprintln!(
+        "gemm reduced({DIM}): {} survivors; {} subtree skips ({} by congruence), {} checks elided",
+        a.visitor.count, a.blocks.subtree_skips, a.blocks.congruence_skips, a.blocks.checks_elided
+    );
+
+    let mut group = c.benchmark_group("ablation_congruence");
+    group.sample_size(10);
+    group.bench_function("congruence_on", |bench| {
+        bench.iter(|| on.run(CountVisitor::default()).unwrap().visitor.count);
+    });
+    group.bench_function("congruence_off", |bench| {
+        bench.iter(|| off.run(CountVisitor::default()).unwrap().visitor.count);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -18,6 +18,10 @@
 //! repro search [DIM]      §XII       statistical search vs exhaustive (extension)
 //! repro viz [DIM]         [7]        write funnel.svg / radial.svg / dag.dot
 //! repro batched [N]       ref [5]    the second model problem: batched Cholesky
+//! repro lint [DIM] [--json PATH]
+//!                         linter     static analysis of the GEMM space
+//!                                    (BE001–BE008 diagnostics); exits
+//!                                    nonzero on error-severity findings
 //! repro all               everything above with small defaults
 //! ```
 //!
@@ -25,6 +29,11 @@
 //! block pruning in the subcommands that use it (`headline`, `funnel`,
 //! `threads`) — the ablation knob behind the `ablation_intervals` benchmark.
 //! Survivor counts are identical either way.
+//!
+//! The global `--no-congruence` flag keeps interval pruning but disables the
+//! congruence (divisibility) half of the reduced product — the knob behind
+//! the `ablation_congruence` benchmark. Survivors are identical either way;
+//! only `congruence_skips` drops to zero.
 //!
 //! The global `--schedule {declared,static,adaptive}` flag picks the
 //! constraint-schedule mode for the same subcommands (default: `adaptive`,
@@ -64,6 +73,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let no_intervals = args.iter().any(|a| a == "--no-intervals");
     args.retain(|a| a != "--no-intervals");
+    let no_congruence = args.iter().any(|a| a == "--no-congruence");
+    args.retain(|a| a != "--no-congruence");
     let mut schedule = ScheduleMode::Adaptive;
     if let Some(i) = args.iter().position(|a| a == "--schedule") {
         let Some(value) = args.get(i + 1) else {
@@ -81,6 +92,7 @@ fn main() {
     } else {
         EngineOptions::default()
     };
+    engine.congruence = !no_congruence;
     engine.schedule = schedule;
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let arg_num = |default: u64| -> u64 {
@@ -112,6 +124,10 @@ fn main() {
         "search" => search(arg_num(32) as i64),
         "viz" => viz(arg_num(24) as i64),
         "batched" => batched(arg_num(32) as i64),
+        "lint" => lint(
+            args.get(1).filter(|s| !s.starts_with("--")).and_then(|s| s.parse().ok()),
+            flag("--json"),
+        ),
         "all" => {
             device();
             space();
@@ -121,6 +137,7 @@ fn main() {
             fig19(20_000_000);
             headline(24, engine);
             funnel(24, engine);
+            lint(None, None);
             table1();
             batched(32);
             threads(32, None, None, engine);
@@ -442,6 +459,33 @@ fn headline(dim: i64, engine: EngineOptions) {
 }
 
 // ---------------------------------------------------------------------------
+// Space linter (static analysis, BE001–BE008)
+// ---------------------------------------------------------------------------
+
+fn lint(dim: Option<i64>, json_path: Option<String>) {
+    let (label, params) = match dim {
+        Some(d) => (format!("reduced({d})"), GemmSpaceParams::reduced(d)),
+        None => ("paper-default".to_string(), GemmSpaceParams::paper_default()),
+    };
+    header(&format!("space linter — GEMM space, {label} device"));
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+    let report = beast_core::analyze::check_space(&lp);
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write lint JSON to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote lint JSON to {path}");
+    }
+    if report.has_errors() {
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // §VI: pruning funnel
 // ---------------------------------------------------------------------------
 
@@ -456,8 +500,11 @@ fn funnel(dim: i64, engine: EngineOptions) {
     println!("{}", out.stats.render_funnel(&space));
     if out.blocks.subtree_skips > 0 || out.blocks.checks_elided > 0 {
         println!(
-            "block pruning: {} subtree skips (≥ {} points never enumerated), {} checks elided",
-            out.blocks.subtree_skips, out.blocks.points_skipped, out.blocks.checks_elided
+            "block pruning: {} subtree skips ({} by congruence, ≥ {} points never enumerated), {} checks elided",
+            out.blocks.subtree_skips,
+            out.blocks.congruence_skips,
+            out.blocks.points_skipped,
+            out.blocks.checks_elided
         );
     }
     print_schedule(&compiled.schedule_telemetry(out.schedule.as_deref()));

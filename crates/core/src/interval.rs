@@ -45,15 +45,30 @@ pub struct IntervalOutcome {
     /// True when evaluation can neither return an error (division by zero)
     /// nor panic (builtin intermediate overflow) for any consistent point.
     pub clean: bool,
+    /// True when some arithmetic step *provably* could leave the `i64`
+    /// range for a point in the environment, so the runtime value wraps and
+    /// the interval had to widen to [`Interval::TOP`]. Distinguishes
+    /// "proven wide" from merely "unknown" (e.g. a TOP slot or a
+    /// conservative division bound, which stay `widened: false`): the
+    /// analyzer reports widened-but-clean expressions as overflow risks,
+    /// and the congruence domain must drop residue facts exactly here —
+    /// modular reasoning is only valid while no wrap occurs.
+    pub widened: bool,
 }
 
 impl IntervalOutcome {
-    fn new(iv: Interval, clean: bool) -> IntervalOutcome {
-        IntervalOutcome { iv, clean }
+    pub(crate) fn new(iv: Interval, clean: bool) -> IntervalOutcome {
+        IntervalOutcome { iv, clean, widened: false }
     }
 
     fn top(clean: bool) -> IntervalOutcome {
-        IntervalOutcome { iv: Interval::TOP, clean }
+        IntervalOutcome { iv: Interval::TOP, clean, widened: false }
+    }
+
+    /// OR `w` into the widened flag (builder-style, used by the transfer
+    /// functions to propagate operand wraps and record new widening sites).
+    fn widen_if(self, w: bool) -> IntervalOutcome {
+        IntervalOutcome { widened: self.widened || w, ..self }
     }
 }
 
@@ -152,8 +167,8 @@ pub fn iv_neg(a: IntervalOutcome) -> IntervalOutcome {
     let lo = -(a.iv.hi as i128);
     let hi = -(a.iv.lo as i128);
     match Interval::from_i128(lo, hi) {
-        Some(iv) => IntervalOutcome::new(iv, a.clean),
-        None => IntervalOutcome::top(a.clean),
+        Some(iv) => IntervalOutcome::new(iv, a.clean).widen_if(a.widened),
+        None => IntervalOutcome::top(a.clean).widen_if(true),
     }
 }
 
@@ -164,14 +179,14 @@ pub fn iv_not(a: IntervalOutcome) -> IntervalOutcome {
         Truth::AlwaysFalse => Interval::point(1),
         Truth::Unknown => Interval::BOOL,
     };
-    IntervalOutcome::new(iv, a.clean)
+    IntervalOutcome::new(iv, a.clean).widen_if(a.widened)
 }
 
 /// Interval absolute value.
 pub fn iv_abs(a: IntervalOutcome) -> IntervalOutcome {
     // `wrapping_abs(i64::MIN)` stays negative: widen to TOP.
     if a.iv.lo == i64::MIN {
-        return IntervalOutcome::top(a.clean);
+        return IntervalOutcome::top(a.clean).widen_if(true);
     }
     let iv = if a.iv.lo >= 0 {
         a.iv
@@ -180,7 +195,7 @@ pub fn iv_abs(a: IntervalOutcome) -> IntervalOutcome {
     } else {
         Interval { lo: 0, hi: (-a.iv.lo).max(a.iv.hi) }
     };
-    IntervalOutcome::new(iv, a.clean)
+    IntervalOutcome::new(iv, a.clean).widen_if(a.widened)
 }
 
 /// Interval ternary. All three operand outcomes are taken *strictly* (the
@@ -189,11 +204,14 @@ pub fn iv_abs(a: IntervalOutcome) -> IntervalOutcome {
 /// branch's cleanliness, as point evaluation never runs it.
 pub fn iv_ternary(c: IntervalOutcome, t: IntervalOutcome, f: IntervalOutcome) -> IntervalOutcome {
     match truth(c.iv) {
-        Truth::AlwaysTrue => IntervalOutcome::new(t.iv, c.clean && t.clean),
-        Truth::AlwaysFalse => IntervalOutcome::new(f.iv, c.clean && f.clean),
-        Truth::Unknown => {
-            IntervalOutcome::new(t.iv.hull(f.iv), c.clean && t.clean && f.clean)
+        Truth::AlwaysTrue => {
+            IntervalOutcome::new(t.iv, c.clean && t.clean).widen_if(c.widened || t.widened)
         }
+        Truth::AlwaysFalse => {
+            IntervalOutcome::new(f.iv, c.clean && f.clean).widen_if(c.widened || f.widened)
+        }
+        Truth::Unknown => IntervalOutcome::new(t.iv.hull(f.iv), c.clean && t.clean && f.clean)
+            .widen_if(c.widened || t.widened || f.widened),
     }
 }
 
@@ -207,10 +225,10 @@ pub fn iv_bin(op: IntBinOp, a: IntervalOutcome, b: IntervalOutcome) -> IntervalO
         let ta = truth(a.iv);
         return match (op, ta) {
             (IntBinOp::And, Truth::AlwaysFalse) => {
-                IntervalOutcome::new(Interval::point(0), a.clean)
+                IntervalOutcome::new(Interval::point(0), a.clean).widen_if(a.widened)
             }
             (IntBinOp::Or, Truth::AlwaysTrue) => {
-                IntervalOutcome::new(Interval::point(1), a.clean)
+                IntervalOutcome::new(Interval::point(1), a.clean).widen_if(a.widened)
             }
             _ => {
                 let tb = truth(b.iv);
@@ -223,36 +241,37 @@ pub fn iv_bin(op: IntBinOp, a: IntervalOutcome, b: IntervalOutcome) -> IntervalO
                 };
                 // When `a` is undecided, `b` may or may not be evaluated; its
                 // failures can only be ruled out if `b` itself is clean.
-                IntervalOutcome::new(iv, a.clean && b.clean)
+                IntervalOutcome::new(iv, a.clean && b.clean).widen_if(a.widened || b.widened)
             }
         };
     }
 
     let clean = a.clean && b.clean;
+    let wide = a.widened || b.widened;
     let (al, ah) = (a.iv.lo as i128, a.iv.hi as i128);
     let (bl, bh) = (b.iv.lo as i128, b.iv.hi as i128);
     match op {
         IntBinOp::Add => match Interval::from_i128(al + bl, ah + bh) {
-            Some(iv) => IntervalOutcome::new(iv, clean),
-            None => IntervalOutcome::top(clean),
+            Some(iv) => IntervalOutcome::new(iv, clean).widen_if(wide),
+            None => IntervalOutcome::top(clean).widen_if(true),
         },
         IntBinOp::Sub => match Interval::from_i128(al - bh, ah - bl) {
-            Some(iv) => IntervalOutcome::new(iv, clean),
-            None => IntervalOutcome::top(clean),
+            Some(iv) => IntervalOutcome::new(iv, clean).widen_if(wide),
+            None => IntervalOutcome::top(clean).widen_if(true),
         },
         IntBinOp::Mul => {
             let products = [al * bl, al * bh, ah * bl, ah * bh];
             let lo = products.iter().copied().min().expect("nonempty");
             let hi = products.iter().copied().max().expect("nonempty");
             match Interval::from_i128(lo, hi) {
-                Some(iv) => IntervalOutcome::new(iv, clean),
-                None => IntervalOutcome::top(clean),
+                Some(iv) => IntervalOutcome::new(iv, clean).widen_if(wide),
+                None => IntervalOutcome::top(clean).widen_if(true),
             }
         }
         IntBinOp::Div => {
             if b.iv.contains(0) {
                 // Division by zero is reachable: no verdict, may fail.
-                return IntervalOutcome::top(false);
+                return IntervalOutcome::top(false).widen_if(wide);
             }
             if b.iv.is_point() {
                 // Trunc division is monotone in the dividend for a fixed
@@ -262,37 +281,45 @@ pub fn iv_bin(op: IntBinOp, a: IntervalOutcome, b: IntervalOutcome) -> IntervalO
                 let c0 = trunc_div(al, d);
                 let c1 = trunc_div(ah, d);
                 match Interval::from_i128(c0.min(c1), c0.max(c1)) {
-                    Some(iv) => IntervalOutcome::new(iv, clean),
-                    None => IntervalOutcome::top(clean),
+                    Some(iv) => IntervalOutcome::new(iv, clean).widen_if(wide),
+                    None => IntervalOutcome::top(clean).widen_if(true),
                 }
+            } else if a.iv.lo == i64::MIN && b.iv.contains(-1) {
+                // `i64::MIN / -1` wraps back to `i64::MIN`, outside the
+                // symmetric bound below: proven possibly-wide.
+                IntervalOutcome::top(clean).widen_if(true)
             } else {
                 // |a / b| <= |a| for |b| >= 1: conservative symmetric bound.
                 let m = a.iv.max_abs().min(i64::MAX as u64) as i64;
-                IntervalOutcome::new(Interval { lo: -m, hi: m }, clean)
+                IntervalOutcome::new(Interval { lo: -m, hi: m }, clean).widen_if(wide)
             }
         }
         IntBinOp::FloorDiv => {
             if b.iv.contains(0) {
-                return IntervalOutcome::top(false);
+                return IntervalOutcome::top(false).widen_if(wide);
+            }
+            if a.iv.lo == i64::MIN && b.iv.contains(-1) {
+                // floor(i64::MIN / -1) = 2^63 leaves the i64 range.
+                return IntervalOutcome::top(clean).widen_if(true);
             }
             // |floor(a / b)| <= |a| + 1 for |b| >= 1.
             let m = (a.iv.max_abs().min(i64::MAX as u64 - 1) + 1) as i64;
-            IntervalOutcome::new(Interval { lo: -m, hi: m }, clean)
+            IntervalOutcome::new(Interval { lo: -m, hi: m }, clean).widen_if(wide)
         }
         IntBinOp::Rem => {
             if b.iv.contains(0) {
-                return IntervalOutcome::top(false);
+                return IntervalOutcome::top(false).widen_if(wide);
             }
             // C remainder: |a % b| <= min(|a|, |b| - 1), sign follows `a`.
             let m = a.iv.max_abs().min(b.iv.max_abs() - 1).min(i64::MAX as u64) as i64;
             let lo = if a.iv.lo >= 0 { 0 } else { -m };
             let hi = if a.iv.hi <= 0 { 0 } else { m };
-            IntervalOutcome::new(Interval { lo, hi }, clean)
+            IntervalOutcome::new(Interval { lo, hi }, clean).widen_if(wide)
         }
-        IntBinOp::Lt => IntervalOutcome::new(cmp_interval(ah < bl, al >= bh), clean),
-        IntBinOp::Le => IntervalOutcome::new(cmp_interval(ah <= bl, al > bh), clean),
-        IntBinOp::Gt => IntervalOutcome::new(cmp_interval(al > bh, ah <= bl), clean),
-        IntBinOp::Ge => IntervalOutcome::new(cmp_interval(al >= bh, ah < bl), clean),
+        IntBinOp::Lt => IntervalOutcome::new(cmp_interval(ah < bl, al >= bh), clean).widen_if(wide),
+        IntBinOp::Le => IntervalOutcome::new(cmp_interval(ah <= bl, al > bh), clean).widen_if(wide),
+        IntBinOp::Gt => IntervalOutcome::new(cmp_interval(al > bh, ah <= bl), clean).widen_if(wide),
+        IntBinOp::Ge => IntervalOutcome::new(cmp_interval(al >= bh, ah < bl), clean).widen_if(wide),
         IntBinOp::Eq => {
             let iv = if a.iv.is_point() && b.iv.is_point() && a.iv.lo == b.iv.lo {
                 Interval::point(1)
@@ -301,7 +328,7 @@ pub fn iv_bin(op: IntBinOp, a: IntervalOutcome, b: IntervalOutcome) -> IntervalO
             } else {
                 Interval::BOOL
             };
-            IntervalOutcome::new(iv, clean)
+            IntervalOutcome::new(iv, clean).widen_if(wide)
         }
         IntBinOp::Ne => {
             let iv = if a.iv.is_point() && b.iv.is_point() && a.iv.lo == b.iv.lo {
@@ -311,7 +338,7 @@ pub fn iv_bin(op: IntBinOp, a: IntervalOutcome, b: IntervalOutcome) -> IntervalO
             } else {
                 Interval::BOOL
             };
-            IntervalOutcome::new(iv, clean)
+            IntervalOutcome::new(iv, clean).widen_if(wide)
         }
         IntBinOp::And | IntBinOp::Or => unreachable!("handled above"),
     }
@@ -337,6 +364,7 @@ fn trunc_div(a: i128, b: i128) -> i128 {
 /// Interval builtin call (strict; builtins have no short-circuit forms).
 pub fn iv_call2(bi: Builtin, a: IntervalOutcome, b: IntervalOutcome) -> IntervalOutcome {
     let clean = a.clean && b.clean;
+    let wide = a.widened || b.widened;
     match bi {
         // min/max map endpoints monotonically; this is exact, which is
         // "conservative" in the only direction that matters (never narrower
@@ -344,34 +372,36 @@ pub fn iv_call2(bi: Builtin, a: IntervalOutcome, b: IntervalOutcome) -> Interval
         Builtin::Min => IntervalOutcome::new(
             Interval { lo: a.iv.lo.min(b.iv.lo), hi: a.iv.hi.min(b.iv.hi) },
             clean,
-        ),
+        )
+        .widen_if(wide),
         Builtin::Max => IntervalOutcome::new(
             Interval { lo: a.iv.lo.max(b.iv.lo), hi: a.iv.hi.max(b.iv.hi) },
             clean,
-        ),
+        )
+        .widen_if(wide),
         Builtin::DivCeil | Builtin::RoundUp => {
             if b.iv.contains(0) {
-                return IntervalOutcome::top(false);
+                return IntervalOutcome::top(false).widen_if(wide);
             }
             // Evaluation computes `a + b - 1` with plain (panicking in
             // debug) arithmetic; prove it stays in range or give up.
             let pre_lo = a.iv.lo as i128 + b.iv.lo as i128 - 1;
             let pre_hi = a.iv.hi as i128 + b.iv.hi as i128 - 1;
             if Interval::from_i128(pre_lo.min(pre_hi), pre_lo.max(pre_hi)).is_none() {
-                return IntervalOutcome::top(false);
+                return IntervalOutcome::top(false).widen_if(true);
             }
             match bi {
                 Builtin::DivCeil => {
                     // |ceil(a / b)| <= |a| + 1 for |b| >= 1.
                     let m = (a.iv.max_abs().min(i64::MAX as u64 - 1) + 1) as i64;
-                    IntervalOutcome::new(Interval { lo: -m, hi: m }, clean)
+                    IntervalOutcome::new(Interval { lo: -m, hi: m }, clean).widen_if(wide)
                 }
                 _ => {
                     // round_up(a, b) = ceil(a / b) * b: |result| <= |a| + |b|.
                     let m = a.iv.max_abs() as u128 + b.iv.max_abs() as u128;
                     match Interval::from_i128(-(m as i128), m as i128) {
-                        Some(iv) => IntervalOutcome::new(iv, clean),
-                        None => IntervalOutcome::top(clean),
+                        Some(iv) => IntervalOutcome::new(iv, clean).widen_if(wide),
+                        None => IntervalOutcome::top(clean).widen_if(true),
                     }
                 }
             }
@@ -381,12 +411,12 @@ pub fn iv_call2(bi: Builtin, a: IntervalOutcome, b: IntervalOutcome) -> Interval
             // back to i64; rule the pathological operand out, then
             // 0 <= gcd(a, b) <= max(|a|, |b|).
             if a.iv.lo == i64::MIN || b.iv.lo == i64::MIN {
-                return IntervalOutcome::top(clean);
+                return IntervalOutcome::top(clean).widen_if(true);
             }
             let m = a.iv.max_abs().max(b.iv.max_abs()) as i64;
-            IntervalOutcome::new(Interval { lo: 0, hi: m }, clean)
+            IntervalOutcome::new(Interval { lo: 0, hi: m }, clean).widen_if(wide)
         }
-        Builtin::Abs => IntervalOutcome::top(clean),
+        Builtin::Abs => IntervalOutcome::top(clean).widen_if(wide),
     }
 }
 
@@ -478,6 +508,12 @@ impl IvProg {
         IvProg { ops }
     }
 
+    /// The flattened instruction sequence, for analyses that walk the same
+    /// program with a richer abstract domain (see `analyze::congruence`).
+    pub fn ops(&self) -> &[IvOp] {
+        &self.ops
+    }
+
     /// The slots the program reads.
     pub fn read_slots(&self) -> impl Iterator<Item = u32> + '_ {
         self.ops.iter().filter_map(|op| match op {
@@ -554,6 +590,42 @@ mod tests {
         let out = interval_of(&e, &env);
         assert_eq!(out.iv, Interval::TOP);
         assert!(out.clean, "wrapping add is not an eval failure");
+        assert!(out.widened, "a proven wrap must set the widened flag");
+    }
+
+    #[test]
+    fn widened_distinguishes_wraps_from_unknowns() {
+        // A TOP slot is unknown, not widened.
+        let env = [Interval::TOP, Interval { lo: 0, hi: 5 }];
+        let out = interval_of(&slot(0), &env);
+        assert!(!out.widened);
+
+        // Division by a maybe-zero divisor is unclean but not widened.
+        let out = interval_of(&bin(IntBinOp::Div, E::Const(10), slot(1)), &env);
+        assert!(!out.clean);
+        assert!(!out.widened);
+
+        // A wrap propagates through later exact arithmetic.
+        let env = [Interval { lo: 1, hi: i64::MAX }];
+        let e = bin(
+            IntBinOp::Sub,
+            bin(IntBinOp::Mul, slot(0), slot(0)),
+            E::Const(1),
+        );
+        let out = interval_of(&e, &env);
+        assert!(out.widened, "wrap in the product must survive the subtraction");
+
+        // A decided short-circuit discards the dead side's widening, just
+        // like its cleanliness.
+        let env = [Interval::point(0), Interval { lo: 1, hi: i64::MAX }];
+        let e = bin(
+            IntBinOp::And,
+            slot(0),
+            bin(IntBinOp::Mul, slot(1), slot(1)),
+        );
+        let out = interval_of(&e, &env);
+        assert_eq!(out.iv, Interval::point(0));
+        assert!(!out.widened, "dead RHS never evaluates, so it never wraps");
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod constraint;
 pub mod dag;
 pub mod derived;
@@ -63,6 +64,7 @@ pub mod value;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
+    pub use crate::analyze::{Congruence, Diagnostic, LintGate, LintReport, LintSummary, Severity};
     pub use crate::constraint::{ConstraintClass, ConstraintKind};
     pub use crate::dag::{Dag, NodeKind};
     pub use crate::derived::DerivedKind;

@@ -41,9 +41,33 @@
 //! asymptotic cost profile. Opaque steps are treated as unknowable by the
 //! interval analysis (top interval, possibly failing), which disables block
 //! verdicts below them.
+//!
+//! # Congruence pruning
+//!
+//! The guard additionally tracks the congruence domain of
+//! [`beast_core::analyze::congruence`] in lockstep with the intervals (the
+//! reduced product): a stepped range carries `value ≡ start (mod |step|)`,
+//! and divisibility constraints — GEMM's `% == 0` family — become
+//! statically decidable where the interval hull alone is inconclusive. A
+//! check whose congruence proves it rejects the whole subdomain skips the
+//! subtree exactly like an interval verdict (counted separately as
+//! `congruence_skips`). The congruence half never influences the interval
+//! half, so interval verdicts — and survivors and visit order — are
+//! bit-identical with `congruence` on or off (`ablation_congruence`
+//! asserts this).
+//!
+//! # Lint gate
+//!
+//! Per [`EngineOptions::lint`], compilation can run the
+//! [`beast_core::analyze`] space linter over the lowered plan: `Warn` (the
+//! default) records the diagnostic summary for sweep telemetry, `Deny`
+//! additionally makes [`Compiled::run`] refuse to sweep a space with
+//! error-severity findings (a provably empty space), and `Allow` skips the
+//! analyzer entirely.
 
 use std::sync::Arc;
 
+use beast_core::analyze::{self, cg_of_bind, cg_of_values, eval_product, Congruence, LintGate, LintSummary, Product};
 use beast_core::error::EvalError;
 use beast_core::expr::Bindings;
 use beast_core::interval::{range_value_hull, Interval, IntervalOutcome, IvProg};
@@ -85,6 +109,18 @@ pub struct EngineOptions {
     /// differ from declared-order runs (and, under `Adaptive`, between
     /// serial and chunked runs of the same sweep).
     pub schedule: ScheduleMode,
+    /// Track the congruence domain (`x ≡ r (mod m)`) alongside intervals in
+    /// the block-pruning guards, so divisibility constraints can skip
+    /// subtrees the interval hull cannot decide. Only meaningful with
+    /// `intervals` on. Survivors and visit order are identical either way
+    /// (the congruence half never changes an interval verdict), so turning
+    /// it off is only useful for ablations.
+    pub congruence: bool,
+    /// What to do with space-linter findings at compile time (see
+    /// [`beast_core::analyze`]): record them (`Warn`, the default), refuse
+    /// to sweep on error-severity findings (`Deny`), or skip the analyzer
+    /// (`Allow`).
+    pub lint: LintGate,
 }
 
 impl Default for EngineOptions {
@@ -93,6 +129,8 @@ impl Default for EngineOptions {
             intervals: true,
             min_guard_fanout: 4,
             schedule: ScheduleMode::Declared,
+            congruence: true,
+            lint: LintGate::Warn,
         }
     }
 }
@@ -102,6 +140,12 @@ impl EngineOptions {
     /// engine; used by the `ablation_intervals` bench and `--no-intervals`).
     pub fn no_intervals() -> EngineOptions {
         EngineOptions { intervals: false, ..EngineOptions::default() }
+    }
+
+    /// Options with interval pruning on but the congruence half disabled
+    /// (used by the `ablation_congruence` bench and `--no-congruence`).
+    pub fn no_congruence() -> EngineOptions {
+        EngineOptions { congruence: false, ..EngineOptions::default() }
     }
 
     /// Default options with the given constraint-schedule mode.
@@ -116,8 +160,9 @@ enum CDomain {
     /// Range with postfix-compiled bounds evaluated once at loop entry.
     Range { start: Postfix, stop: Postfix, step: Postfix },
     /// Static list of values, shared (not deep-copied) across clones and
-    /// parallel chunk runs.
-    Values { values: Arc<[i64]>, lo: i64, hi: i64 },
+    /// parallel chunk runs. `lo`/`hi`/`cg` are the precomputed interval and
+    /// congruence hulls for the guard.
+    Values { values: Arc<[i64]>, lo: i64, hi: i64, cg: Congruence },
     /// Opaque: realize through the space's iterator definition.
     Opaque { iter: usize },
 }
@@ -291,8 +336,9 @@ enum GStep {
     /// An inner loop bind over a range: the slot's interval becomes the
     /// hull of the bound intervals.
     BindRange { slot: u32, start: IvProg, stop: IvProg, step: IvProg },
-    /// An inner loop bind over a static list (bounds precomputed).
-    BindValues { slot: u32, lo: i64, hi: i64 },
+    /// An inner loop bind over a static list (bounds and congruence hull
+    /// precomputed).
+    BindValues { slot: u32, lo: i64, hi: i64, cg: Congruence },
     /// An inner opaque bind: unknowable, possibly failing.
     BindOpaque { slot: u32 },
     /// A derived definition.
@@ -311,10 +357,15 @@ struct GCache {
     /// The step cannot raise an evaluation error for any point of the
     /// subdomain it was last evaluated over.
     clean: bool,
-    /// Checks only: the interval excludes 0, i.e. the constraint statically
-    /// rejects the whole subdomain (skip-worthy given a clean prefix).
+    /// Checks only: the interval or congruence excludes 0, i.e. the
+    /// constraint statically rejects the whole subdomain (skip-worthy given
+    /// a clean prefix).
     worthy: bool,
-    /// Checks only: the interval is exactly [0,0] (statically passes).
+    /// Checks only: `worthy` holds but only the congruence half proved it
+    /// (the interval was inconclusive) — counted as a congruence skip.
+    by_cg: bool,
+    /// Checks only: the interval is exactly [0,0] or the congruence is the
+    /// point 0 (statically passes).
     elidable: bool,
     /// Loop id of the guard run that last evaluated this position. A cache
     /// written by a *deeper* guard was computed with tighter, sibling-
@@ -326,11 +377,22 @@ struct GCache {
     /// restored into `ivals` on reuse so later dirty steps don't read a
     /// slot clobbered by a deeper guard's run.
     iv: Interval,
+    /// For write positions: the congruence this step wrote, restored into
+    /// `cvals` on reuse (mirrors `iv`).
+    cg: Congruence,
 }
 
 impl Default for GCache {
     fn default() -> GCache {
-        GCache { clean: false, worthy: false, elidable: false, writer: 0, iv: Interval::TOP }
+        GCache {
+            clean: false,
+            worthy: false,
+            by_cg: false,
+            elidable: false,
+            writer: 0,
+            iv: Interval::TOP,
+            cg: Congruence::top(),
+        }
     }
 }
 
@@ -361,7 +423,8 @@ struct GuardInfo {
 /// Verdict of one guard run.
 enum GuardVerdict {
     /// Some constraint is statically false over the whole subtree: skip it.
-    Skip,
+    /// `by_congruence` is set when only the congruence half could decide it.
+    Skip { by_congruence: bool },
     /// Bitmask of checks that are statically true over the subtree and can
     /// be elided (possibly empty).
     Elide(u64),
@@ -390,6 +453,9 @@ pub struct Compiled {
     /// Reorder-safe groups in scheduled order, for telemetry (all modes).
     sched_groups: Vec<SchedGroup>,
     point_names: Arc<[Arc<str>]>,
+    /// Space-linter summary recorded at compile time (`None` when
+    /// `opts.lint` is [`LintGate::Allow`]).
+    lint: Option<LintSummary>,
     opts: EngineOptions,
 }
 
@@ -408,6 +474,11 @@ impl Compiled {
         if opts.schedule != ScheduleMode::Declared {
             schedule::static_schedule(&mut lp);
         }
+        // Pre-sweep lint gate: analyze the exact plan the engine will
+        // execute. `Deny` is enforced lazily in `run` so compilation itself
+        // stays infallible.
+        let lint = (opts.lint != LintGate::Allow)
+            .then(|| analyze::check_space(&lp).summary());
         let mut ops: Vec<Op> = Vec::new();
         // Open loops: (loop_id, enter_ip, check ips awaiting this loop's
         // Next as their reject target).
@@ -432,6 +503,7 @@ impl Compiled {
                             values: Arc::from(v.as_slice()),
                             lo: v.iter().copied().min().unwrap_or(0),
                             hi: v.iter().copied().max().unwrap_or(0),
+                            cg: cg_of_values(v),
                         },
                         LIter::Opaque { .. } => CDomain::Opaque { iter: *iter },
                     };
@@ -591,8 +663,33 @@ impl Compiled {
             agroups,
             sched_groups,
             point_names,
+            lint,
             opts,
         }
+    }
+
+    /// The space-linter summary recorded at compile time (`None` when the
+    /// lint gate is [`LintGate::Allow`]).
+    pub fn lint_summary(&self) -> Option<LintSummary> {
+        self.lint
+    }
+
+    /// The deny-gate check shared by [`Compiled::run`] and the parallel
+    /// driver: `Err` when the gate is [`LintGate::Deny`] and the linter
+    /// found error-severity diagnostics (a provably broken space).
+    pub(crate) fn lint_denied(&self) -> Result<(), EvalError> {
+        if self.opts.lint == LintGate::Deny {
+            if let Some(sum) = self.lint {
+                if sum.errors > 0 {
+                    return Err(EvalError::Custom(format!(
+                        "lint gate: {} error-severity diagnostic(s); \
+                         run `repro lint` for details or relax the gate",
+                        sum.errors
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Names reported for visited points (slot order).
@@ -620,9 +717,11 @@ impl Compiled {
             visitor,
             stack: Vec::new(),
             ivals: vec![Interval::TOP; self.lp.n_slots as usize],
+            cvals: vec![Congruence::top(); self.lp.n_slots as usize],
             gcache: vec![GCache::default(); self.gmaster.len()],
             gprimed: vec![false; self.guards.len()],
             gstack: Vec::new(),
+            gpstack: Vec::new(),
             elide: 0,
             sched: self
                 .agroups
@@ -658,6 +757,7 @@ impl Compiled {
 
     /// Run the full sweep.
     pub fn run<V: Visitor>(&self, visitor: V) -> Result<SweepOutcome<V>, EvalError> {
+        self.lint_denied()?;
         let mut slots = vec![0i64; self.lp.n_slots as usize];
         let mut state = self.fresh_state(visitor);
         self.exec(0, None, &mut slots, &mut state, true)?;
@@ -896,14 +996,19 @@ impl Compiled {
                     // Realize the domain into the loop frame and compute the
                     // exact value interval for the guard.
                     let f = &mut frames[l];
-                    let (first, iv, len): (Option<i64>, Interval, u64) =
+                    let (first, iv, cg, len): (Option<i64>, Interval, Congruence, u64) =
                         if let (0, Some(chunk)) = (l, outer_override) {
                             f.kind = FrameKind::Buffer;
                             f.buf.clear();
                             f.buf.extend_from_slice(chunk);
                             f.idx = 0;
                             // The outer loop is never guarded; TOP is fine.
-                            (chunk.first().copied(), Interval::TOP, chunk.len() as u64)
+                            (
+                                chunk.first().copied(),
+                                Interval::TOP,
+                                Congruence::top(),
+                                chunk.len() as u64,
+                            )
                         } else {
                             match domain {
                                 CDomain::Range { start, stop, step } => {
@@ -916,21 +1021,30 @@ impl Compiled {
                                     f.step = step;
                                     let n = range_len(start, stop, step);
                                     if n == 0 {
-                                        (None, Interval::TOP, 0)
+                                        (None, Interval::TOP, Congruence::top(), 0)
                                     } else {
                                         let last = (start as i128
                                             + step as i128 * (n as i128 - 1))
                                             as i64;
-                                        (Some(start), Interval::new(start, last), n)
+                                        // Every yielded value is
+                                        // `≡ start (mod |step|)` — the
+                                        // residue fact the interval hull
+                                        // throws away.
+                                        let cg = cg_of_bind(
+                                            Congruence::point(start),
+                                            Congruence::point(step),
+                                        );
+                                        (Some(start), Interval::new(start, last), cg, n)
                                     }
                                 }
-                                CDomain::Values { values, lo, hi } => {
+                                CDomain::Values { values, lo, hi, cg } => {
                                     f.kind = FrameKind::Values;
                                     f.vals = values.clone();
                                     f.idx = 0;
                                     (
                                         values.first().copied(),
                                         Interval { lo: *lo, hi: *hi },
+                                        *cg,
                                         values.len() as u64,
                                     )
                                 }
@@ -953,7 +1067,12 @@ impl Compiled {
                                         f.buf.iter().copied().min().unwrap_or(0),
                                         f.buf.iter().copied().max().unwrap_or(0),
                                     );
-                                    (f.buf.first().copied(), Interval { lo, hi }, f.buf.len() as u64)
+                                    (
+                                        f.buf.first().copied(),
+                                        Interval { lo, hi },
+                                        cg_of_values(&f.buf),
+                                        f.buf.len() as u64,
+                                    )
                                 }
                             }
                         };
@@ -965,18 +1084,12 @@ impl Compiled {
                     let mut elide_add = 0u64;
                     if self.opts.intervals {
                         if let Some(info) = &self.guards[l] {
-                            match self.run_guard(
-                                l,
-                                info,
-                                iv,
-                                slots,
-                                &mut state.ivals,
-                                &mut state.gcache,
-                                &mut state.gprimed,
-                                &mut state.gstack,
-                            ) {
-                                GuardVerdict::Skip => {
+                            match self.run_guard(l, info, iv, cg, slots, state) {
+                                GuardVerdict::Skip { by_congruence } => {
                                     state.blocks.subtree_skips += 1;
+                                    if by_congruence {
+                                        state.blocks.congruence_skips += 1;
+                                    }
                                     state.blocks.points_skipped =
                                         state.blocks.points_skipped.saturating_add(
                                             len.saturating_mul(self.fanout_below[l]),
@@ -1187,8 +1300,8 @@ impl Compiled {
         }
     }
 
-    /// Run one loop's interval-guard program against the current outer slot
-    /// values and the just-realized domain interval.
+    /// Run one loop's guard program against the current outer slot values
+    /// and the just-realized domain interval and congruence.
     ///
     /// Memoized: only `dirty` positions are re-evaluated; the rest read the
     /// outcome cached by this guard's own last completed scan or by an
@@ -1197,27 +1310,42 @@ impl Compiled {
     /// returns [`GuardVerdict::Skip`] aborts mid-scan and leaves the guard
     /// unprimed — safe, because a skip means no deeper guard runs under
     /// this entry, and the next entry re-scans.
-    #[allow(clippy::too_many_arguments)]
-    fn run_guard(
+    ///
+    /// With `opts.congruence` on, every evaluation runs over the
+    /// interval×congruence reduced product ([`eval_product`]); the interval
+    /// halves are bit-identical to the interval-only path, so the
+    /// congruence can only add verdicts (`worthy` where the interval was
+    /// inconclusive, flagged `by_cg`), never change interval ones.
+    fn run_guard<V>(
         &self,
         loop_id: usize,
         info: &GuardInfo,
         domain_iv: Interval,
+        domain_cg: Congruence,
         slots: &[i64],
-        ivals: &mut [Interval],
-        gcache: &mut [GCache],
-        gprimed: &mut [bool],
-        gstack: &mut Vec<IntervalOutcome>,
+        state: &mut State<V>,
     ) -> GuardVerdict {
-        let primed = gprimed[loop_id];
+        let cg_on = self.opts.congruence;
+        let primed = state.gprimed[loop_id];
         // Point values that can have changed since the enclosing kept guard
         // ran; everything deeper is overwritten by a (dirty) guard step
         // before any use (the planner's dependency order guarantees defs
         // precede uses), or holds a still-valid cached interval.
         for &q in &info.seed {
-            ivals[q as usize] = Interval::point(slots[q as usize]);
+            state.ivals[q as usize] = Interval::point(slots[q as usize]);
+            if cg_on {
+                state.cvals[q as usize] = Congruence::point(slots[q as usize]);
+            }
         }
-        ivals[info.slot as usize] = domain_iv;
+        state.ivals[info.slot as usize] = domain_iv;
+        if cg_on {
+            // Reduce the domain congruence against its (exact) interval.
+            state.cvals[info.slot as usize] = if domain_iv.is_point() {
+                Congruence::point(domain_iv.lo)
+            } else {
+                domain_cg
+            };
+        }
         // `clean` = no step so far can raise an evaluation error, so a
         // statically-false check really is reached (or the point was
         // rejected earlier without error) for every point of the subtree.
@@ -1229,60 +1357,90 @@ impl Compiled {
             // inputs may have changed, or when the cached entry was written
             // by a deeper guard: deeper runs compute over a strict subset of
             // this subtree, so their outcomes don't over-approximate it.
-            if !primed || info.dirty[i] || gcache[i].writer > w {
-                gcache[i] = match step {
+            if !primed || info.dirty[i] || state.gcache[i].writer > w {
+                let entry = match step {
                     GStep::BindRange { slot, start, stop, step } => {
-                        let s = start.eval(ivals, gstack);
-                        let e = stop.eval(ivals, gstack);
-                        let st = step.eval(ivals, gstack);
+                        let (s, s_cg) = eval_guard(start, state, cg_on);
+                        let (e, _) = eval_guard(stop, state, cg_on);
+                        let (st, st_cg) = eval_guard(step, state, cg_on);
                         let iv = range_value_hull(s.iv, e.iv);
-                        ivals[*slot as usize] = iv;
+                        state.ivals[*slot as usize] = iv;
+                        // The bind's residue fact, valid only while the
+                        // bound expressions are wrap-free (their product
+                        // congruences are already ⊤ when widened).
+                        let cg = if cg_on {
+                            let cg = cg_of_bind(s_cg, st_cg);
+                            if iv.is_point() { Congruence::point(iv.lo) } else { cg }
+                        } else {
+                            Congruence::top()
+                        };
+                        if cg_on {
+                            state.cvals[*slot as usize] = cg;
+                        }
                         GCache {
                             clean: s.clean && e.clean && st.clean,
                             iv,
+                            cg,
                             writer: w,
                             ..GCache::default()
                         }
                     }
-                    GStep::BindValues { slot, lo, hi } => {
+                    GStep::BindValues { slot, lo, hi, cg } => {
                         let iv = Interval { lo: *lo, hi: *hi };
-                        ivals[*slot as usize] = iv;
-                        GCache { clean: true, iv, writer: w, ..GCache::default() }
+                        state.ivals[*slot as usize] = iv;
+                        if cg_on {
+                            state.cvals[*slot as usize] = *cg;
+                        }
+                        GCache { clean: true, iv, cg: *cg, writer: w, ..GCache::default() }
                     }
                     GStep::BindOpaque { slot } | GStep::DefineOpaque { slot } => {
-                        ivals[*slot as usize] = Interval::TOP;
+                        state.ivals[*slot as usize] = Interval::TOP;
+                        if cg_on {
+                            state.cvals[*slot as usize] = Congruence::top();
+                        }
                         GCache { writer: w, ..GCache::default() }
                     }
                     GStep::Define { slot, prog } => {
-                        let o = prog.eval(ivals, gstack);
-                        ivals[*slot as usize] = o.iv;
-                        GCache { clean: o.clean, iv: o.iv, writer: w, ..GCache::default() }
+                        let (o, cg) = eval_guard(prog, state, cg_on);
+                        state.ivals[*slot as usize] = o.iv;
+                        if cg_on {
+                            state.cvals[*slot as usize] = cg;
+                        }
+                        GCache { clean: o.clean, iv: o.iv, cg, writer: w, ..GCache::default() }
                     }
                     GStep::Check { prog, .. } => {
-                        let o = prog.eval(ivals, gstack);
+                        let (o, cg) = eval_guard(prog, state, cg_on);
+                        let worthy_iv = o.clean && !o.iv.contains(0);
+                        let by_cg = !worthy_iv && o.clean && cg.always_nonzero();
                         GCache {
                             clean: o.clean,
-                            worthy: o.clean && !o.iv.contains(0),
-                            elidable: o.clean && o.iv == Interval::point(0),
+                            worthy: worthy_iv || by_cg,
+                            by_cg,
+                            elidable: o.clean
+                                && (o.iv == Interval::point(0) || cg.as_point() == Some(0)),
                             writer: w,
                             ..GCache::default()
                         }
                     }
                     GStep::CheckOpaque => GCache { writer: w, ..GCache::default() },
                 };
+                state.gcache[i] = entry;
             } else if let Some(slot) = gstep_write_slot(step) {
-                // Reused write position: restore the slot's interval, which
-                // a deeper guard's run may have clobbered with a tighter,
-                // sibling-specific value that later dirty steps must not
-                // read.
-                ivals[slot as usize] = gcache[i].iv;
+                // Reused write position: restore the slot's interval and
+                // congruence, which a deeper guard's run may have clobbered
+                // with tighter, sibling-specific values that later dirty
+                // steps must not read.
+                state.ivals[slot as usize] = state.gcache[i].iv;
+                if cg_on {
+                    state.cvals[slot as usize] = state.gcache[i].cg;
+                }
             }
-            let c = gcache[i];
+            let c = state.gcache[i];
             if c.worthy && clean {
                 // Statically false (the expression is the rejection
                 // condition): every point of the subtree is rejected at or
                 // before this check, error-free.
-                return GuardVerdict::Skip;
+                return GuardVerdict::Skip { by_congruence: c.by_cg };
             }
             if c.elidable {
                 if let GStep::Check { elide_bit: Some(bit), .. } = step {
@@ -1291,8 +1449,24 @@ impl Compiled {
             }
             clean &= c.clean;
         }
-        gprimed[loop_id] = true;
+        state.gprimed[loop_id] = true;
         GuardVerdict::Elide(elide)
+    }
+}
+
+/// Evaluate one guard program over the interval domain, or — when the
+/// congruence half is on — over the reduced product. The interval outcome
+/// is bit-identical either way ([`eval_product`]'s interval half runs the
+/// same transfer functions as [`IvProg::eval`]).
+fn eval_guard<V>(
+    prog: &IvProg,
+    state: &mut State<V>,
+    cg_on: bool,
+) -> (IntervalOutcome, Congruence) {
+    if cg_on {
+        eval_product(prog, &state.ivals, &state.cvals, &mut state.gpstack)
+    } else {
+        (prog.eval(&state.ivals, &mut state.gstack), Congruence::top())
     }
 }
 
@@ -1351,6 +1525,7 @@ fn lift_gstep(step: &LStep) -> Option<GStep> {
                 slot: *slot,
                 lo: v.iter().copied().min().unwrap_or(0),
                 hi: v.iter().copied().max().unwrap_or(0),
+                cg: cg_of_values(v),
             },
             LIter::Opaque { .. } => GStep::BindOpaque { slot: *slot },
         }),
@@ -1530,6 +1705,9 @@ struct State<V> {
     /// Per-slot interval environment for guard runs, maintained
     /// incrementally across runs (see [`GuardInfo`]).
     ivals: Vec<Interval>,
+    /// Per-slot congruence environment, maintained in lockstep with
+    /// `ivals` (only touched when `opts.congruence` is on).
+    cvals: Vec<Congruence>,
     /// Per-master-position memoized guard step outcomes.
     gcache: Vec<GCache>,
     /// Per-loop flag: this guard has completed at least one full scan, so
@@ -1537,6 +1715,8 @@ struct State<V> {
     gprimed: Vec<bool>,
     /// Reusable operand stack for [`IvProg`] guard evaluations.
     gstack: Vec<IntervalOutcome>,
+    /// Reusable operand stack for product-domain guard evaluations.
+    gpstack: Vec<Product>,
     /// Bitmask of currently elided checks (bit = constraint index).
     elide: u64,
     /// Per-group adaptive schedule state (empty unless adaptive).

@@ -125,6 +125,7 @@ where
     let threads = opts.threads.max(1);
     let t_start = Instant::now();
     let compiled = Compiled::with_options(lp.clone(), opts.engine);
+    compiled.lint_denied()?;
     let space = lp.plan.space();
 
     let mut stats = PruneStats::new(space.constraints().len());
@@ -142,6 +143,7 @@ where
             t_start.elapsed(),
             vec![],
             compiled.schedule_telemetry(None),
+            compiled.lint_summary(),
         );
         return Ok((
             SweepOutcome { stats, blocks, schedule: None, visitor: make_visitor() },
@@ -162,6 +164,7 @@ where
             t_start.elapsed(),
             vec![],
             compiled.schedule_telemetry(None),
+            compiled.lint_summary(),
         );
         return Ok((
             SweepOutcome { stats, blocks, schedule: None, visitor: make_visitor() },
@@ -283,6 +286,7 @@ where
         t_start.elapsed(),
         workers,
         compiled.schedule_telemetry(schedule.as_deref()),
+        compiled.lint_summary(),
     );
     Ok((
         SweepOutcome {

@@ -42,6 +42,10 @@ pub struct BlockStats {
     /// Loop subtrees skipped because a constraint was statically false
     /// (always rejecting) over the remaining subdomain.
     pub subtree_skips: u64,
+    /// Subset of `subtree_skips` decided only by the congruence half of
+    /// the reduced product (the interval hull alone was inconclusive) —
+    /// divisibility pruning.
+    pub congruence_skips: u64,
     /// Lower-bound estimate of points never enumerated thanks to subtree
     /// skips: skipped domain length × statically known inner fanout.
     pub points_skipped: u64,
@@ -54,6 +58,7 @@ impl BlockStats {
     /// Merge counters from another sweep chunk (parallel workers).
     pub fn merge(&mut self, other: &BlockStats) {
         self.subtree_skips += other.subtree_skips;
+        self.congruence_skips += other.congruence_skips;
         self.points_skipped = self.points_skipped.saturating_add(other.points_skipped);
         self.checks_elided += other.checks_elided;
     }

@@ -15,6 +15,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use beast_core::analyze::LintSummary;
 use beast_core::space::Space;
 
 use crate::stats::{BlockStats, PruneStats};
@@ -188,12 +189,18 @@ pub struct SweepReport {
     /// Loop subtrees skipped by the interval block pruner (0 with
     /// `--no-intervals` or when nothing was statically decidable).
     pub subtree_skips: u64,
+    /// Subset of `subtree_skips` decided only by the congruence half of
+    /// the reduced product (0 with `--no-congruence`).
+    pub congruence_skips: u64,
     /// Lower-bound estimate of raw tuples never enumerated thanks to
     /// subtree skips.
     pub points_skipped: u64,
     /// Per-point constraint evaluations elided because the check was
     /// statically true over its subtree (still counted in `evaluated`).
     pub checks_elided: u64,
+    /// Space-linter summary recorded at engine compile time (`None` when
+    /// the lint gate is `Allow`).
+    pub lint: Option<LintSummary>,
     /// Per-constraint rows, in plan order.
     pub constraints: Vec<ConstraintTelemetry>,
     /// Per-DAG-level aggregation, ascending by level.
@@ -219,6 +226,7 @@ impl SweepReport {
         elapsed: Duration,
         workers: Vec<WorkerTelemetry>,
         schedule: ScheduleTelemetry,
+        lint: Option<LintSummary>,
     ) -> SweepReport {
         let dag = space.dag();
         let constraints: Vec<ConstraintTelemetry> = space
@@ -260,8 +268,10 @@ impl SweepReport {
             evaluated: stats.evaluated.iter().sum(),
             pruned: stats.pruned.iter().sum(),
             subtree_skips: blocks.subtree_skips,
+            congruence_skips: blocks.congruence_skips,
             points_skipped: blocks.points_skipped,
             checks_elided: blocks.checks_elided,
+            lint,
             constraints,
             levels,
             workers,
@@ -331,11 +341,26 @@ impl SweepReport {
         out.push(',');
         json_num(&mut out, "subtree_skips", self.subtree_skips as f64);
         out.push(',');
+        json_num(&mut out, "congruence_skips", self.congruence_skips as f64);
+        out.push(',');
         json_num(&mut out, "points_skipped", self.points_skipped as f64);
         out.push(',');
         json_num(&mut out, "checks_elided", self.checks_elided as f64);
         out.push(',');
         json_num(&mut out, "imbalance", self.imbalance());
+        out.push_str(",\"lint\":");
+        match self.lint {
+            Some(s) => {
+                out.push('{');
+                json_num(&mut out, "errors", s.errors as f64);
+                out.push(',');
+                json_num(&mut out, "warnings", s.warnings as f64);
+                out.push(',');
+                json_num(&mut out, "infos", s.infos as f64);
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
         out.push_str(",\"constraints\":[");
         for (i, c) in self.constraints.iter().enumerate() {
             if i > 0 {
@@ -429,9 +454,18 @@ impl SweepReport {
         if self.subtree_skips > 0 || self.checks_elided > 0 {
             let _ = writeln!(
                 out,
-                "block pruning: {} subtree skips (≥ {} points never enumerated), {} checks elided",
-                self.subtree_skips, self.points_skipped, self.checks_elided
+                "block pruning: {} subtree skips ({} by congruence, ≥ {} points never enumerated), {} checks elided",
+                self.subtree_skips, self.congruence_skips, self.points_skipped, self.checks_elided
             );
+        }
+        if let Some(s) = self.lint {
+            if s.errors + s.warnings + s.infos > 0 {
+                let _ = writeln!(
+                    out,
+                    "lint: {} error(s), {} warning(s), {} info(s) — see `repro lint`",
+                    s.errors, s.warnings, s.infos
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -602,7 +636,12 @@ mod tests {
                 survivors: 24,
             },
         ];
-        let blocks = BlockStats { subtree_skips: 3, points_skipped: 120, checks_elided: 5 };
+        let blocks = BlockStats {
+            subtree_skips: 3,
+            congruence_skips: 1,
+            points_skipped: 120,
+            checks_elided: 5,
+        };
         let schedule = ScheduleTelemetry {
             mode: "adaptive".to_string(),
             ranks: vec![0, 1],
@@ -623,6 +662,7 @@ mod tests {
             Duration::from_millis(40),
             workers,
             schedule,
+            Some(LintSummary { errors: 0, warnings: 2, infos: 5 }),
         )
     }
 
@@ -671,14 +711,35 @@ mod tests {
             "\"imbalance\":1.5",
             "\"busy_s\":0.03",
             "\"subtree_skips\":3",
+            "\"congruence_skips\":1",
             "\"points_skipped\":120",
             "\"checks_elided\":5",
+            "\"lint\":{\"errors\":0,\"warnings\":2,\"infos\":5}",
             "\"schedule_rank\":",
             "\"schedule\":{\"mode\":\"adaptive\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    /// The lint block degrades to an explicit `null` (not a missing key)
+    /// when the gate skipped the analyzer, and the congruence counter sits
+    /// next to `subtree_skips` in the pinned key order.
+    #[test]
+    fn lint_block_and_congruence_counter_have_pinned_shape() {
+        let mut r = sample_report();
+        let json = r.to_json();
+        assert!(
+            json.contains("\"subtree_skips\":3,\"congruence_skips\":1,\"points_skipped\":120"),
+            "block-pruning key order changed: {json}"
+        );
+        r.lint = None;
+        let json = r.to_json();
+        assert!(json.contains("\"lint\":null"), "{json}");
+        let text = sample_report().render_text();
+        assert!(text.contains("3 subtree skips (1 by congruence"), "{text}");
+        assert!(text.contains("lint: 0 error(s), 2 warning(s), 5 info(s)"), "{text}");
     }
 
     /// Pin the serialized shape of the scheduling fields: per-constraint
@@ -719,7 +780,9 @@ mod tests {
         r.elapsed = Duration::from_nanos(1);
         assert_eq!(r.tuples_per_sec(), 0.0);
         let json = r.to_json();
-        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
+        // Non-finite numbers would appear as bare values after a colon
+        // (`"infos"` is a legitimate key, so match the value position).
+        assert!(!json.contains(":inf") && !json.contains(":NaN"), "{json}");
     }
 
     #[test]

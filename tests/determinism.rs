@@ -224,6 +224,82 @@ fn intervals_on_and_off_agree_at_every_thread_count() {
     }
 }
 
+/// The congruence half of the guard product is invisible in results: with
+/// congruence tracking on or off, serial and parallel sweeps at every
+/// thread count produce the same survivors in the same order (the reduced
+/// product never changes an interval verdict, so guard decisions can only
+/// be *added*, and added decisions remove whole subtrees no survivor lives
+/// in). On the divisibility-heavy GEMM space the congruence half must also
+/// actually earn its keep: at least one subtree skip the interval hull
+/// could not decide.
+#[test]
+fn congruence_on_and_off_agree_at_every_thread_count() {
+    let mut total_congruence_skips = 0u64;
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        let on = Compiled::new(lp.clone());
+        let off = Compiled::with_options(lp.clone(), EngineOptions::no_congruence());
+        let names = on.point_names().clone();
+        let serial_on = on.run(CollectVisitor::new(names.clone(), usize::MAX)).unwrap();
+        let serial_off = off.run(CollectVisitor::new(names.clone(), usize::MAX)).unwrap();
+
+        assert_eq!(
+            serial_on.visitor.points, serial_off.visitor.points,
+            "{name}: congruence changed survivors or their order"
+        );
+        assert_eq!(serial_on.stats.survivors, serial_off.stats.survivors, "{name}");
+        for i in 0..serial_off.stats.evaluated.len() {
+            assert!(
+                serial_on.stats.evaluated[i] <= serial_off.stats.evaluated[i],
+                "{name}: congruence *increased* evaluations of constraint {i}"
+            );
+            assert!(
+                serial_on.stats.pruned[i] <= serial_off.stats.pruned[i],
+                "{name}: congruence *increased* rejections of constraint {i}"
+            );
+        }
+        assert_eq!(
+            serial_off.blocks.congruence_skips, 0,
+            "{name}: congruence-off mode counted congruence skips"
+        );
+        assert!(
+            serial_on.blocks.congruence_skips <= serial_on.blocks.subtree_skips,
+            "{name}: congruence skips are a subset of subtree skips"
+        );
+        total_congruence_skips += serial_on.blocks.congruence_skips;
+
+        for threads in THREAD_COUNTS {
+            for (mode, engine, serial) in [
+                ("on", EngineOptions::default(), &serial_on),
+                ("off", EngineOptions::no_congruence(), &serial_off),
+            ] {
+                let opts = ParallelOptions { threads, engine, ..ParallelOptions::default() };
+                let (par, _) = run_parallel_report(&lp, &opts, || {
+                    CollectVisitor::new(names.clone(), usize::MAX)
+                })
+                .unwrap();
+                assert_eq!(
+                    par.visitor.points, serial.visitor.points,
+                    "{name}: congruence-{mode} visit order diverged at {threads} threads"
+                );
+                assert_eq!(
+                    par.stats, serial.stats,
+                    "{name}: congruence-{mode} stats diverged at {threads} threads"
+                );
+                assert_eq!(
+                    par.blocks, serial.blocks,
+                    "{name}: congruence-{mode} block counters diverged at {threads} threads"
+                );
+            }
+        }
+    }
+    assert!(
+        total_congruence_skips > 0,
+        "congruence guards never fired on any space (GEMM's divisibility \
+         constraints should produce skips)"
+    );
+}
+
 /// Constraint scheduling is invisible in results: static and adaptive
 /// check ordering — with intervals on or off, serial and parallel at every
 /// thread count — reproduces the declared-order survivors in the identical

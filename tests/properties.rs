@@ -9,7 +9,12 @@
 //! * the static interval analysis is *sound*: every successful evaluation
 //!   lands inside the predicted interval, and an expression marked `clean`
 //!   never fails at runtime (the contract the block pruner's subtree skips
-//!   rely on).
+//!   rely on);
+//! * the congruence domain's transfer functions are sound against concrete
+//!   arithmetic, the interval × congruence reduced product never drops a
+//!   member, and the product evaluator keeps the interval half bit-identical
+//!   to interval-only evaluation (the contract congruence subtree skips and
+//!   the determinism suite rely on).
 //!
 //! Cases are generated from a fixed-seed [`StdRng`] (the vendored std-only
 //! shim), so every run exercises the same case set — failures reproduce
@@ -22,8 +27,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use beast::prelude::*;
+use beast_core::analyze::{cg_of_bind, cg_of_values, eval_product, reduce, Congruence};
 use beast_core::expr::{lit, max2, min2, ternary, Bindings, Expr, E};
-use beast_core::interval::{interval_of, Interval};
+use beast_core::interval::{interval_of, Interval, IntervalOutcome, IvProg};
 use beast_core::ir::{LBody, LIter, LStep};
 use beast_core::iterator::Realized;
 use beast_engine::parallel::run_parallel;
@@ -414,4 +420,213 @@ fn gemm_postfix_peephole_reduces_ops() {
         opt_total < raw_total,
         "peephole found nothing to fold in the GEMM plan ({opt_total} vs {raw_total} ops)"
     );
+}
+
+/// Random congruence-domain elements: exact points and small progressions.
+fn arb_cg(rng: &mut StdRng) -> Congruence {
+    if rng.gen_bool(0.3) {
+        Congruence::point(rng.gen_range(-9i64..10))
+    } else {
+        let m = rng.gen_range(1i64..13);
+        Congruence { m, r: rng.gen_range(0..m) }
+    }
+}
+
+/// A finite sample of an abstract value's concretization, straddling zero
+/// so negative members are exercised too.
+fn cg_members(cg: &Congruence) -> Vec<i64> {
+    match cg.as_point() {
+        Some(v) => vec![v],
+        None => (-3i64..=3).map(|k| cg.r + k * cg.m).collect(),
+    }
+}
+
+/// Soundness of every congruence transfer function against concrete
+/// arithmetic: for random abstract values and members `x`, `y` of their
+/// concretizations, the concrete result of each operation is a member of
+/// the abstract result. Magnitudes stay far from `i64::MAX`, where the
+/// mathematical and wrapping results coincide — the wrap regime is exactly
+/// where the reduced product drops to ⊤ (`reduce_never_drops_members`).
+#[test]
+fn congruence_transfers_are_sound() {
+    let mut rng = StdRng::seed_from_u64(0xBEA5_7006);
+    for case in 0..512 {
+        let a = arb_cg(&mut rng);
+        let b = arb_cg(&mut rng);
+        let (join, neg) = (a.join(b), -a);
+        let (add, sub, mul) = (a + b, a - b, a * b);
+        let (div, rem) = (a / b, a % b);
+        let ne = a.never_equal(b);
+        for &x in &cg_members(&a) {
+            assert!(a.contains(x), "case {case}: member generator broke contains");
+            assert!(join.contains(x), "case {case}: join dropped {x} from {a:?}");
+            assert!(neg.contains(-x), "case {case}: neg({a:?}) lost {}", -x);
+            if a.always_nonzero() {
+                assert_ne!(x, 0, "case {case}: always_nonzero lied for {a:?}");
+            }
+            for &y in &cg_members(&b) {
+                assert!(join.contains(y), "case {case}: join dropped {y} from {b:?}");
+                assert!(add.contains(x + y), "case {case}: add lost {x}+{y} for {a:?}+{b:?}");
+                assert!(sub.contains(x - y), "case {case}: sub lost {x}-{y} for {a:?}-{b:?}");
+                assert!(mul.contains(x * y), "case {case}: mul lost {x}*{y} for {a:?}*{b:?}");
+                if y != 0 {
+                    assert!(div.contains(x / y), "case {case}: div lost {x}/{y} for {a:?}/{b:?}");
+                    assert!(rem.contains(x % y), "case {case}: rem lost {x}%{y} for {a:?}%{b:?}");
+                }
+                if ne {
+                    assert_ne!(x, y, "case {case}: never_equal lied for {a:?} vs {b:?}");
+                }
+            }
+        }
+        // The bind/values constructors cover their whole concretization too.
+        let start = rng.gen_range(-20i64..21);
+        let step = rng.gen_range(-6i64..7);
+        let bind = cg_of_bind(Congruence::point(start), Congruence::point(step));
+        for k in 0..5 {
+            assert!(
+                bind.contains(start + k * step),
+                "case {case}: cg_of_bind({start}, step {step}) lost iteration {k}"
+            );
+        }
+        let vals: Vec<i64> =
+            (0..rng.gen_range(1usize..8)).map(|_| rng.gen_range(-30i64..31)).collect();
+        let hull = cg_of_values(&vals);
+        for &v in &vals {
+            assert!(hull.contains(v), "case {case}: cg_of_values({vals:?}) lost {v}");
+        }
+    }
+}
+
+/// The product reduction never drops a member: every value inside both the
+/// interval and the congruence concretizations is still in the reduced
+/// congruence, across all flag combinations (point intervals collapse the
+/// congruence to that point, widened outcomes collapse it to ⊤, everything
+/// else passes through unchanged).
+#[test]
+fn reduce_never_drops_members() {
+    let mut rng = StdRng::seed_from_u64(0xBEA5_7007);
+    for case in 0..512 {
+        let lo = rng.gen_range(-12i64..13);
+        let hi = lo + rng.gen_range(0i64..9);
+        let outcome = IntervalOutcome {
+            iv: Interval { lo, hi },
+            clean: rng.gen_bool(0.5),
+            widened: rng.gen_bool(0.5),
+        };
+        let cg = arb_cg(&mut rng);
+        let reduced = reduce(&outcome, cg);
+        for v in lo..=hi {
+            if cg.contains(v) {
+                assert!(
+                    reduced.contains(v),
+                    "case {case}: reduce dropped {v} from {outcome:?} × {cg:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Soundness of the interval × congruence product evaluator, checked
+/// against concrete evaluation over small random domains:
+///
+/// * the interval half is bit-identical to the interval-only program, so
+///   guard worthiness/elision verdicts cannot shift when the congruence
+///   domain is enabled (the survivors-identical contract of
+///   `ablation_congruence` and the determinism suite);
+/// * whenever concrete evaluation succeeds, the result is a member of the
+///   reduced congruence (what makes a congruence subtree skip safe).
+#[test]
+fn product_eval_is_sound_and_interval_identical() {
+    let mut rng = StdRng::seed_from_u64(0xBEA5_7008);
+    let mut checked_points = 0u64;
+    let mut residue_facts = 0u64;
+    for case in 0..256 {
+        let e = arb_expr_unguarded(&mut rng, 3);
+        let mut domain = |_: &str| -> Vec<i64> {
+            (0..rng.gen_range(1usize..4)).map(|_| rng.gen_range(-6i64..7)).collect()
+        };
+        let (da, db, dc) = (domain("va"), domain("vb"), domain("vc"));
+        let space = Space::builder("prop_cg")
+            .list("va", da)
+            .list("vb", db)
+            .list("vc", dc)
+            .derived("result", e)
+            .build()
+            .unwrap();
+        let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+        let lp = LoweredPlan::new(&plan).unwrap();
+
+        let mut ivals = vec![Interval::TOP; lp.n_slots as usize];
+        let mut cvals = vec![Congruence::top(); lp.n_slots as usize];
+        let mut binds: Vec<(u32, Vec<i64>)> = Vec::new();
+        let mut target = None;
+        for step in &lp.steps {
+            match step {
+                LStep::Bind { slot, domain: LIter::Values(v), .. } => {
+                    ivals[*slot as usize] = Interval {
+                        lo: v.iter().copied().min().unwrap(),
+                        hi: v.iter().copied().max().unwrap(),
+                    };
+                    cvals[*slot as usize] = cg_of_values(v);
+                    binds.push((*slot, v.clone()));
+                }
+                LStep::Define { slot, body: LBody::Expr(expr), .. }
+                    if &*lp.slot_names[*slot as usize] == "result" =>
+                {
+                    target = Some(expr.clone());
+                }
+                _ => {}
+            }
+        }
+        let Some(expr) = target else {
+            continue;
+        };
+        let prog = IvProg::compile(&expr);
+        let mut iv_stack = Vec::new();
+        let mut prod_stack = Vec::new();
+        let iv_only = prog.eval(&ivals, &mut iv_stack);
+        let (prod_iv, prod_cg) = eval_product(&prog, &ivals, &cvals, &mut prod_stack);
+        assert_eq!(
+            prod_iv, iv_only,
+            "case {case}: congruence changed the interval half for {expr:?}"
+        );
+        residue_facts += u64::from(!prod_cg.is_top());
+
+        let mut slots = vec![0i64; lp.n_slots as usize];
+        let mut enumerate = vec![0usize; binds.len()];
+        loop {
+            for (k, (slot, values)) in binds.iter().enumerate() {
+                slots[*slot as usize] = values[enumerate[k]];
+            }
+            checked_points += 1;
+            if let Ok(v) = expr.eval(&slots) {
+                assert!(
+                    prod_iv.iv.contains(v),
+                    "case {case}: eval {v} escapes interval {:?} for {expr:?}",
+                    prod_iv.iv
+                );
+                assert!(
+                    prod_cg.contains(v),
+                    "case {case}: eval {v} escapes congruence {prod_cg:?} for {expr:?}"
+                );
+            }
+            let mut k = binds.len();
+            loop {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+                enumerate[k] += 1;
+                if enumerate[k] < binds[k].1.len() {
+                    break;
+                }
+                enumerate[k] = 0;
+            }
+            if enumerate.iter().all(|&i| i == 0) {
+                break;
+            }
+        }
+    }
+    assert!(checked_points > 1000, "degenerate case set: {checked_points} points");
+    assert!(residue_facts > 0, "congruence half never learned a residue fact");
 }
