@@ -22,6 +22,19 @@
 //!                         linter     static analysis of the GEMM space
 //!                                    (BE001–BE008 diagnostics); exits
 //!                                    nonzero on error-severity findings
+//! repro sweep [DIM] [--threads N] [--chunks M] [--policy P] [--seed S]
+//!             [--inject-errors R] [--inject-panics R] [--transient]
+//!             [--checkpoint PATH] [--resume] [--every N]
+//!             [--deadline SECS] [--stop-after K] [--json PATH]
+//!                         §X-C       fault-tolerant sweep driver: runs the
+//!                                    GEMM space under a fault policy
+//!                                    (abort, skip, quarantine, retry[:MAX
+//!                                    [:BACKOFF_MS]]), optional seeded fault
+//!                                    injection, checkpoint/resume, and a
+//!                                    wall-clock deadline; prints the
+//!                                    order-sensitive survivor fingerprint
+//!                                    and exits 3 when the result is
+//!                                    partial (resumable)
 //! repro all               everything above with small defaults
 //! ```
 //!
@@ -53,10 +66,12 @@ use beast_core::ir::LoweredPlan;
 use beast_core::plan::{Plan, PlanOptions};
 use beast_cuda::{CcLimits, DeviceProps};
 use beast_core::schedule::ScheduleMode;
+use beast_engine::checkpoint::{run_checkpointed, CheckpointConfig};
 use beast_engine::compiled::{Compiled, EngineOptions};
+use beast_engine::fault::{FaultInjector, FaultPolicy};
 use beast_engine::parallel::{run_parallel_report, ParallelOptions};
 use beast_engine::telemetry::{ScheduleTelemetry, SweepReport};
-use beast_engine::visit::CountVisitor;
+use beast_engine::visit::{CountVisitor, FingerprintVisitor};
 use beast_engine::vm::{Vm, VmStyle};
 use beast_engine::walker::{LoopStyle, Walker};
 use beast_gemm::{build_gemm_space, GemmSpaceParams};
@@ -128,6 +143,7 @@ fn main() {
             args.get(1).filter(|s| !s.starts_with("--")).and_then(|s| s.parse().ok()),
             flag("--json"),
         ),
+        "sweep" => sweep(&args, engine),
         "all" => {
             device();
             space();
@@ -482,6 +498,141 @@ fn lint(dim: Option<i64>, json_path: Option<String>) {
     }
     if report.has_errors() {
         std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §X-C: fault-tolerant sweep driver (checkpoint/resume, policies, injection)
+// ---------------------------------------------------------------------------
+
+fn sweep(args: &[String], engine: EngineOptions) {
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let has = |name: &str| args.iter().any(|a| a == name);
+    let parsed = |name: &str, default: u64| -> u64 {
+        match flag(name) {
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("error: {name} needs an unsigned integer, got `{s}`");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    };
+    let rate = |name: &str| -> f64 {
+        match flag(name) {
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("error: {name} needs a probability in [0,1], got `{s}`");
+                std::process::exit(2);
+            }),
+            None => 0.0,
+        }
+    };
+
+    let dim: i64 = args
+        .get(1)
+        .filter(|s| !s.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let policy = match flag("--policy") {
+        Some(s) => FaultPolicy::parse(&s).unwrap_or_else(|| {
+            eprintln!(
+                "error: --policy: unknown policy `{s}` (abort, skip, quarantine, retry[:MAX[:BACKOFF_MS]])"
+            );
+            std::process::exit(2);
+        }),
+        None => FaultPolicy::Abort,
+    };
+
+    let mut opts = ParallelOptions::new(parsed("--threads", 4).max(1) as usize);
+    opts.engine = engine;
+    opts.chunk_count = parsed("--chunks", 0) as usize;
+    opts.fault_policy = policy;
+    opts.stop_after_chunks = parsed("--stop-after", 0) as usize;
+    if let Some(secs) = flag("--deadline") {
+        let secs: f64 = secs.parse().unwrap_or_else(|_| {
+            eprintln!("error: --deadline needs seconds, got `{secs}`");
+            std::process::exit(2);
+        });
+        opts.deadline = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    let (err_rate, panic_rate) = (rate("--inject-errors"), rate("--inject-panics"));
+    if err_rate > 0.0 || panic_rate > 0.0 {
+        opts.injector = Some(
+            FaultInjector::new(parsed("--seed", 0))
+                .error_rate(err_rate)
+                .panic_rate(panic_rate)
+                .transient(has("--transient")),
+        );
+    }
+
+    header(&format!(
+        "§X-C — fault-tolerant sweep, GEMM space on reduced({dim}) device"
+    ));
+    println!(
+        "threads={} policy={} chunks={}{}",
+        opts.threads,
+        opts.fault_policy.name(),
+        if opts.chunk_count > 0 { opts.chunk_count.to_string() } else { "auto".to_string() },
+        match &opts.injector {
+            Some(inj) => format!(
+                " injector(seed={}, errors={err_rate}, panics={panic_rate})",
+                inj.seed()
+            ),
+            None => String::new(),
+        }
+    );
+    let params = GemmSpaceParams::reduced(dim);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let result = match flag("--checkpoint") {
+        Some(path) => {
+            let mut ck = CheckpointConfig::new(path);
+            ck.resume = has("--resume");
+            ck.every_chunks = parsed("--every", ck.every_chunks as u64).max(1) as usize;
+            println!(
+                "checkpoint: {} (every {} chunk(s){})",
+                ck.path.display(),
+                ck.every_chunks,
+                if ck.resume { ", resuming" } else { "" }
+            );
+            run_checkpointed(&lp, &opts, &ck, FingerprintVisitor::default)
+        }
+        None => run_parallel_report(&lp, &opts, FingerprintVisitor::default),
+    };
+    let (out, report) = result.unwrap_or_else(|e| {
+        eprintln!("error: sweep failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "survivors: {}  fingerprint: {:016x}",
+        out.visitor.count, out.visitor.hash
+    );
+    println!("\n{}", report.render_text());
+    if let Some(path) = flag("--json") {
+        let json = format!(
+            "{{\"fingerprint\":\"{:016x}\",\"survivors\":{},\"partial\":{},\"report\":{}}}",
+            out.visitor.hash,
+            out.visitor.count,
+            report.partial,
+            report.to_json()
+        );
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write sweep JSON to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote sweep JSON to {path}");
+    }
+    if report.partial {
+        // Distinct exit code so scripts (and the CI smoke job) can tell a
+        // resumable partial result from success (0) and failure (1).
+        std::process::exit(3);
     }
 }
 

@@ -24,12 +24,85 @@ pub enum EvalError {
     Unbound(String),
     /// A deferred iterator/constraint closure reported a domain error.
     Custom(String),
+    /// Evaluation was interrupted by a cooperative cancel token or a
+    /// wall-clock deadline. This is a control signal, not a data error: the
+    /// sweep supervisor converts it into a partial result instead of a fault.
+    Cancelled,
+    /// An error annotated with the point at which it occurred: the failing
+    /// constraint/define name and the values of the iterators bound at the
+    /// time. Produced by the compiled engine so a fault deep inside a
+    /// multi-hour sweep is actionable without re-running it.
+    AtPoint {
+        /// The underlying error.
+        source: Box<EvalError>,
+        /// Where in the space it happened.
+        context: Box<PointContext>,
+    },
+}
+
+/// Location of an [`EvalError`] inside a search space: which expression was
+/// being evaluated and which iterator/define values were in scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointContext {
+    /// Name of the failing constraint, define or iterator.
+    pub site: String,
+    /// `(name, value)` pairs for every slot bound when the error fired, in
+    /// declaration order.
+    pub bindings: Vec<(String, i64)>,
+}
+
+impl PointContext {
+    /// Render the bindings as `a=1, b=2`.
+    pub fn bindings_display(&self) -> String {
+        let mut out = String::new();
+        for (i, (name, value)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(name);
+            out.push('=');
+            out.push_str(&value.to_string());
+        }
+        out
+    }
 }
 
 impl EvalError {
     /// Convenience constructor for [`EvalError::TypeError`].
     pub fn type_error(expected: &'static str, got: &'static str) -> Self {
         EvalError::TypeError { expected, got }
+    }
+
+    /// Attach point context to an error. No-op for errors that already carry
+    /// context (the innermost location wins) and for [`EvalError::Cancelled`],
+    /// which is a control signal rather than a point fault.
+    pub fn with_point(self, site: impl Into<String>, bindings: Vec<(String, i64)>) -> Self {
+        match self {
+            EvalError::AtPoint { .. } | EvalError::Cancelled => self,
+            other => EvalError::AtPoint {
+                source: Box::new(other),
+                context: Box::new(PointContext {
+                    site: site.into(),
+                    bindings,
+                }),
+            },
+        }
+    }
+
+    /// The underlying error with any [`EvalError::AtPoint`] wrapper stripped.
+    pub fn root(&self) -> &EvalError {
+        match self {
+            EvalError::AtPoint { source, .. } => source.root(),
+            other => other,
+        }
+    }
+
+    /// The point context, if this error carries one.
+    pub fn point_context(&self) -> Option<&PointContext> {
+        match self {
+            EvalError::AtPoint { context, .. } => Some(context),
+            _ => None,
+        }
     }
 }
 
@@ -44,6 +117,14 @@ impl fmt::Display for EvalError {
             EvalError::NanComparison => write!(f, "comparison with NaN"),
             EvalError::Unbound(name) => write!(f, "unbound variable `{name}`"),
             EvalError::Custom(msg) => write!(f, "{msg}"),
+            EvalError::Cancelled => write!(f, "evaluation cancelled"),
+            EvalError::AtPoint { source, context } => {
+                write!(f, "{source} while evaluating `{}`", context.site)?;
+                if !context.bindings.is_empty() {
+                    write!(f, " at {}", context.bindings_display())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -114,5 +195,26 @@ mod tests {
             .to_string(),
             "`blk_m` references unknown name `dim_q`"
         );
+    }
+
+    #[test]
+    fn point_context_wraps_once_and_roots() {
+        let e = EvalError::DivisionByZero
+            .with_point("tpb", vec![("a".into(), 1), ("b".into(), 32)])
+            .with_point("outer", vec![]);
+        assert_eq!(e.root(), &EvalError::DivisionByZero);
+        let ctx = e.point_context().expect("context");
+        assert_eq!(ctx.site, "tpb");
+        assert_eq!(
+            e.to_string(),
+            "division by zero while evaluating `tpb` at a=1, b=32"
+        );
+    }
+
+    #[test]
+    fn cancelled_takes_no_context() {
+        let e = EvalError::Cancelled.with_point("x", vec![]);
+        assert_eq!(e, EvalError::Cancelled);
+        assert!(e.point_context().is_none());
     }
 }

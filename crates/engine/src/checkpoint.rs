@@ -1,0 +1,702 @@
+//! Checkpoint/resume for long sweeps: periodically persist the merged
+//! chunk-order prefix of a supervised run to a JSON file, and complete only
+//! the missing chunk suffix after an interruption.
+//!
+//! The paper's headline GEMM enumeration runs for 66 948 s in Python; at
+//! that scale a power cut or a deadline must not discard a day of work. A
+//! checkpoint stores the one thing the supervisor needs to continue — the
+//! index of the first unfinished chunk — together with everything already
+//! merged for the prefix before it: pruning statistics, block-pruning
+//! counters, fault records and the visitor state (via [`SaveState`]).
+//! Because [`crate::parallel`] folds chunks strictly in chunk order, the
+//! prefix edge is a single number and a resumed sweep is bit-identical to an
+//! uninterrupted one (asserted in `tests/fault_tolerance.rs`).
+//!
+//! The format is hand-rolled JSON, like the rest of the crate's telemetry —
+//! the build environment cannot vendor `serde` — so this module also carries
+//! a minimal recursive-descent JSON parser ([`JsonValue`]). Counters are
+//! written as exact decimal integers and parsed as `i128`, never routed
+//! through `f64`, which would silently round 64-bit hashes above 2^53.
+//!
+//! Writes are atomic: the file is written to `<path>.tmp` and renamed over
+//! the target, so a crash mid-write leaves the previous checkpoint intact.
+
+use std::path::{Path, PathBuf};
+
+use beast_core::ir::LoweredPlan;
+
+use crate::fault::{FaultAction, FaultKind, FaultRecord};
+use crate::parallel::{run_supervised, CkSink, CkSnapshot, ParallelOptions, ResumeSeed};
+use crate::stats::{BlockStats, PruneStats};
+use crate::sweep::SweepError;
+use crate::telemetry::{fault_record_json, json_str, SweepReport};
+use crate::visit::{CountVisitor, FingerprintVisitor, Visitor};
+use crate::walker::SweepOutcome;
+
+/// Current checkpoint file format version.
+const FORMAT: i128 = 1;
+
+/// A parsed JSON value (minimal, std-only).
+///
+/// Integers are kept exact as `i128` — wide enough for any `u64` counter —
+/// and only lexically float numbers become [`JsonValue::Float`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer literal, exact.
+    Int(i128),
+    /// A number with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The elements of an array.
+    pub fn items(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned integer (rejects floats and out-of-range values).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Exact signed integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Exact `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Int(i) => usize::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.eat_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.eat_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so byte
+                    // boundaries are guaranteed valid).
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| format!("bad number `{text}`"))
+        } else {
+            text.parse::<i128>()
+                .map(JsonValue::Int)
+                .map_err(|_| format!("bad number `{text}`"))
+        }
+    }
+}
+
+/// Visitor state that can round-trip through a checkpoint file.
+///
+/// `save_state` returns one JSON *value* (it is embedded under the
+/// checkpoint's `"visitor"` key); `load_state` restores it into a freshly
+/// constructed visitor. The contract is exactness: a visitor loaded from
+/// `save_state` must behave bit-identically to the one that saved it, or
+/// resume determinism breaks.
+pub trait SaveState {
+    /// Serialize the accumulated state as a JSON value.
+    fn save_state(&self) -> String;
+    /// Restore state saved by [`SaveState::save_state`].
+    fn load_state(&mut self, v: &JsonValue) -> Result<(), String>;
+}
+
+impl SaveState for CountVisitor {
+    fn save_state(&self) -> String {
+        format!("{{\"count\":{}}}", self.count)
+    }
+
+    fn load_state(&mut self, v: &JsonValue) -> Result<(), String> {
+        self.count = v
+            .get("count")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| "visitor state: missing count".to_string())?;
+        Ok(())
+    }
+}
+
+impl SaveState for FingerprintVisitor {
+    fn save_state(&self) -> String {
+        format!(
+            "{{\"hash\":{},\"pow\":{},\"count\":{}}}",
+            self.hash, self.pow, self.count
+        )
+    }
+
+    fn load_state(&mut self, v: &JsonValue) -> Result<(), String> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("visitor state: missing {key}"))
+        };
+        self.hash = field("hash")?;
+        self.pow = field("pow")?;
+        self.count = field("count")?;
+        Ok(())
+    }
+}
+
+/// Where, how often, and whether to resume a checkpointed sweep.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path.
+    pub path: PathBuf,
+    /// Persist after this many newly completed chunks (min 1; the final
+    /// state is always flushed on exit).
+    pub every_chunks: usize,
+    /// Load `path` and complete only the missing chunks. Without this flag
+    /// an existing file is overwritten and the sweep starts from scratch.
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `path` every 8 chunks, without resuming.
+    pub fn new(path: impl Into<PathBuf>) -> CheckpointConfig {
+        CheckpointConfig { path: path.into(), every_chunks: 8, resume: false }
+    }
+}
+
+/// [`crate::parallel::run_parallel_report`] with checkpoint persistence and
+/// optional resume.
+///
+/// On resume the chunk grid is pinned from the file (never re-derived from
+/// the thread count), the completed prefix `0..next` is seeded into the
+/// merge, and workers evaluate only chunks `next..`; the final outcome is
+/// bit-identical to an uninterrupted run. A missing file with
+/// [`CheckpointConfig::resume`] set, or a checkpoint recorded for a
+/// different space shape, fails with [`SweepError::Checkpoint`].
+pub fn run_checkpointed<V, F>(
+    lp: &LoweredPlan,
+    opts: &ParallelOptions,
+    ck: &CheckpointConfig,
+    make_visitor: F,
+) -> Result<(SweepOutcome<V>, SweepReport), SweepError>
+where
+    V: Visitor + Send + SaveState,
+    F: Fn() -> V + Sync,
+{
+    let space_name = lp.plan.space().name().to_string();
+    let seed = if ck.resume {
+        let text = std::fs::read_to_string(&ck.path).map_err(|e| {
+            SweepError::Checkpoint(format!(
+                "cannot read checkpoint {}: {e}",
+                ck.path.display()
+            ))
+        })?;
+        parse_checkpoint(&text, &space_name, &make_visitor).map_err(SweepError::Checkpoint)?
+    } else {
+        None
+    };
+    let writer = |snap: &CkSnapshot<'_, V>| write_checkpoint(&ck.path, &space_name, snap);
+    let sink = CkSink { every: ck.every_chunks.max(1), write: &writer };
+    run_supervised(lp, opts, make_visitor, seed, Some(&sink))
+}
+
+/// Serialize and atomically persist one snapshot.
+fn write_checkpoint<V: SaveState>(
+    path: &Path,
+    space: &str,
+    snap: &CkSnapshot<'_, V>,
+) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(1024);
+    let _ = write!(out, "{{\"format\":{FORMAT},");
+    json_str(&mut out, "space", space);
+    let _ = write!(
+        out,
+        ",\"outer_len\":{},\"chunk_len\":{},\"chunks\":{},\"next\":{}",
+        snap.outer_len, snap.chunk_len, snap.chunks, snap.next
+    );
+    out.push_str(",\"stats\":{\"evaluated\":");
+    u64_array(&mut out, &snap.stats.evaluated);
+    out.push_str(",\"pruned\":");
+    u64_array(&mut out, &snap.stats.pruned);
+    let _ = write!(out, ",\"survivors\":{}}}", snap.stats.survivors);
+    let _ = write!(
+        out,
+        ",\"blocks\":{{\"subtree_skips\":{},\"congruence_skips\":{},\
+         \"points_skipped\":{},\"checks_elided\":{}}}",
+        snap.blocks.subtree_skips,
+        snap.blocks.congruence_skips,
+        snap.blocks.points_skipped,
+        snap.blocks.checks_elided
+    );
+    out.push_str(",\"faults\":[");
+    for (i, r) in snap.faults.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        fault_record_json(&mut out, r);
+    }
+    out.push_str("],\"visitor\":");
+    out.push_str(&snap.visitor.save_state());
+    out.push('}');
+
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &out)
+        .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} over {}: {e}", tmp.display(), path.display()))
+}
+
+fn u64_array(out: &mut String, values: &[u64]) {
+    use std::fmt::Write as _;
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// Parse and validate a checkpoint file into a [`ResumeSeed`]. Returns
+/// `Ok(None)` when the file records no completed chunks (fresh start).
+fn parse_checkpoint<V: Visitor + SaveState>(
+    text: &str,
+    space: &str,
+    make_visitor: &dyn Fn() -> V,
+) -> Result<Option<ResumeSeed<V>>, String> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("malformed checkpoint: {e}"))?;
+    let field = |key: &str| doc.get(key).ok_or_else(|| format!("checkpoint: missing `{key}`"));
+    let usize_field = |key: &str| {
+        field(key)?.as_usize().ok_or_else(|| format!("checkpoint: `{key}` is not an integer"))
+    };
+
+    if field("format")?.as_i64() != Some(FORMAT as i64) {
+        return Err(format!("checkpoint: unsupported format {:?}", field("format")?));
+    }
+    let recorded_space = field("space")?.as_str().unwrap_or_default();
+    if recorded_space != space {
+        return Err(format!(
+            "checkpoint is for space `{recorded_space}`, not `{space}`"
+        ));
+    }
+    let outer_len = usize_field("outer_len")?;
+    let chunk_len = usize_field("chunk_len")?;
+    let chunks = usize_field("chunks")?;
+    let next = usize_field("next")?;
+    if next > chunks || chunk_len == 0 {
+        return Err(format!(
+            "checkpoint: inconsistent grid (next {next}, chunks {chunks}, chunk_len {chunk_len})"
+        ));
+    }
+    if next == 0 {
+        return Ok(None);
+    }
+
+    let stats_doc = field("stats")?;
+    let counters = |key: &str| -> Result<Vec<u64>, String> {
+        stats_doc
+            .get(key)
+            .and_then(JsonValue::items)
+            .ok_or_else(|| format!("checkpoint: stats.{key} missing"))?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| format!("checkpoint: stats.{key} not integers")))
+            .collect()
+    };
+    let stats = PruneStats {
+        evaluated: counters("evaluated")?,
+        pruned: counters("pruned")?,
+        survivors: stats_doc
+            .get("survivors")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| "checkpoint: stats.survivors missing".to_string())?,
+    };
+    if stats.evaluated.len() != stats.pruned.len() {
+        return Err("checkpoint: stats arrays disagree in length".to_string());
+    }
+
+    let blocks_doc = field("blocks")?;
+    let block = |key: &str| {
+        blocks_doc
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("checkpoint: blocks.{key} missing"))
+    };
+    let blocks = BlockStats {
+        subtree_skips: block("subtree_skips")?,
+        congruence_skips: block("congruence_skips")?,
+        points_skipped: block("points_skipped")?,
+        checks_elided: block("checks_elided")?,
+    };
+
+    let faults = field("faults")?
+        .items()
+        .ok_or_else(|| "checkpoint: faults is not an array".to_string())?
+        .iter()
+        .map(parse_fault_record)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut visitor = make_visitor();
+    visitor.load_state(field("visitor")?)?;
+
+    Ok(Some(ResumeSeed { outer_len, chunk_len, next, stats, blocks, faults, visitor }))
+}
+
+fn parse_fault_record(v: &JsonValue) -> Result<FaultRecord, String> {
+    let miss = |key: &str| format!("checkpoint: fault record missing `{key}`");
+    Ok(FaultRecord {
+        chunk: v.get("chunk").and_then(JsonValue::as_usize).ok_or_else(|| miss("chunk"))?,
+        ordinal: v.get("ordinal").and_then(JsonValue::as_u64).ok_or_else(|| miss("ordinal"))?,
+        attempt: v
+            .get("attempt")
+            .and_then(JsonValue::as_u64)
+            .and_then(|a| u32::try_from(a).ok())
+            .ok_or_else(|| miss("attempt"))?,
+        kind: v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .and_then(FaultKind::parse)
+            .ok_or_else(|| miss("kind"))?,
+        action: v
+            .get("action")
+            .and_then(JsonValue::as_str)
+            .and_then(FaultAction::parse)
+            .ok_or_else(|| miss("action"))?,
+        site: v.get("site").and_then(JsonValue::as_str).ok_or_else(|| miss("site"))?.to_string(),
+        error: v.get("error").and_then(JsonValue::as_str).ok_or_else(|| miss("error"))?.to_string(),
+        bindings: v
+            .get("bindings")
+            .and_then(JsonValue::items)
+            .ok_or_else(|| miss("bindings"))?
+            .iter()
+            .map(|pair| {
+                let items = pair.items().filter(|p| p.len() == 2)?;
+                Some((items[0].as_str()?.to_string(), items[1].as_i64()?))
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| "checkpoint: malformed fault bindings".to_string())?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_round_trips_scalars_and_nesting() {
+        let doc = JsonValue::parse(
+            r#"{"a": 1, "b": [true, null, -7, 2.5, "x\nyA"], "c": {"d": 18446744073709551615}}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("a").unwrap(), &JsonValue::Int(1));
+        let b = doc.get("b").unwrap().items().unwrap();
+        assert_eq!(b[0], JsonValue::Bool(true));
+        assert_eq!(b[1], JsonValue::Null);
+        assert_eq!(b[2].as_i64(), Some(-7));
+        assert_eq!(b[3], JsonValue::Float(2.5));
+        assert_eq!(b[4].as_str(), Some("x\nyA"));
+        // u64::MAX survives exactly (this is why integers are i128, not f64).
+        assert_eq!(doc.get("c").unwrap().get("d").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "{} extra", "\"unterminated", "tru"] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn visitor_states_round_trip() {
+        let counted = CountVisitor { count: 12345 };
+        let mut restored = CountVisitor::default();
+        restored.load_state(&JsonValue::parse(&counted.save_state()).unwrap()).unwrap();
+        assert_eq!(restored.count, 12345);
+
+        let fp = FingerprintVisitor { hash: u64::MAX - 3, pow: 0x123456789abcdef0, count: 7 };
+        let mut restored = FingerprintVisitor::new();
+        restored.load_state(&JsonValue::parse(&fp.save_state()).unwrap()).unwrap();
+        assert_eq!(restored, fp);
+    }
+
+    #[test]
+    fn fault_records_round_trip_through_json() {
+        let record = FaultRecord {
+            chunk: 3,
+            ordinal: 42,
+            attempt: 1,
+            kind: FaultKind::Panic,
+            action: FaultAction::QuarantinedChunk,
+            site: "chunk".to_string(),
+            error: "injected panic (chunk 3)\"quoted\"".to_string(),
+            bindings: vec![("x".to_string(), -5), ("y".to_string(), 9)],
+        };
+        let mut out = String::new();
+        fault_record_json(&mut out, &record);
+        let parsed = parse_fault_record(&JsonValue::parse(&out).unwrap()).unwrap();
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let dir = std::env::temp_dir().join("beast-ck-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        let stats = PruneStats {
+            evaluated: vec![10, 20],
+            pruned: vec![1, 2],
+            survivors: 27,
+        };
+        let blocks = BlockStats {
+            subtree_skips: 4,
+            congruence_skips: 1,
+            points_skipped: 99,
+            checks_elided: 6,
+        };
+        let visitor = FingerprintVisitor { hash: 0xdead_beef_dead_beef, pow: 3, count: 27 };
+        let faults = vec![FaultRecord {
+            chunk: 1,
+            ordinal: 0,
+            attempt: 0,
+            kind: FaultKind::Error,
+            action: FaultAction::SkippedPoint,
+            site: "bad".to_string(),
+            error: "division by zero".to_string(),
+            bindings: vec![("x".to_string(), 10)],
+        }];
+        write_checkpoint(
+            &path,
+            "unit",
+            &CkSnapshot {
+                outer_len: 64,
+                chunk_len: 8,
+                chunks: 8,
+                next: 5,
+                stats: &stats,
+                blocks: &blocks,
+                faults: &faults,
+                visitor: &visitor,
+            },
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let seed =
+            parse_checkpoint::<FingerprintVisitor>(&text, "unit", &FingerprintVisitor::new)
+                .unwrap()
+                .expect("next > 0 must produce a seed");
+        assert_eq!((seed.outer_len, seed.chunk_len, seed.next), (64, 8, 5));
+        assert_eq!(seed.stats, stats);
+        assert_eq!(seed.blocks, blocks);
+        assert_eq!(seed.faults, faults);
+        assert_eq!(seed.visitor, visitor);
+        // Space mismatch is refused.
+        assert!(parse_checkpoint::<FingerprintVisitor>(&text, "other", &FingerprintVisitor::new)
+            .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -79,6 +79,7 @@ use beast_core::value::Value;
 use crate::point::PointRef;
 use crate::postfix::Postfix;
 
+use crate::fault::{CancelProbe, FaultAction, FaultInjector, FaultKind, FaultPolicy, FaultRecord};
 use crate::stats::{BlockStats, PruneStats};
 use crate::telemetry::{GroupSchedule, ScheduleTelemetry};
 use crate::visit::Visitor;
@@ -734,6 +735,9 @@ impl Compiled {
                     stable: 0,
                 })
                 .collect(),
+            faults: Vec::new(),
+            visit_ordinal: 0,
+            poll: 0,
         }
     }
 
@@ -760,7 +764,7 @@ impl Compiled {
         self.lint_denied()?;
         let mut slots = vec![0i64; self.lp.n_slots as usize];
         let mut state = self.fresh_state(visitor);
-        self.exec(0, None, &mut slots, &mut state, true)?;
+        self.exec(0, None, &mut slots, &mut state, &ChunkCtx::plain())?;
         let schedule = self.final_orders(&state);
         Ok(SweepOutcome {
             stats: state.stats,
@@ -778,38 +782,62 @@ impl Compiled {
     /// and they are evaluated against constants so it is cheap. Their
     /// constraint counters are *not* re-recorded to keep merged statistics
     /// meaningful.
-    pub(crate) fn run_outer_chunk<V: Visitor>(
+    pub fn run_outer_chunk<V: Visitor>(
         &self,
         outer_values: &[i64],
         visitor: V,
     ) -> Result<SweepOutcome<V>, EvalError> {
+        self.run_outer_chunk_supervised(outer_values, visitor, &ChunkCtx::plain())
+            .map(|run| run.outcome)
+    }
+
+    /// [`Compiled::run_outer_chunk`] with fault supervision: the chunk
+    /// context selects the fault policy, the injector, and the cancel probe,
+    /// and the result carries the faults that were skipped over. Errors that
+    /// still escape (any policy but `SkipPoint`, or a fault outside every
+    /// loop) carry point context; [`EvalError::Cancelled`] escapes as-is.
+    pub(crate) fn run_outer_chunk_supervised<V: Visitor>(
+        &self,
+        outer_values: &[i64],
+        visitor: V,
+        ctx: &ChunkCtx<'_>,
+    ) -> Result<ChunkRun<V>, EvalError> {
         let mut slots = vec![0i64; self.lp.n_slots as usize];
         let mut state = self.fresh_state(visitor);
         let Some(first_enter) = self.first_enter else {
-            return Ok(SweepOutcome {
-                stats: state.stats,
-                blocks: state.blocks,
-                schedule: None,
-                visitor: state.visitor,
+            return Ok(ChunkRun {
+                outcome: SweepOutcome {
+                    stats: state.stats,
+                    blocks: state.blocks,
+                    schedule: None,
+                    visitor: state.visitor,
+                },
+                faults: Vec::new(),
             });
         };
         // Execute the preamble quietly.
         if !self.preamble(&mut slots, &mut state.stack, None)? {
             // A constants-only constraint rejected everything.
-            return Ok(SweepOutcome {
-                stats: state.stats,
-                blocks: state.blocks,
-                schedule: None,
-                visitor: state.visitor,
+            return Ok(ChunkRun {
+                outcome: SweepOutcome {
+                    stats: state.stats,
+                    blocks: state.blocks,
+                    schedule: None,
+                    visitor: state.visitor,
+                },
+                faults: Vec::new(),
             });
         }
-        self.exec(first_enter, Some(outer_values), &mut slots, &mut state, true)?;
+        self.exec(first_enter, Some(outer_values), &mut slots, &mut state, ctx)?;
         let schedule = self.final_orders(&state);
-        Ok(SweepOutcome {
-            stats: state.stats,
-            blocks: state.blocks,
-            schedule,
-            visitor: state.visitor,
+        Ok(ChunkRun {
+            outcome: SweepOutcome {
+                stats: state.stats,
+                blocks: state.blocks,
+                schedule,
+                visitor: state.visitor,
+            },
+            faults: state.faults,
         })
     }
 
@@ -832,20 +860,33 @@ impl Compiled {
         mut stats: Option<&mut PruneStats>,
     ) -> Result<bool, EvalError> {
         let end = self.first_enter.unwrap_or(self.ops.len().saturating_sub(1));
+        // Preamble expressions read only constants; errors here are
+        // space-level, so the context carries the site name and no bindings.
+        let at = |slot: &u32| self.lp.slot_names[*slot as usize].to_string();
         for op in &self.ops[..end] {
             match op {
                 Op::Define { slot, expr } => {
-                    slots[*slot as usize] = expr.eval(slots, stack)?;
+                    slots[*slot as usize] = expr
+                        .eval(slots, stack)
+                        .map_err(|e| e.with_point(at(slot), Vec::new()))?;
                 }
                 Op::DefineOpaque { slot, derived } => {
                     let v = {
                         let view = self.bindings_view(slots);
-                        self.lp.plan.space().deriveds()[*derived].kind.eval(&view)?
+                        self.lp.plan.space().deriveds()[*derived]
+                            .kind
+                            .eval(&view)
+                            .map_err(|e| e.with_point(at(slot), Vec::new()))?
                     };
-                    slots[*slot as usize] = v.as_int()?;
+                    slots[*slot as usize] =
+                        v.as_int().map_err(|e| e.with_point(at(slot), Vec::new()))?;
                 }
                 Op::Check { constraint, expr, .. } => {
-                    let rejected = expr.eval(slots, stack)? != 0;
+                    let rejected = expr.eval(slots, stack).map_err(|e| {
+                        let name =
+                            &self.lp.plan.space().constraints()[*constraint as usize].name;
+                        e.with_point(name.to_string(), Vec::new())
+                    })? != 0;
                     if let Some(stats) = stats.as_deref_mut() {
                         stats.record(*constraint as usize, rejected);
                     }
@@ -858,7 +899,13 @@ impl Compiled {
                         let view = self.bindings_view(slots);
                         self.lp.plan.space().constraints()[*constraint as usize]
                             .kind
-                            .rejects(&view)?
+                            .rejects(&view)
+                            .map_err(|e| {
+                                let name = &self.lp.plan.space().constraints()
+                                    [*constraint as usize]
+                                    .name;
+                                e.with_point(name.to_string(), Vec::new())
+                            })?
                     };
                     if let Some(stats) = stats.as_deref_mut() {
                         stats.record(*constraint as usize, rejected);
@@ -920,24 +967,27 @@ impl Compiled {
         let Some(first_enter) = self.first_enter else {
             return Ok(Vec::new());
         };
-        let Op::Enter { domain, .. } = &self.ops[first_enter] else {
+        let Op::Enter { slot, domain, .. } = &self.ops[first_enter] else {
             unreachable!("first_enter points at Enter");
+        };
+        let at = |e: EvalError| {
+            e.with_point(self.lp.slot_names[*slot as usize].to_string(), Vec::new())
         };
         match domain {
             CDomain::Range { start, stop, step } => {
                 let mut stack = Vec::new();
                 let r = Realized::Range {
-                    start: start.eval(&slots, &mut stack)?,
-                    stop: stop.eval(&slots, &mut stack)?,
-                    step: step.eval(&slots, &mut stack)?,
+                    start: start.eval(&slots, &mut stack).map_err(at)?,
+                    stop: stop.eval(&slots, &mut stack).map_err(at)?,
+                    step: step.eval(&slots, &mut stack).map_err(at)?,
                 };
-                r.iter().map(|v| v.as_int()).collect()
+                r.iter().map(|v| v.as_int().map_err(at)).collect()
             }
             CDomain::Values { values, .. } => Ok(values.to_vec()),
             CDomain::Opaque { iter } => {
                 let view = self.bindings_view(&slots);
-                let r = self.lp.plan.space().realize_iter(*iter, &view)?;
-                r.iter().map(|v| v.as_int()).collect()
+                let r = self.lp.plan.space().realize_iter(*iter, &view).map_err(at)?;
+                r.iter().map(|v| v.as_int().map_err(at)).collect()
             }
         }
     }
@@ -953,16 +1003,22 @@ impl Compiled {
     /// The threaded-code interpreter: a single `ip` cursor over the flat
     /// instruction array. `outer_override`, when given, replaces the
     /// outermost loop's domain with an explicit value list (the parallel
-    /// driver's chunk); `record_preamble` is false only in that chunked
-    /// mode, where the driver records the preamble once.
+    /// driver's chunk); `ctx` is the chunk's supervision context — under
+    /// [`FaultPolicy::SkipPoint`] evaluation errors are recovered from by
+    /// jumping to the innermost open loop's `Next` (the same transition as
+    /// a check rejection, so interpreter state stays consistent), every
+    /// escaping error is annotated with point context, the injector can
+    /// force faults at visited points, and an armed cancel probe is polled
+    /// every [`CANCEL_POLL_EVERY`] loop advances.
     fn exec<V: Visitor>(
         &self,
         start_ip: usize,
         outer_override: Option<&[i64]>,
         slots: &mut [i64],
         state: &mut State<V>,
-        _record: bool,
+        ctx: &ChunkCtx<'_>,
     ) -> Result<(), EvalError> {
+        let poll_cancel = ctx.cancel.is_some_and(|p| p.armed());
         let empty: Arc<[i64]> = Arc::from([] as [i64; 0]);
         let mut frames: Vec<Frame> = (0..self.guards.len())
             .map(|_| Frame {
@@ -984,7 +1040,36 @@ impl Compiled {
         let mut owned_ops: Option<Vec<Op>> =
             (!self.agroups.is_empty()).then(|| self.ops.clone());
         let mut ip = start_ip;
-        loop {
+        // Evaluate a fallible expression; on error, hand the fault to
+        // `fault_recover`, which either yields a recovery ip (SkipPoint:
+        // resume at the innermost open loop's Next) or a context-annotated
+        // error to propagate. The interpreter loop's label is passed in so
+        // the expansion can restart dispatch from the recovery ip.
+        macro_rules! try_eval {
+            ($label:lifetime, $site:expr, $e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(err) => {
+                        match self.fault_recover(
+                            err,
+                            $site,
+                            ip,
+                            state.visit_ordinal,
+                            slots,
+                            ctx,
+                            &mut state.faults,
+                        ) {
+                            Ok(next_ip) => {
+                                ip = next_ip;
+                                continue $label;
+                            }
+                            Err(err) => return Err(err),
+                        }
+                    }
+                }
+            };
+        }
+        'interp: loop {
             let ops: &[Op] = owned_ops.as_deref().unwrap_or(&self.ops);
             // Group index to patch after the match releases its borrow of
             // the op array (set only when a group just froze).
@@ -1012,9 +1097,21 @@ impl Compiled {
                         } else {
                             match domain {
                                 CDomain::Range { start, stop, step } => {
-                                    let start = start.eval(slots, &mut state.stack)?;
-                                    let stop = stop.eval(slots, &mut state.stack)?;
-                                    let step = step.eval(slots, &mut state.stack)?;
+                                    let start = try_eval!(
+                                        'interp,
+                                        Site::Slot(*slot),
+                                        start.eval(slots, &mut state.stack)
+                                    );
+                                    let stop = try_eval!(
+                                        'interp,
+                                        Site::Slot(*slot),
+                                        stop.eval(slots, &mut state.stack)
+                                    );
+                                    let step = try_eval!(
+                                        'interp,
+                                        Site::Slot(*slot),
+                                        step.eval(slots, &mut state.stack)
+                                    );
                                     f.kind = FrameKind::Range;
                                     f.cur = start;
                                     f.stop = stop;
@@ -1050,16 +1147,20 @@ impl Compiled {
                                 }
                                 CDomain::Opaque { iter } => {
                                     f.buf.clear();
-                                    let realized = {
+                                    let realized = try_eval!('interp, Site::Slot(*slot), {
                                         let view = SlotBindings {
                                             names: &self.lp.slot_names,
                                             slots,
                                             consts: self.lp.plan.space().consts(),
                                         };
-                                        self.lp.plan.space().realize_iter(*iter, &view)?
-                                    };
+                                        self.lp.plan.space().realize_iter(*iter, &view)
+                                    });
                                     for v in realized.iter() {
-                                        f.buf.push(v.as_int()?);
+                                        f.buf.push(try_eval!(
+                                            'interp,
+                                            Site::Slot(*slot),
+                                            v.as_int()
+                                        ));
                                     }
                                     f.kind = FrameKind::Buffer;
                                     f.idx = 0;
@@ -1108,6 +1209,15 @@ impl Compiled {
                     ip += 1;
                 }
                 Op::Next { loop_id, slot, body } => {
+                    if poll_cancel {
+                        state.poll += 1;
+                        if state.poll >= CANCEL_POLL_EVERY {
+                            state.poll = 0;
+                            if ctx.cancel.is_some_and(|p| p.cancelled()) {
+                                return Err(EvalError::Cancelled);
+                            }
+                        }
+                    }
                     let f = &mut frames[*loop_id as usize];
                     let next_val = match f.kind {
                         FrameKind::Range => {
@@ -1138,15 +1248,20 @@ impl Compiled {
                     }
                 }
                 Op::Define { slot, expr } => {
-                    slots[*slot as usize] = expr.eval(slots, &mut state.stack)?;
+                    slots[*slot as usize] = try_eval!(
+                        'interp,
+                        Site::Slot(*slot),
+                        expr.eval(slots, &mut state.stack)
+                    );
                     ip += 1;
                 }
                 Op::DefineOpaque { slot, derived } => {
-                    let v = {
+                    let v = try_eval!('interp, Site::Slot(*slot), {
                         let view = self.bindings_view(slots);
-                        self.lp.plan.space().deriveds()[*derived].kind.eval(&view)?
-                    };
-                    slots[*slot as usize] = v.as_int()?;
+                        self.lp.plan.space().deriveds()[*derived].kind.eval(&view)
+                    });
+                    slots[*slot as usize] =
+                        try_eval!('interp, Site::Slot(*slot), v.as_int());
                     ip += 1;
                 }
                 Op::Check { constraint, expr, elide_bit, on_reject } => {
@@ -1161,17 +1276,21 @@ impl Compiled {
                             continue;
                         }
                     }
-                    let rejected = expr.eval(slots, &mut state.stack)? != 0;
+                    let rejected = try_eval!(
+                        'interp,
+                        Site::Constraint(*constraint),
+                        expr.eval(slots, &mut state.stack)
+                    ) != 0;
                     state.stats.record(*constraint as usize, rejected);
                     ip = if rejected { *on_reject as usize } else { ip + 1 };
                 }
                 Op::CheckOpaque { constraint, on_reject } => {
-                    let rejected = {
+                    let rejected = try_eval!('interp, Site::Constraint(*constraint), {
                         let view = self.bindings_view(slots);
                         self.lp.plan.space().constraints()[*constraint as usize]
                             .kind
-                            .rejects(&view)?
-                    };
+                            .rejects(&view)
+                    });
                     state.stats.record(*constraint as usize, rejected);
                     ip = if rejected { *on_reject as usize } else { ip + 1 };
                 }
@@ -1201,11 +1320,18 @@ impl Compiled {
                             if done & (1u64 << d) == 0 {
                                 done |= 1u64 << d;
                                 let def = &g.defines[d as usize];
-                                slots[def.slot as usize] =
-                                    def.expr.eval(slots, &mut state.stack)?;
+                                slots[def.slot as usize] = try_eval!(
+                                    'interp,
+                                    Site::Slot(def.slot),
+                                    def.expr.eval(slots, &mut state.stack)
+                                );
                             }
                         }
-                        let r = m.expr.eval(slots, &mut state.stack)? != 0;
+                        let r = try_eval!(
+                            'interp,
+                            Site::Constraint(m.constraint),
+                            m.expr.eval(slots, &mut state.stack)
+                        ) != 0;
                         state.stats.record(m.constraint as usize, r);
                         if gs.stable < ADAPT_FREEZE {
                             gs.evaluated[mi] += 1;
@@ -1222,8 +1348,11 @@ impl Compiled {
                         // below this level) sees all derived slots.
                         for (d, def) in g.defines.iter().enumerate() {
                             if done & (1u64 << d) == 0 {
-                                slots[def.slot as usize] =
-                                    def.expr.eval(slots, &mut state.stack)?;
+                                slots[def.slot as usize] = try_eval!(
+                                    'interp,
+                                    Site::Slot(def.slot),
+                                    def.expr.eval(slots, &mut state.stack)
+                                );
                             }
                         }
                     }
@@ -1239,6 +1368,21 @@ impl Compiled {
                     ip = if rejected { g.on_reject as usize } else { g.end as usize };
                 }
                 Op::Visit => {
+                    if let Some(inj) = ctx.injector {
+                        let ord = state.visit_ordinal;
+                        state.visit_ordinal = ord + 1;
+                        if inj.point_error(ctx.chunk, ord, ctx.attempt) {
+                            // Route the injected fault through the standard
+                            // recovery path, as if a constraint had errored.
+                            let _: i64 = try_eval!(
+                                'interp,
+                                Site::Visit,
+                                Err::<i64, EvalError>(EvalError::Custom(
+                                    "injected fault".into(),
+                                ))
+                            );
+                        }
+                    }
                     state.stats.record_survivor();
                     let view = PointRef::Slots { names: &self.lp.slot_names, slots };
                     state.visitor.visit(&view);
@@ -1451,6 +1595,114 @@ impl Compiled {
         }
         state.gprimed[loop_id] = true;
         GuardVerdict::Elide(elide)
+    }
+
+    /// Cold fault path shared by every fallible site in `exec`: annotate the
+    /// error with point context and, under [`FaultPolicy::SkipPoint`],
+    /// recover by returning the ip of the innermost open loop's `Next` —
+    /// the exact transition a check rejection takes, so frames, elision
+    /// masks and guard caches stay consistent. Faults with no enclosing
+    /// loop (chunk preamble) and [`EvalError::Cancelled`] always propagate.
+    #[cold]
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn fault_recover(
+        &self,
+        e: EvalError,
+        site: Site,
+        ip: usize,
+        ordinal: u64,
+        slots: &[i64],
+        ctx: &ChunkCtx<'_>,
+        faults: &mut Vec<FaultRecord>,
+    ) -> Result<usize, EvalError> {
+        if matches!(e, EvalError::Cancelled) {
+            return Err(e);
+        }
+        let e = e.with_point(self.site_label(site), self.point_bindings(ip, slots));
+        if ctx.policy == FaultPolicy::SkipPoint {
+            if let Some(next_ip) = self.innermost_open_next(ip) {
+                let (site, bindings) = match e.point_context() {
+                    Some(c) => (c.site.clone(), c.bindings.clone()),
+                    None => (self.site_label(site), Vec::new()),
+                };
+                faults.push(FaultRecord {
+                    chunk: ctx.chunk,
+                    ordinal,
+                    attempt: ctx.attempt,
+                    kind: FaultKind::Error,
+                    action: FaultAction::SkippedPoint,
+                    site,
+                    error: e.root().to_string(),
+                    bindings,
+                });
+                return Ok(next_ip);
+            }
+        }
+        Err(e)
+    }
+
+    /// Human-readable name for a fault site.
+    fn site_label(&self, site: Site) -> String {
+        match site {
+            Site::Constraint(c) => {
+                self.lp.plan.space().constraints()[c as usize].name.to_string()
+            }
+            Site::Slot(s) => self.lp.slot_names[s as usize].to_string(),
+            Site::Visit => "visit".to_string(),
+        }
+    }
+
+    /// The `Next` ip of the innermost loop whose body contains `ip`, or
+    /// `None` when `ip` is outside every loop. A loop with `Enter` at `e`
+    /// and `Next` at `n` is *open* at `ip` iff `e < ip <= n`; closed loops
+    /// entirely before `ip` are skipped over wholesale. Scans the shared op
+    /// array — adaptive patching never rewrites `Enter`/`Next`, so the loop
+    /// structure is identical in the run-local copy.
+    fn innermost_open_next(&self, ip: usize) -> Option<usize> {
+        let mut best = None;
+        let mut i = 0;
+        while i < ip {
+            if let Op::Enter { next, .. } = &self.ops[i] {
+                let n = *next as usize;
+                if n >= ip {
+                    best = Some(n);
+                } else {
+                    i = n;
+                }
+            }
+            i += 1;
+        }
+        best
+    }
+
+    /// `(name, value)` pairs for every slot bound at `ip`: the iterators of
+    /// open loops plus the defines already executed in open scopes, in
+    /// program order. Defines inside closed inner loops are stale for the
+    /// current point and are skipped along with their loop.
+    fn point_bindings(&self, ip: usize, slots: &[i64]) -> Vec<(String, i64)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < ip {
+            match &self.ops[i] {
+                Op::Enter { slot, next, .. } => {
+                    let n = *next as usize;
+                    if n >= ip {
+                        out.push(*slot);
+                    } else {
+                        i = n;
+                    }
+                }
+                Op::Define { slot, .. } | Op::DefineOpaque { slot, .. } => {
+                    out.push(*slot);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.into_iter()
+            .map(|s| (self.lp.slot_names[s as usize].to_string(), slots[s as usize]))
+            .collect()
     }
 }
 
@@ -1721,6 +1973,62 @@ struct State<V> {
     elide: u64,
     /// Per-group adaptive schedule state (empty unless adaptive).
     sched: Vec<GroupState>,
+    /// Faults recovered from during this run (only under
+    /// [`FaultPolicy::SkipPoint`]); drained by the supervisor.
+    faults: Vec<FaultRecord>,
+    /// Per-run visit counter: the point ordinal faults and the injector are
+    /// keyed on. Deterministic for a fixed chunk, independent of threads.
+    visit_ordinal: u64,
+    /// Countdown for intra-chunk cancel polling (see `CANCEL_POLL_EVERY`).
+    poll: u32,
+}
+
+/// How many loop advances may pass between two cancel/deadline polls: the
+/// bound on cancellation latency, in `Op::Next` executions.
+const CANCEL_POLL_EVERY: u32 = 1024;
+
+/// Per-chunk supervision context threaded through `exec`: the fault policy,
+/// the (optional) injector and cancel probe, and the chunk coordinates every
+/// [`FaultRecord`] is keyed on. `plain()` is the unsupervised configuration
+/// used by [`Compiled::run`] — abort on first error, inject nothing, never
+/// poll.
+pub(crate) struct ChunkCtx<'a> {
+    pub(crate) policy: FaultPolicy,
+    pub(crate) injector: Option<&'a FaultInjector>,
+    pub(crate) chunk: usize,
+    pub(crate) attempt: u32,
+    pub(crate) cancel: Option<&'a CancelProbe>,
+}
+
+impl ChunkCtx<'static> {
+    pub(crate) fn plain() -> Self {
+        ChunkCtx {
+            policy: FaultPolicy::Abort,
+            injector: None,
+            chunk: 0,
+            attempt: 0,
+            cancel: None,
+        }
+    }
+}
+
+/// A supervised chunk execution's result: the outcome plus the faults that
+/// were recovered from along the way.
+pub(crate) struct ChunkRun<V> {
+    pub(crate) outcome: SweepOutcome<V>,
+    pub(crate) faults: Vec<FaultRecord>,
+}
+
+/// Which expression an evaluation error fired in, as a cheap key resolved to
+/// a name only on the (cold) fault path.
+#[derive(Clone, Copy)]
+enum Site {
+    /// A constraint, by constraint index.
+    Constraint(u32),
+    /// An iterator bound or define, by destination slot.
+    Slot(u32),
+    /// The injector's visit-time fault site.
+    Visit,
 }
 
 /// [`Bindings`] view over the compiled backend's slots plus the constant
@@ -1903,7 +2211,12 @@ mod tests {
             .unwrap();
         let compiled = compile(&space);
         let err = compiled.run(CountVisitor::default()).unwrap_err();
-        assert_eq!(err, EvalError::DivisionByZero);
+        assert_eq!(err.root(), &EvalError::DivisionByZero);
+        // Satellite of the fault work: escaping errors carry the failing
+        // define's name and the iterator values at the point of failure.
+        let ctx = err.point_context().expect("point context");
+        assert_eq!(ctx.site, "bad");
+        assert_eq!(ctx.bindings, vec![("x".to_string(), 0)]);
     }
 
     #[test]
@@ -2003,8 +2316,8 @@ mod tests {
             .unwrap();
         let on = compile_all_guards(&space).run(CountVisitor::default());
         let off = compile_no_intervals(&space).run(CountVisitor::default());
-        assert_eq!(on.unwrap_err(), EvalError::DivisionByZero);
-        assert_eq!(off.unwrap_err(), EvalError::DivisionByZero);
+        assert_eq!(on.unwrap_err().root(), &EvalError::DivisionByZero);
+        assert_eq!(off.unwrap_err().root(), &EvalError::DivisionByZero);
     }
 
     /// A space with a run of three reorder-safe checks at the innermost

@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod compiled;
+pub mod fault;
 pub mod parallel;
 pub mod point;
 pub mod postfix;
@@ -51,12 +53,17 @@ pub mod walker;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
+    pub use crate::checkpoint::{run_checkpointed, CheckpointConfig, SaveState};
     pub use crate::compiled::{Compiled, EngineOptions};
+    pub use crate::fault::{CancelToken, FaultInjector, FaultPolicy, FaultRecord};
     pub use crate::parallel::{run_parallel, run_parallel_report, ParallelOptions};
     pub use crate::point::{Point, PointRef};
-    pub use crate::stats::{BlockStats, PruneStats};
+    pub use crate::stats::{BlockStats, FaultCounters, PruneStats};
+    pub use crate::sweep::SweepError;
     pub use crate::telemetry::{SweepProgress, SweepReport};
-    pub use crate::visit::{BestK, CollectVisitor, CountVisitor, Reservoir, Visitor};
+    pub use crate::visit::{
+        BestK, CollectVisitor, CountVisitor, FingerprintVisitor, Reservoir, Visitor,
+    };
     pub use crate::vm::{Vm, VmStyle};
     pub use crate::walker::{LoopStyle, SweepOutcome, Walker};
 }

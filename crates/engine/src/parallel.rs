@@ -1,6 +1,8 @@
 //! Multithreaded sweep evaluation — the paper's Section X-B observation that
 //! parallelization "can be very beneficial at the outermost loop nests,
-//! close to level 0".
+//! close to level 0" — plus the fault-tolerant supervisor that keeps a
+//! multi-hour sweep alive across bad points, panicking chunks, deadlines and
+//! process restarts.
 //!
 //! # Dynamic scheduling
 //!
@@ -23,7 +25,29 @@
 //! [`LoweredPlan::static_fanout_below_outer`]: when every inner domain is
 //! statically sized, subtree costs are near-uniform and a modest number of
 //! chunks per thread suffices; when inner domains depend on outer variables
-//! (the skewed regime), the driver cuts finer chunks.
+//! (the skewed regime), the driver cuts finer chunks. Callers that need a
+//! *thread-invariant* grid (fault injection, checkpoint/resume) pin it with
+//! [`ParallelOptions::chunk_count`].
+//!
+//! # Fault supervision
+//!
+//! [`ParallelOptions::fault_policy`] decides what an
+//! [`EvalError`] or a chunk panic does to the
+//! sweep: abort it (the default, with panics surfaced as structured
+//! [`SweepError::WorkerPanic`] instead of poisoning the orchestrator), skip
+//! the failing point, quarantine the chunk, or retry the chunk with backoff.
+//! Every recovered fault becomes a [`FaultRecord`] merged in chunk order and
+//! surfaced in the [`SweepReport`]. Panics are caught per chunk attempt with
+//! [`std::panic::catch_unwind`]; per-chunk state is private, so a poisoned
+//! chunk never corrupts the merged outcome.
+//!
+//! Cooperative cancellation ([`ParallelOptions::cancel`]) and wall-clock
+//! deadlines ([`ParallelOptions::deadline`]) are polled both between chunks
+//! and *inside* chunks (every few thousand loop advances), so stopping
+//! latency is bounded by the poll interval, not by chunk length. A stopped
+//! sweep returns the merged chunk-order prefix with
+//! [`SweepReport::partial`] set — resumable when checkpointing is on (see
+//! [`crate::checkpoint`]).
 //!
 //! # Determinism contract
 //!
@@ -39,19 +63,30 @@
 //!   chunk results in order reproduces the serial visit order exactly;
 //! * preamble (constants-only) constraints are recorded once, not per chunk.
 //!
-//! Only the *telemetry* (worker timings, chunks-per-worker) varies run to
-//! run; survivors, visit order and [`PruneStats`] do not. This is enforced
-//! by the determinism regression suite in `tests/determinism.rs`.
+//! Faults extend the contract rather than break it: injector decisions and
+//! recovery actions are keyed on `(chunk, point ordinal, attempt)` — never on
+//! thread identity or timing — so with a pinned chunk grid the fault records,
+//! the surviving-point sequence and the merged statistics are identical at
+//! any thread count, and an interrupted-then-resumed sweep is bit-identical
+//! to an uninterrupted one. Only the *telemetry* (worker timings,
+//! chunks-per-worker) varies run to run. This is enforced by
+//! `tests/determinism.rs` and `tests/fault_tolerance.rs`.
 
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use beast_core::error::EvalError;
 use beast_core::ir::LoweredPlan;
 
-use crate::compiled::{Compiled, EngineOptions};
-use crate::stats::{BlockStats, PruneStats};
+use crate::compiled::{ChunkCtx, Compiled, EngineOptions};
+use crate::fault::{
+    CancelProbe, CancelToken, FaultAction, FaultInjector, FaultKind, FaultPolicy, FaultRecord,
+};
+use crate::stats::{BlockStats, FaultCounters, PruneStats};
+use crate::sweep::SweepError;
 use crate::telemetry::{SweepProgress, SweepReport, WorkerTelemetry};
 use crate::visit::Visitor;
 use crate::walker::SweepOutcome;
@@ -71,12 +106,33 @@ pub struct ParallelOptions {
     pub threads: usize,
     /// Scheduler chunks per thread; 0 picks automatically from the plan's
     /// static fanout (fine chunks for skewed spaces, coarser for uniform).
+    /// Ignored when [`ParallelOptions::chunk_count`] is set.
     pub chunks_per_thread: usize,
+    /// Explicit total number of scheduler chunks, independent of the thread
+    /// count (0 = derive from `threads × chunks_per_thread`). Fault
+    /// injection, checkpointing and the cross-thread-count determinism
+    /// assertions all require a pinned grid, because chunk indices key both
+    /// injector decisions and the completed-chunk prefix.
+    pub chunk_count: usize,
     /// Optional shared progress counters, bumped once per completed chunk.
     pub progress: Option<Arc<SweepProgress>>,
     /// Compiled-engine options (interval block pruning is on by default;
     /// results are identical either way, see the determinism contract).
     pub engine: EngineOptions,
+    /// What an evaluation error or chunk panic does to the sweep.
+    pub fault_policy: FaultPolicy,
+    /// Optional deterministic fault injector (tests, CI, chaos drills).
+    pub injector: Option<FaultInjector>,
+    /// Optional cooperative cancellation token shared with the caller.
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Optional wall-clock budget; when it expires the sweep degrades to a
+    /// partial result exactly as if cancelled.
+    pub deadline: Option<Duration>,
+    /// Stop pulling new chunks after this many (0 = no limit). This is the
+    /// deterministic "kill the process after K chunks" knob used by the
+    /// checkpoint/resume tests and the CI smoke job; unlike a deadline it
+    /// always stops at a chunk boundary.
+    pub stop_after_chunks: usize,
 }
 
 impl ParallelOptions {
@@ -99,7 +155,7 @@ pub fn run_parallel<V, F>(
     lp: &LoweredPlan,
     threads: usize,
     make_visitor: F,
-) -> Result<SweepOutcome<V>, EvalError>
+) -> Result<SweepOutcome<V>, SweepError>
 where
     V: Visitor + Send,
     F: Fn() -> V + Sync,
@@ -109,7 +165,7 @@ where
 }
 
 /// [`run_parallel`] plus a [`SweepReport`] with the pruning funnel,
-/// per-worker timings and scheduler telemetry.
+/// per-worker timings, scheduler telemetry and fault records.
 ///
 /// The sweep outcome obeys the module-level determinism contract; only the
 /// report's timing fields vary between runs.
@@ -117,7 +173,168 @@ pub fn run_parallel_report<V, F>(
     lp: &LoweredPlan,
     opts: &ParallelOptions,
     make_visitor: F,
-) -> Result<(SweepOutcome<V>, SweepReport), EvalError>
+) -> Result<(SweepOutcome<V>, SweepReport), SweepError>
+where
+    V: Visitor + Send,
+    F: Fn() -> V + Sync,
+{
+    run_supervised(lp, opts, make_visitor, None, None)
+}
+
+/// Merged state an interrupted sweep hands back to [`run_supervised`] so the
+/// resumed run completes only the missing chunk suffix.
+pub(crate) struct ResumeSeed<V> {
+    /// Level-0 domain length the interrupted run saw; re-validated against
+    /// the freshly realized domain so a checkpoint from a different space
+    /// shape fails loudly instead of merging nonsense.
+    pub outer_len: usize,
+    /// Chunk length of the interrupted run — pinned, because chunk indices
+    /// key the completed prefix and the injector.
+    pub chunk_len: usize,
+    /// First chunk index not yet folded (the completed prefix is `0..next`).
+    pub next: usize,
+    /// Merged statistics of the completed prefix (preamble included).
+    pub stats: PruneStats,
+    /// Merged block-pruning counters of the completed prefix.
+    pub blocks: BlockStats,
+    /// Fault records of the completed prefix.
+    pub faults: Vec<FaultRecord>,
+    /// Merged visitor state of the completed prefix.
+    pub visitor: V,
+}
+
+/// A point-in-time view of the merged chunk-order prefix, handed to the
+/// checkpoint writer.
+pub(crate) struct CkSnapshot<'a, V> {
+    pub outer_len: usize,
+    pub chunk_len: usize,
+    pub chunks: usize,
+    pub next: usize,
+    pub stats: &'a PruneStats,
+    pub blocks: &'a BlockStats,
+    pub faults: &'a [FaultRecord],
+    pub visitor: &'a V,
+}
+
+/// Where and how often to persist checkpoints during a supervised run.
+pub(crate) struct CkSink<'a, V> {
+    /// Persist after this many newly folded chunks (and always at the end).
+    pub every: usize,
+    /// Writer; failures abort the sweep with [`SweepError::Checkpoint`].
+    #[allow(clippy::type_complexity)]
+    pub write: &'a (dyn Fn(&CkSnapshot<'_, V>) -> Result<(), String> + Sync),
+}
+
+/// What one finished chunk contributes to the merge: its outcome (`None`
+/// when the chunk was quarantined) plus the faults recorded while running it.
+struct ChunkDone<V> {
+    outcome: Option<SweepOutcome<V>>,
+    faults: Vec<FaultRecord>,
+}
+
+/// Chunk-order prefix folder shared by all workers behind a mutex.
+///
+/// Chunks finish out of order; the collector parks them in `pending` and
+/// folds the contiguous prefix `0..next` as it becomes available. Folding —
+/// not chunk completion — is the unit of progress accounting, which makes
+/// the `tuples_decided` counter idempotent under retries: a chunk index is
+/// folded exactly once no matter how many attempts it took.
+struct Collector<V> {
+    next: usize,
+    pending: BTreeMap<usize, ChunkDone<V>>,
+    stats: PruneStats,
+    blocks: BlockStats,
+    faults: Vec<FaultRecord>,
+    visitor: Option<V>,
+    schedule: Option<Vec<Vec<u32>>>,
+    outer_len: usize,
+    chunk_len: usize,
+    chunks: usize,
+    since_save: usize,
+}
+
+impl<V: Visitor> Collector<V> {
+    /// Park `done` under chunk index `i`, fold the contiguous prefix, and
+    /// persist a checkpoint when the sink interval elapsed.
+    fn add(
+        &mut self,
+        i: usize,
+        done: ChunkDone<V>,
+        progress: Option<&Arc<SweepProgress>>,
+        sink: Option<&CkSink<'_, V>>,
+    ) -> Result<(), String> {
+        self.pending.insert(i, done);
+        let mut advanced = false;
+        while let Some(done) = self.pending.remove(&self.next) {
+            if let Some(out) = done.outcome {
+                if self.next == 0 {
+                    self.schedule = out.schedule;
+                }
+                self.stats.merge(&out.stats);
+                self.blocks.merge(&out.blocks);
+                if let Some(progress) = progress {
+                    progress.tuples_decided.fetch_add(
+                        out.stats.survivors + out.stats.total_pruned(),
+                        Ordering::Relaxed,
+                    );
+                }
+                self.visitor = Some(match self.visitor.take() {
+                    None => out.visitor,
+                    Some(mut acc) => {
+                        acc.merge(out.visitor);
+                        acc
+                    }
+                });
+            }
+            self.faults.extend(done.faults);
+            if let Some(progress) = progress {
+                progress.chunks_done.fetch_add(1, Ordering::Relaxed);
+            }
+            self.next += 1;
+            self.since_save += 1;
+            advanced = true;
+        }
+        if advanced {
+            if let Some(sink) = sink {
+                if self.since_save >= sink.every.max(1) {
+                    self.save(sink)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn save(&mut self, sink: &CkSink<'_, V>) -> Result<(), String> {
+        // The visitor may be `None` before any chunk folded; persist only
+        // once there is real progress (a fresh run needs no checkpoint).
+        if let Some(visitor) = &self.visitor {
+            (sink.write)(&CkSnapshot {
+                outer_len: self.outer_len,
+                chunk_len: self.chunk_len,
+                chunks: self.chunks,
+                next: self.next,
+                stats: &self.stats,
+                blocks: &self.blocks,
+                faults: &self.faults,
+                visitor,
+            })?;
+            self.since_save = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Full-control sweep driver behind [`run_parallel_report`] and
+/// [`crate::checkpoint::run_checkpointed`]: dynamic chunk scheduling with
+/// fault policies, panic isolation, cancellation/deadline, resume seeding
+/// and periodic checkpoint persistence.
+pub(crate) fn run_supervised<V, F>(
+    lp: &LoweredPlan,
+    opts: &ParallelOptions,
+    make_visitor: F,
+    resume: Option<ResumeSeed<V>>,
+    sink: Option<&CkSink<'_, V>>,
+) -> Result<(SweepOutcome<V>, SweepReport), SweepError>
 where
     V: Visitor + Send,
     F: Fn() -> V + Sync,
@@ -127,12 +344,38 @@ where
     let compiled = Compiled::with_options(lp.clone(), opts.engine);
     compiled.lint_denied()?;
     let space = lp.plan.space();
+    let policy = opts.fault_policy;
 
-    let mut stats = PruneStats::new(space.constraints().len());
-    let mut blocks = BlockStats::default();
-    // Preamble constraints (constants only) run once, recorded here.
-    if !compiled.preamble_record(&mut stats)? {
-        let report = SweepReport::new(
+    let resumed_at = resume.as_ref().map(|r| r.next);
+    let (mut stats, seed_blocks, seed_faults, seed_visitor, pinned) = match resume {
+        Some(seed) => (
+            seed.stats,
+            seed.blocks,
+            seed.faults,
+            Some(seed.visitor),
+            Some((seed.chunk_len, seed.outer_len)),
+        ),
+        None => (
+            PruneStats::new(space.constraints().len()),
+            BlockStats::default(),
+            Vec::new(),
+            None,
+            None,
+        ),
+    };
+
+    // Preamble constraints (constants only) run once per sweep. A resumed
+    // run's seed statistics already include them, so it re-executes the
+    // preamble (errors still surface) but records into scratch counters.
+    let preamble_ok = if resumed_at.is_some() {
+        let mut scratch = PruneStats::new(space.constraints().len());
+        compiled.preamble_record(&mut scratch).map_err(SweepError::Eval)?
+    } else {
+        compiled.preamble_record(&mut stats).map_err(SweepError::Eval)?
+    };
+
+    let finish_early = |stats: PruneStats, blocks: BlockStats, faults: Vec<FaultRecord>| {
+        let mut report = SweepReport::new(
             space,
             &stats,
             &blocks,
@@ -145,137 +388,253 @@ where
             compiled.schedule_telemetry(None),
             compiled.lint_summary(),
         );
+        report.resumed_at = resumed_at;
+        report.fault_policy = policy.name();
+        report.fault_counters = FaultCounters::from_records(&faults);
+        report.faults = faults;
+        report
+    };
+
+    if !preamble_ok {
+        let report = finish_early(stats.clone(), seed_blocks, seed_faults.clone());
         return Ok((
-            SweepOutcome { stats, blocks, schedule: None, visitor: make_visitor() },
+            SweepOutcome {
+                stats,
+                blocks: seed_blocks,
+                schedule: None,
+                visitor: seed_visitor.unwrap_or_else(&make_visitor),
+            },
             report,
         ));
     }
 
-    let outer = compiled.outer_domain()?;
+    let outer = compiled.outer_domain().map_err(SweepError::Eval)?;
     if outer.is_empty() {
-        let report = SweepReport::new(
-            space,
-            &stats,
-            &blocks,
-            threads,
-            0,
-            0,
-            0,
-            t_start.elapsed(),
-            vec![],
-            compiled.schedule_telemetry(None),
-            compiled.lint_summary(),
-        );
+        let report = finish_early(stats.clone(), seed_blocks, seed_faults.clone());
         return Ok((
-            SweepOutcome { stats, blocks, schedule: None, visitor: make_visitor() },
+            SweepOutcome {
+                stats,
+                blocks: seed_blocks,
+                schedule: None,
+                visitor: seed_visitor.unwrap_or_else(&make_visitor),
+            },
             report,
         ));
     }
 
-    let chunk_len = chunk_len_for(lp, outer.len(), threads, opts.chunks_per_thread);
-    let chunks: Vec<&[i64]> = outer.chunks(chunk_len).collect();
+    if let Some((_, expected_outer)) = pinned {
+        if outer.len() != expected_outer {
+            return Err(SweepError::Checkpoint(format!(
+                "checkpointed level-0 domain has {expected_outer} value(s) but the \
+                 realized domain has {}; the space changed since the checkpoint",
+                outer.len()
+            )));
+        }
+    }
+    let chunk_len = pinned.map(|(len, _)| len).unwrap_or_else(|| {
+        chunk_len_for(lp, outer.len(), threads, opts.chunks_per_thread, opts.chunk_count)
+    });
+    let chunks: Vec<&[i64]> = outer.chunks(chunk_len.max(1)).collect();
+    let start = resumed_at.unwrap_or(0).min(chunks.len());
+    let limit = if opts.stop_after_chunks > 0 {
+        (start + opts.stop_after_chunks).min(chunks.len())
+    } else {
+        chunks.len()
+    };
     if let Some(progress) = &opts.progress {
         progress.chunks_total.store(chunks.len(), Ordering::Relaxed);
-        progress.chunks_done.store(0, Ordering::Relaxed);
-        progress.tuples_decided.store(0, Ordering::Relaxed);
+        progress.chunks_done.store(start, Ordering::Relaxed);
+        progress
+            .tuples_decided
+            .store(stats.survivors + stats.total_pruned(), Ordering::Relaxed);
     }
 
-    let n_workers = threads.min(chunks.len());
-    let cursor = AtomicUsize::new(0);
+    let probe = CancelProbe::new(opts.cancel.clone(), opts.deadline.map(|d| t_start + d));
+    let n_workers = threads.min((limit - start).max(1));
+    let cursor = AtomicUsize::new(start);
     let abort = AtomicBool::new(false);
+    let first_error: Mutex<Option<SweepError>> = Mutex::new(None);
+    let collector = Mutex::new(Collector {
+        next: start,
+        pending: BTreeMap::new(),
+        stats,
+        blocks: seed_blocks,
+        faults: seed_faults,
+        visitor: seed_visitor,
+        schedule: None,
+        outer_len: outer.len(),
+        chunk_len,
+        chunks: chunks.len(),
+        since_save: 0,
+    });
 
-    // Each worker drains the shared cursor, producing (chunk index, outcome)
-    // pairs; merging happens afterwards in chunk-index order so the result
-    // is independent of the race for chunks.
-    let worker_loop = |worker: usize| -> Result<WorkerOutput<V>, EvalError> {
-        let mut output = WorkerOutput {
-            outcomes: Vec::new(),
-            telemetry: WorkerTelemetry {
-                worker,
-                chunks: 0,
-                busy: Duration::ZERO,
-                evaluated: 0,
-                survivors: 0,
-            },
+    let fail = |err: SweepError| {
+        let mut slot = first_error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        abort.store(true, Ordering::Relaxed);
+    };
+
+    // Each worker drains the shared cursor; finished chunks are folded in
+    // chunk-index order by the collector, so the merged result is
+    // independent of the race for chunks. Errors and panics are resolved
+    // per the fault policy right here, at the chunk boundary.
+    let worker_loop = |worker: usize| -> WorkerTelemetry {
+        let mut telemetry = WorkerTelemetry {
+            worker,
+            chunks: 0,
+            busy: Duration::ZERO,
+            evaluated: 0,
+            survivors: 0,
         };
-        loop {
-            if abort.load(Ordering::Relaxed) {
+        let (retry_max, backoff_ms) = match policy {
+            FaultPolicy::Retry { max, backoff_ms } => (max, backoff_ms),
+            _ => (0, 0),
+        };
+        'pull: loop {
+            if abort.load(Ordering::Relaxed) || probe.cancelled() {
                 break;
             }
             let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= chunks.len() {
+            if i >= limit {
                 break;
             }
             let t0 = Instant::now();
-            let out = match compiled.run_outer_chunk(chunks[i], make_visitor()) {
-                Ok(out) => out,
-                Err(e) => {
-                    abort.store(true, Ordering::Relaxed);
-                    return Err(e);
+            let mut chunk_faults: Vec<FaultRecord> = Vec::new();
+            let mut outcome: Option<SweepOutcome<V>> = None;
+            for attempt in 0..=retry_max {
+                if attempt > 0 && backoff_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
                 }
-            };
-            output.telemetry.busy += t0.elapsed();
-            output.telemetry.chunks += 1;
-            output.telemetry.evaluated += out.stats.evaluated.iter().sum::<u64>();
-            output.telemetry.survivors += out.stats.survivors;
-            if let Some(progress) = &opts.progress {
-                progress.chunks_done.fetch_add(1, Ordering::Relaxed);
-                progress
-                    .tuples_decided
-                    .fetch_add(out.stats.survivors + out.stats.total_pruned(), Ordering::Relaxed);
+                let ctx = ChunkCtx {
+                    policy,
+                    injector: opts.injector.as_ref(),
+                    chunk: i,
+                    attempt,
+                    cancel: Some(&probe),
+                };
+                let attempt_result = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(inj) = &opts.injector {
+                        if inj.chunk_panic(i, attempt) {
+                            panic!("injected panic (chunk {i})");
+                        }
+                    }
+                    compiled.run_outer_chunk_supervised(chunks[i], make_visitor(), &ctx)
+                }));
+                let (kind, error, site, bindings) = match attempt_result {
+                    Ok(Ok(run)) => {
+                        chunk_faults.extend(run.faults);
+                        outcome = Some(run.outcome);
+                        break;
+                    }
+                    Ok(Err(EvalError::Cancelled)) => {
+                        // Cancel/deadline tripped mid-chunk: drop the chunk
+                        // entirely (it will be re-run on resume) and stop.
+                        telemetry.busy += t0.elapsed();
+                        break 'pull;
+                    }
+                    Ok(Err(e)) => {
+                        if policy == FaultPolicy::Abort {
+                            fail(SweepError::Eval(e));
+                            telemetry.busy += t0.elapsed();
+                            break 'pull;
+                        }
+                        let (site, bindings) = match e.point_context() {
+                            Some(ctx) => (ctx.site.clone(), ctx.bindings.clone()),
+                            None => ("chunk".to_string(), Vec::new()),
+                        };
+                        (FaultKind::Error, e.root().to_string(), site, bindings)
+                    }
+                    Err(payload) => {
+                        let message = panic_message(payload);
+                        if policy == FaultPolicy::Abort {
+                            fail(SweepError::WorkerPanic { chunk: Some(i), message });
+                            telemetry.busy += t0.elapsed();
+                            break 'pull;
+                        }
+                        (FaultKind::Panic, message, "chunk".to_string(), Vec::new())
+                    }
+                };
+                let exhausted = attempt == retry_max;
+                chunk_faults.push(FaultRecord {
+                    chunk: i,
+                    ordinal: 0,
+                    attempt,
+                    kind,
+                    action: if exhausted {
+                        FaultAction::QuarantinedChunk
+                    } else {
+                        FaultAction::Retried
+                    },
+                    site,
+                    error,
+                    bindings,
+                });
+                if exhausted {
+                    break;
+                }
             }
-            output.outcomes.push((i, out));
+            telemetry.busy += t0.elapsed();
+            telemetry.chunks += 1;
+            if let Some(out) = &outcome {
+                telemetry.evaluated += out.stats.evaluated.iter().sum::<u64>();
+                telemetry.survivors += out.stats.survivors;
+            }
+            let folded = collector.lock().unwrap().add(
+                i,
+                ChunkDone { outcome, faults: chunk_faults },
+                opts.progress.as_ref(),
+                sink,
+            );
+            if let Err(msg) = folded {
+                fail(SweepError::Checkpoint(msg));
+                break;
+            }
         }
-        Ok(output)
+        telemetry
     };
 
-    let worker_results: Vec<Result<WorkerOutput<V>, EvalError>> = if n_workers == 1 {
+    let mut workers: Vec<WorkerTelemetry> = if n_workers == 1 {
         vec![worker_loop(0)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_workers)
                 .map(|w| scope.spawn(move || worker_loop(w)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .filter_map(|h| match h.join() {
+                    Ok(telemetry) => Some(telemetry),
+                    Err(payload) => {
+                        // The supervisor loop itself panicked (outside the
+                        // per-chunk catch_unwind). Surface it as a structured
+                        // error instead of re-panicking in the orchestrator.
+                        fail(SweepError::WorkerPanic {
+                            chunk: None,
+                            message: panic_message(payload),
+                        });
+                        None
+                    }
+                })
+                .collect()
         })
     };
-
-    let mut by_chunk: Vec<Option<SweepOutcome<V>>> = Vec::new();
-    by_chunk.resize_with(chunks.len(), || None);
-    let mut workers = Vec::with_capacity(n_workers);
-    for result in worker_results {
-        let output = result?;
-        workers.push(output.telemetry);
-        for (i, out) in output.outcomes {
-            debug_assert!(by_chunk[i].is_none(), "chunk {i} evaluated twice");
-            by_chunk[i] = Some(out);
-        }
-    }
     workers.sort_by_key(|w| w.worker);
 
-    // Merge in chunk order — this is what makes the outcome independent of
-    // which worker ran which chunk. Adaptive-schedule state is chunk-local,
-    // so the representative final order reported is chunk 0's: it is the
-    // one order that is deterministic across thread counts (chunk 0 always
-    // covers the same level-0 prefix).
-    let mut merged_visitor: Option<V> = None;
-    let mut schedule = None;
-    for (i, out) in by_chunk.into_iter().enumerate() {
-        let out = out.expect("every chunk evaluated exactly once");
-        stats.merge(&out.stats);
-        blocks.merge(&out.blocks);
-        if i == 0 {
-            schedule = out.schedule;
-        }
-        merged_visitor = Some(match merged_visitor {
-            None => out.visitor,
-            Some(mut acc) => {
-                acc.merge(out.visitor);
-                acc
-            }
-        });
+    if let Some(err) = first_error.into_inner().unwrap() {
+        return Err(err);
     }
-    let report = SweepReport::new(
+
+    let mut collector = collector.into_inner().unwrap();
+    let partial = collector.next < chunks.len();
+    if let Some(sink) = sink {
+        // Final flush so the file always reflects the folded prefix edge.
+        collector.save(sink).map_err(SweepError::Checkpoint)?;
+    }
+    let Collector { stats, blocks, faults, visitor, schedule, .. } = collector;
+
+    let mut report = SweepReport::new(
         space,
         &stats,
         &blocks,
@@ -288,23 +647,40 @@ where
         compiled.schedule_telemetry(schedule.as_deref()),
         compiled.lint_summary(),
     );
+    report.partial = partial;
+    report.resumed_at = resumed_at;
+    report.fault_policy = policy.name();
+    report.fault_counters = FaultCounters::from_records(&faults);
+    report.faults = faults;
     Ok((
         SweepOutcome {
             stats,
             blocks,
             schedule,
-            visitor: merged_visitor.unwrap_or_else(make_visitor),
+            visitor: visitor.unwrap_or_else(make_visitor),
         },
         report,
     ))
 }
 
+/// Render a caught panic payload (almost always a `String` or `&str`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
 /// Pick the number of level-0 values per scheduler chunk.
 ///
-/// With one thread the whole domain is one chunk (serial fast path). With
-/// more, the domain is cut into `threads × chunks_per_thread` pieces, where
-/// `chunks_per_thread` comes from the caller or, automatically, from whether
-/// the plan's inner loop domains are statically sized
+/// An explicit `chunk_count` pins the grid regardless of thread count. With
+/// one thread the whole domain is otherwise one chunk (serial fast path).
+/// With more, the domain is cut into `threads × chunks_per_thread` pieces,
+/// where `chunks_per_thread` comes from the caller or, automatically, from
+/// whether the plan's inner loop domains are statically sized
 /// ([`LoweredPlan::static_fanout_below_outer`]): dependent or opaque inner
 /// domains mean skewed subtree costs and get 4× finer chunks.
 fn chunk_len_for(
@@ -312,7 +688,11 @@ fn chunk_len_for(
     outer_len: usize,
     threads: usize,
     chunks_per_thread: usize,
+    chunk_count: usize,
 ) -> usize {
+    if chunk_count > 0 {
+        return outer_len.div_ceil(chunk_count).max(1);
+    }
     if threads <= 1 {
         return outer_len;
     }
@@ -324,12 +704,6 @@ fn chunk_len_for(
         CHUNKS_PER_THREAD_SKEWED
     };
     outer_len.div_ceil(threads.saturating_mul(per_thread).max(1)).max(1)
-}
-
-/// What one worker hands back: per-chunk outcomes plus its telemetry.
-struct WorkerOutput<V> {
-    outcomes: Vec<(usize, SweepOutcome<V>)>,
-    telemetry: WorkerTelemetry,
 }
 
 #[cfg(test)]
@@ -397,12 +771,30 @@ mod tests {
     }
 
     #[test]
+    fn explicit_chunk_count_pins_grid_across_thread_counts() {
+        let lp = lowered(&space());
+        let mut reports = Vec::new();
+        for threads in [1, 3, 8] {
+            let opts = ParallelOptions {
+                threads,
+                chunk_count: 5,
+                ..ParallelOptions::default()
+            };
+            let (_, report) =
+                run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+            reports.push(report);
+        }
+        assert!(reports.iter().all(|r| r.chunk_len == reports[0].chunk_len));
+        assert!(reports.iter().all(|r| r.chunks == 5));
+    }
+
+    #[test]
     fn skewed_plans_get_finer_chunks_than_uniform_ones() {
         // `space()` has a range_step loop depending on `a` → skewed.
         let skewed = lowered(&space());
         assert_eq!(skewed.static_fanout_below_outer(), None);
         assert_eq!(
-            chunk_len_for(&skewed, 1024, 4, 0),
+            chunk_len_for(&skewed, 1024, 4, 0, 0),
             1024usize.div_ceil(4 * CHUNKS_PER_THREAD_SKEWED)
         );
         let uniform = lowered(
@@ -414,11 +806,12 @@ mod tests {
         );
         assert!(uniform.static_fanout_below_outer().is_some());
         assert_eq!(
-            chunk_len_for(&uniform, 1024, 4, 0),
+            chunk_len_for(&uniform, 1024, 4, 0, 0),
             1024usize.div_ceil(4 * CHUNKS_PER_THREAD_UNIFORM)
         );
-        // Serial runs never split.
-        assert_eq!(chunk_len_for(&uniform, 1024, 1, 0), 1024);
+        // Serial runs never split; an explicit chunk count overrides all.
+        assert_eq!(chunk_len_for(&uniform, 1024, 1, 0, 0), 1024);
+        assert_eq!(chunk_len_for(&uniform, 1024, 1, 0, 16), 64);
     }
 
     #[test]
@@ -438,6 +831,9 @@ mod tests {
         let worker_evaluated: u64 = report.workers.iter().map(|w| w.evaluated).sum();
         assert_eq!(worker_evaluated, report.evaluated);
         assert!(report.imbalance() >= 1.0);
+        assert!(!report.partial);
+        assert_eq!(report.fault_policy, "abort");
+        assert!(report.faults.is_empty());
     }
 
     #[test]
@@ -489,15 +885,162 @@ mod tests {
         assert_eq!(out.visitor.count, 0);
     }
 
-    #[test]
-    fn errors_propagate_from_workers() {
-        let s = Space::builder("dz")
+    fn dz_space() -> std::sync::Arc<Space> {
+        Space::builder("dz")
             .range("x", 0, 64)
             .derived("bad", var("x") / (var("x") - 10))
             .build()
-            .unwrap();
-        let lp = lowered(&s);
+            .unwrap()
+    }
+
+    #[test]
+    fn errors_propagate_from_workers_with_point_context() {
+        let lp = lowered(&dz_space());
         let err = run_parallel(&lp, 4, CountVisitor::default).unwrap_err();
-        assert_eq!(err, EvalError::DivisionByZero);
+        let SweepError::Eval(e) = err else {
+            panic!("expected Eval error, got {err:?}")
+        };
+        assert_eq!(e.root(), &beast_core::error::EvalError::DivisionByZero);
+        let ctx = e.point_context().expect("escaped error carries point context");
+        assert_eq!(ctx.site, "bad");
+        assert_eq!(ctx.bindings, vec![("x".to_string(), 10)]);
+    }
+
+    #[test]
+    fn skip_point_policy_drops_only_the_bad_point() {
+        let lp = lowered(&dz_space());
+        let opts = ParallelOptions {
+            threads: 4,
+            fault_policy: FaultPolicy::SkipPoint,
+            ..ParallelOptions::default()
+        };
+        let (out, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+        // Only x = 10 divides by zero; the other 63 values survive.
+        assert_eq!(out.visitor.count, 63);
+        assert_eq!(report.fault_counters.points_skipped, 1);
+        assert_eq!(report.faults.len(), 1);
+        let r = &report.faults[0];
+        assert_eq!(r.site, "bad");
+        assert_eq!(r.bindings, vec![("x".to_string(), 10)]);
+        assert_eq!(r.kind, FaultKind::Error);
+        assert_eq!(r.action, FaultAction::SkippedPoint);
+        assert!(!report.partial);
+    }
+
+    #[test]
+    fn quarantine_policy_drops_the_chunk_and_continues() {
+        let lp = lowered(&dz_space());
+        let opts = ParallelOptions {
+            threads: 2,
+            chunk_count: 16, // 64 values → chunk_len 4; x = 10 is in chunk 2
+            fault_policy: FaultPolicy::QuarantineChunk,
+            ..ParallelOptions::default()
+        };
+        let (out, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+        assert_eq!(out.visitor.count, 60, "one 4-value chunk dropped");
+        assert_eq!(report.fault_counters.chunks_quarantined, 1);
+        assert_eq!(report.faults[0].chunk, 2);
+        assert!(!report.partial);
+    }
+
+    #[test]
+    fn retry_policy_quarantines_after_exhaustion() {
+        let lp = lowered(&dz_space());
+        let opts = ParallelOptions {
+            threads: 2,
+            chunk_count: 16,
+            fault_policy: FaultPolicy::Retry { max: 2, backoff_ms: 0 },
+            ..ParallelOptions::default()
+        };
+        let (out, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+        // The fault is persistent, so every retry fails and the chunk is
+        // quarantined; the record trail shows both retries.
+        assert_eq!(out.visitor.count, 60);
+        assert_eq!(report.fault_counters.retries, 2);
+        assert_eq!(report.fault_counters.chunks_quarantined, 1);
+        let actions: Vec<_> = report.faults.iter().map(|r| r.action).collect();
+        assert_eq!(
+            actions,
+            vec![
+                FaultAction::Retried,
+                FaultAction::Retried,
+                FaultAction::QuarantinedChunk
+            ]
+        );
+        assert_eq!(report.faults.iter().map(|r| r.attempt).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn injected_panics_are_isolated_and_recorded() {
+        let lp = lowered(&space());
+        let clean = run_parallel(&lp, 2, CountVisitor::default).unwrap();
+        let opts = ParallelOptions {
+            threads: 2,
+            chunk_count: 8,
+            fault_policy: FaultPolicy::QuarantineChunk,
+            injector: Some(FaultInjector::new(11).panic_rate(0.3)),
+            ..ParallelOptions::default()
+        };
+        let (out, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+        assert!(report.fault_counters.panics > 0, "seed 11 at 30% must hit ≥ 1 of 8 chunks");
+        assert!(out.visitor.count < clean.visitor.count);
+        assert!(report.faults.iter().all(|r| r.kind == FaultKind::Panic));
+        assert!(report.faults.iter().all(|r| r.error.contains("injected panic")));
+    }
+
+    #[test]
+    fn abort_policy_surfaces_panic_as_structured_error() {
+        let lp = lowered(&space());
+        let opts = ParallelOptions {
+            threads: 2,
+            chunk_count: 8,
+            injector: Some(FaultInjector::new(11).panic_rate(0.3)),
+            ..ParallelOptions::default()
+        };
+        let err = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap_err();
+        let SweepError::WorkerPanic { chunk, message } = err else {
+            panic!("expected WorkerPanic, got {err:?}")
+        };
+        assert!(chunk.is_some());
+        assert!(message.contains("injected panic"));
+    }
+
+    #[test]
+    fn stop_after_chunks_yields_partial_prefix() {
+        let lp = lowered(&space());
+        let progress = Arc::new(SweepProgress::default());
+        let opts = ParallelOptions {
+            threads: 2,
+            chunk_count: 8,
+            stop_after_chunks: 3,
+            progress: Some(progress.clone()),
+            ..ParallelOptions::default()
+        };
+        let (out, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+        assert!(report.partial);
+        assert_eq!(progress.snapshot().chunks_done, 3);
+        // The partial outcome is exactly the serial prefix of 3 chunks.
+        let compiled = Compiled::new(lp.clone());
+        let outer = compiled.outer_domain().unwrap();
+        let prefix = &outer[..(3 * report.chunk_len).min(outer.len())];
+        let serial = compiled.run_outer_chunk(prefix, CountVisitor::default()).unwrap();
+        assert_eq!(out.visitor.count, serial.visitor.count);
+        assert_eq!(out.stats.survivors, serial.stats.survivors);
+    }
+
+    #[test]
+    fn cancel_token_stops_the_sweep_before_it_starts() {
+        let lp = lowered(&space());
+        let cancel = Arc::new(CancelToken::new());
+        cancel.cancel();
+        let opts = ParallelOptions {
+            threads: 2,
+            chunk_count: 8,
+            cancel: Some(cancel),
+            ..ParallelOptions::default()
+        };
+        let (out, report) = run_parallel_report(&lp, &opts, CountVisitor::default).unwrap();
+        assert!(report.partial);
+        assert_eq!(out.visitor.count, 0);
     }
 }

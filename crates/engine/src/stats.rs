@@ -11,6 +11,8 @@ use std::fmt::Write as _;
 use beast_core::constraint::ConstraintClass;
 use beast_core::space::Space;
 
+use crate::fault::{FaultAction, FaultKind, FaultRecord};
+
 /// Per-constraint pruning counters for one sweep.
 ///
 /// The per-constraint split depends on *check order*: within a run of
@@ -61,6 +63,46 @@ impl BlockStats {
         self.congruence_skips += other.congruence_skips;
         self.points_skipped = self.points_skipped.saturating_add(other.points_skipped);
         self.checks_elided += other.checks_elided;
+    }
+}
+
+/// Per-policy fault counters for one sweep, aggregated from the structured
+/// [`FaultRecord`] list the supervisor collects. Like the other stats these
+/// are deterministic for a pinned chunk grid, so they can be asserted in
+/// tests and compared across thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Points dropped under [`FaultPolicy::SkipPoint`](crate::fault::FaultPolicy).
+    pub points_skipped: u64,
+    /// Chunks dropped (quarantine policy, escalated skip-point faults, or
+    /// retries running out).
+    pub chunks_quarantined: u64,
+    /// Chunk attempts re-run under [`FaultPolicy::Retry`](crate::fault::FaultPolicy).
+    pub retries: u64,
+    /// Panics caught at the chunk boundary.
+    pub panics: u64,
+}
+
+impl FaultCounters {
+    /// Aggregate the counters from a record list.
+    pub fn from_records(records: &[FaultRecord]) -> FaultCounters {
+        let mut c = FaultCounters::default();
+        for r in records {
+            match r.action {
+                FaultAction::SkippedPoint => c.points_skipped += 1,
+                FaultAction::QuarantinedChunk => c.chunks_quarantined += 1,
+                FaultAction::Retried => c.retries += 1,
+            }
+            if r.kind == FaultKind::Panic {
+                c.panics += 1;
+            }
+        }
+        c
+    }
+
+    /// Total number of recorded faults this summarizes.
+    pub fn total(&self) -> u64 {
+        self.points_skipped + self.chunks_quarantined + self.retries
     }
 }
 

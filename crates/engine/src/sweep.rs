@@ -16,13 +16,26 @@ use crate::stats::PruneStats;
 use crate::telemetry::SweepReport;
 use crate::visit::{BestK, CollectVisitor, CountVisitor};
 
-/// Errors from the one-call helpers.
+/// Errors from the sweep drivers and one-call helpers.
 #[derive(Debug)]
 pub enum SweepError {
     /// Planning or lowering failed.
     Space(SpaceError),
     /// Evaluation failed.
     Eval(EvalError),
+    /// A worker thread panicked. Under [`FaultPolicy::Abort`](crate::fault::FaultPolicy)
+    /// the panic payload surfaces here as a structured error instead of
+    /// poisoning the orchestrator's `join`; other policies convert panics
+    /// into quarantined-chunk [`FaultRecord`](crate::fault::FaultRecord)s.
+    WorkerPanic {
+        /// Chunk being evaluated when the panic fired (`None` when the panic
+        /// escaped outside any chunk).
+        chunk: Option<usize>,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// Reading, writing or validating a checkpoint file failed.
+    Checkpoint(String),
 }
 
 impl From<SpaceError> for SweepError {
@@ -42,6 +55,13 @@ impl std::fmt::Display for SweepError {
         match self {
             SweepError::Space(e) => write!(f, "{e}"),
             SweepError::Eval(e) => write!(f, "{e}"),
+            SweepError::WorkerPanic { chunk: Some(c), message } => {
+                write!(f, "worker panicked in chunk {c}: {message}")
+            }
+            SweepError::WorkerPanic { chunk: None, message } => {
+                write!(f, "worker panicked: {message}")
+            }
+            SweepError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -18,7 +18,8 @@ use std::time::Duration;
 use beast_core::analyze::LintSummary;
 use beast_core::space::Space;
 
-use crate::stats::{BlockStats, PruneStats};
+use crate::fault::FaultRecord;
+use crate::stats::{BlockStats, FaultCounters, PruneStats};
 
 /// Shared progress counters for a running sweep.
 ///
@@ -209,6 +210,18 @@ pub struct SweepReport {
     pub workers: Vec<WorkerTelemetry>,
     /// The constraint schedule the sweep ran with.
     pub schedule: ScheduleTelemetry,
+    /// True when the sweep stopped early (cancel, deadline, or a simulated
+    /// kill) and the outcome covers only a prefix of the chunk grid; a
+    /// checkpointed partial sweep can be resumed to completion.
+    pub partial: bool,
+    /// Chunk index the sweep resumed from (`None` for a fresh run).
+    pub resumed_at: Option<usize>,
+    /// Name of the fault policy the sweep ran with.
+    pub fault_policy: String,
+    /// Aggregated per-policy fault counters.
+    pub fault_counters: FaultCounters,
+    /// Structured fault records, merged in chunk order.
+    pub faults: Vec<FaultRecord>,
 }
 
 impl SweepReport {
@@ -276,6 +289,11 @@ impl SweepReport {
             levels,
             workers,
             schedule,
+            partial: false,
+            resumed_at: None,
+            fault_policy: "abort".to_string(),
+            fault_counters: FaultCounters::default(),
+            faults: Vec::new(),
         }
     }
 
@@ -348,6 +366,35 @@ impl SweepReport {
         json_num(&mut out, "checks_elided", self.checks_elided as f64);
         out.push(',');
         json_num(&mut out, "imbalance", self.imbalance());
+        out.push_str(",\"partial\":");
+        out.push_str(if self.partial { "true" } else { "false" });
+        out.push_str(",\"resumed_at\":");
+        match self.resumed_at {
+            Some(c) => out.push_str(&c.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push(',');
+        json_str(&mut out, "fault_policy", &self.fault_policy);
+        out.push_str(",\"fault_counters\":{");
+        json_num(&mut out, "points_skipped", self.fault_counters.points_skipped as f64);
+        out.push(',');
+        json_num(
+            &mut out,
+            "chunks_quarantined",
+            self.fault_counters.chunks_quarantined as f64,
+        );
+        out.push(',');
+        json_num(&mut out, "retries", self.fault_counters.retries as f64);
+        out.push(',');
+        json_num(&mut out, "panics", self.fault_counters.panics as f64);
+        out.push_str("},\"faults\":[");
+        for (i, r) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            fault_record_json(&mut out, r);
+        }
+        out.push(']');
         out.push_str(",\"lint\":");
         match self.lint {
             Some(s) => {
@@ -467,6 +514,29 @@ impl SweepReport {
                 );
             }
         }
+        if self.partial || self.resumed_at.is_some() {
+            let _ = writeln!(
+                out,
+                "coverage: partial={}{}",
+                self.partial,
+                match self.resumed_at {
+                    Some(c) => format!("   resumed at chunk {c}"),
+                    None => String::new(),
+                }
+            );
+        }
+        if self.fault_counters.total() > 0 {
+            let c = self.fault_counters;
+            let _ = writeln!(
+                out,
+                "faults ({}): {} point(s) skipped, {} chunk(s) quarantined, {} retry(ies), {} panic(s)",
+                self.fault_policy,
+                c.points_skipped,
+                c.chunks_quarantined,
+                c.retries,
+                c.panics
+            );
+        }
         let _ = writeln!(
             out,
             "\n{:<24} {:<12} {:>5} {:>14} {:>14} {:>8}",
@@ -534,11 +604,39 @@ impl SweepReport {
     }
 }
 
-/// Append `"key":"escaped value"`.
-fn json_str(out: &mut String, key: &str, value: &str) {
+/// Append one [`FaultRecord`] as a JSON object (stable key order; shared by
+/// the report serializer and the checkpoint writer).
+pub(crate) fn fault_record_json(out: &mut String, r: &FaultRecord) {
+    use std::fmt::Write as _;
+    // Counters are written as exact decimal integers (never through f64,
+    // which silently rounds above 2^53).
+    let _ = write!(
+        out,
+        "{{\"chunk\":{},\"ordinal\":{},\"attempt\":{},",
+        r.chunk, r.ordinal, r.attempt
+    );
+    json_str(out, "kind", r.kind.name());
+    out.push(',');
+    json_str(out, "action", r.action.name());
+    out.push(',');
+    json_str(out, "site", &r.site);
+    out.push(',');
+    json_str(out, "error", &r.error);
+    out.push_str(",\"bindings\":[");
+    for (i, (name, value)) in r.bindings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        json_str_value(out, name);
+        let _ = write!(out, ",{value}]");
+    }
+    out.push_str("]}");
+}
+
+/// Append a bare escaped JSON string (no key).
+pub(crate) fn json_str_value(out: &mut String, value: &str) {
     out.push('"');
-    out.push_str(key);
-    out.push_str("\":\"");
     for c in value.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -555,6 +653,14 @@ fn json_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
 }
 
+/// Append `"key":"escaped value"`.
+pub(crate) fn json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    json_str_value(out, value);
+}
+
 /// Append `["a","b",...]` of escaped strings.
 fn json_str_array(out: &mut String, items: &[String]) {
     out.push('[');
@@ -562,24 +668,13 @@ fn json_str_array(out: &mut String, items: &[String]) {
         if i > 0 {
             out.push(',');
         }
-        out.push('"');
-        for c in item.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                c if (c as u32) < 0x20 => {
-                    out.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => out.push(c),
-            }
-        }
-        out.push('"');
+        json_str_value(out, item);
     }
     out.push(']');
 }
 
 /// Append `"key":number` (non-finite values become 0 — JSON has no NaN).
-fn json_num(out: &mut String, key: &str, value: f64) {
+pub(crate) fn json_num(out: &mut String, key: &str, value: f64) {
     out.push('"');
     out.push_str(key);
     out.push_str("\":");
@@ -717,10 +812,55 @@ mod tests {
             "\"lint\":{\"errors\":0,\"warnings\":2,\"infos\":5}",
             "\"schedule_rank\":",
             "\"schedule\":{\"mode\":\"adaptive\"",
+            "\"partial\":false",
+            "\"resumed_at\":null",
+            "\"fault_policy\":\"abort\"",
+            "\"fault_counters\":{\"points_skipped\":0,\"chunks_quarantined\":0,\"retries\":0,\"panics\":0}",
+            "\"faults\":[]",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    /// Fault fields serialize with a pinned shape: a populated record keeps
+    /// the exact key order downstream tooling greps for, `resumed_at`
+    /// switches from `null` to a number, and the text rendering surfaces
+    /// the counters and coverage line.
+    #[test]
+    fn fault_fields_have_pinned_json_shape() {
+        use crate::fault::{FaultAction, FaultKind, FaultRecord};
+        let mut r = sample_report();
+        r.partial = true;
+        r.resumed_at = Some(4);
+        r.fault_policy = "quarantine_chunk".to_string();
+        r.faults.push(FaultRecord {
+            chunk: 7,
+            ordinal: 3,
+            attempt: 1,
+            kind: FaultKind::Error,
+            action: FaultAction::QuarantinedChunk,
+            site: "low_fmas".to_string(),
+            error: "division by zero".to_string(),
+            bindings: vec![("blk_m".to_string(), 96)],
+        });
+        r.fault_counters = crate::stats::FaultCounters::from_records(&r.faults);
+        let json = r.to_json();
+        assert!(json.contains("\"partial\":true"), "{json}");
+        assert!(json.contains("\"resumed_at\":4"), "{json}");
+        assert!(
+            json.contains(
+                "{\"chunk\":7,\"ordinal\":3,\"attempt\":1,\"kind\":\"error\",\
+                 \"action\":\"quarantined_chunk\",\"site\":\"low_fmas\",\
+                 \"error\":\"division by zero\",\"bindings\":[[\"blk_m\",96]]}"
+            ),
+            "fault record shape changed: {json}"
+        );
+        assert!(json.contains("\"chunks_quarantined\":1"), "{json}");
+        let text = r.render_text();
+        assert!(text.contains("partial=true"), "{text}");
+        assert!(text.contains("resumed at chunk 4"), "{text}");
+        assert!(text.contains("1 chunk(s) quarantined"), "{text}");
     }
 
     /// The lint block degrades to an explicit `null` (not a missing key)

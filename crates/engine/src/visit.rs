@@ -80,6 +80,84 @@ impl Visitor for CollectVisitor {
     }
 }
 
+/// Order-sensitive FNV fingerprint of the survivor stream: each point is
+/// hashed FNV-1a over its values, and the per-point hashes are chained with
+/// a polynomial rolling hash. Two sweeps have equal fingerprints iff they
+/// emitted the same points in the same order (modulo hash collisions), which
+/// is exactly the determinism contract of the parallel driver — so this is
+/// the visitor the fault-tolerance and resume tests (and `repro sweep`)
+/// compare runs with.
+///
+/// Mergeable out of one pass: `H(A ‖ B) = H(A)·pᴸᴮ + H(B)` (wrapping), so
+/// chunk-local fingerprints merged in chunk order equal the serial
+/// fingerprint bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FingerprintVisitor {
+    /// Rolling hash of the emission sequence so far.
+    pub hash: u64,
+    /// `p^count` (wrapping): the factor a following segment's hash is
+    /// shifted by when merging.
+    pub pow: u64,
+    /// Number of points hashed.
+    pub count: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime; also the (odd) rolling-hash base.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for FingerprintVisitor {
+    fn default() -> Self {
+        FingerprintVisitor { hash: 0, pow: 1, count: 0 }
+    }
+}
+
+impl FingerprintVisitor {
+    /// Fresh, empty fingerprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn hash_point(point: &PointRef<'_>) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut byte = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for i in 0..point.names().len() {
+            match point.value(i) {
+                beast_core::value::Value::Int(x) => {
+                    for b in x.to_le_bytes() {
+                        byte(b);
+                    }
+                }
+                other => {
+                    for b in other.to_string().bytes() {
+                        byte(b);
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+impl Visitor for FingerprintVisitor {
+    fn visit(&mut self, point: &PointRef<'_>) {
+        let h = Self::hash_point(point);
+        self.hash = self.hash.wrapping_mul(FNV_PRIME).wrapping_add(h);
+        self.pow = self.pow.wrapping_mul(FNV_PRIME);
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.hash = self.hash.wrapping_mul(other.pow).wrapping_add(other.hash);
+        self.pow = self.pow.wrapping_mul(other.pow);
+        self.count += other.count;
+    }
+}
+
 /// Keeps the best `k` survivors under a user score (higher is better) — the
 /// autotuning selector: score with a performance model, keep the candidates
 /// worth actually benchmarking.
@@ -264,6 +342,23 @@ mod tests {
         let scores: Vec<f64> = a.best.iter().map(|(s, _)| *s).collect();
         assert_eq!(scores, vec![9.0, 7.0, 5.0]);
         assert_eq!(a.total, 5);
+    }
+
+    #[test]
+    fn fingerprint_merge_equals_serial() {
+        let mut serial = FingerprintVisitor::new();
+        visit_ints(&mut serial, &[1, 2, 3, 4, 5]);
+        let mut a = FingerprintVisitor::new();
+        visit_ints(&mut a, &[1, 2]);
+        let mut b = FingerprintVisitor::new();
+        visit_ints(&mut b, &[3, 4, 5]);
+        a.merge(b);
+        assert_eq!(a, serial);
+        // Order sensitivity: swapping two points changes the hash.
+        let mut swapped = FingerprintVisitor::new();
+        visit_ints(&mut swapped, &[2, 1, 3, 4, 5]);
+        assert_ne!(swapped.hash, serial.hash);
+        assert_eq!(serial.count, 5);
     }
 
     #[test]

@@ -261,10 +261,7 @@ pub fn tune_batched_cholesky(
             estimate_batched(&params, &config)
         }
     })
-    .map_err(|e| match e {
-        beast_engine::sweep::SweepError::Space(s) => crate::tune::TuneError::Space(s),
-        beast_engine::sweep::SweepError::Eval(v) => crate::tune::TuneError::Eval(v),
-    })?;
+    .map_err(crate::tune::TuneError::from)?;
     Ok(best
         .into_iter()
         .map(|(score, point)| (score, point_to_batched_config(&point)))

@@ -13,6 +13,7 @@ use beast_core::plan::{Plan, PlanOptions};
 use beast_engine::parallel::run_parallel;
 use beast_engine::point::Point;
 use beast_engine::stats::PruneStats;
+use beast_engine::sweep::SweepError;
 use beast_engine::visit::BestK;
 use beast_gpu_sim::{estimate, model_peak, GemmConfig, Matrix, PerfEstimate};
 
@@ -25,6 +26,8 @@ pub enum TuneError {
     Space(SpaceError),
     /// Evaluation failed at runtime.
     Eval(EvalError),
+    /// The sweep driver failed (worker panic, checkpoint I/O).
+    Sweep(SweepError),
 }
 
 impl From<SpaceError> for TuneError {
@@ -39,11 +42,22 @@ impl From<EvalError> for TuneError {
     }
 }
 
+impl From<SweepError> for TuneError {
+    fn from(e: SweepError) -> Self {
+        match e {
+            SweepError::Space(s) => TuneError::Space(s),
+            SweepError::Eval(v) => TuneError::Eval(v),
+            other => TuneError::Sweep(other),
+        }
+    }
+}
+
 impl std::fmt::Display for TuneError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TuneError::Space(e) => write!(f, "space error: {e}"),
             TuneError::Eval(e) => write!(f, "evaluation error: {e}"),
+            TuneError::Sweep(e) => write!(f, "sweep error: {e}"),
         }
     }
 }

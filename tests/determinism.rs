@@ -348,6 +348,49 @@ fn schedule_modes_agree_at_every_thread_count() {
     }
 }
 
+/// The determinism contract survives fault recovery: with a pinned chunk
+/// grid and a seeded injector, every space produces the same survivors in
+/// the same order — and the same structured fault records — at every
+/// thread count, under both point-skip and chunk-quarantine policies.
+#[test]
+fn faulted_sweeps_are_thread_count_invariant() {
+    use beast_engine::fault::FaultPolicy;
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        let compiled = Compiled::new(lp.clone());
+        let names = compiled.point_names().clone();
+        for policy in [FaultPolicy::SkipPoint, FaultPolicy::QuarantineChunk] {
+            let mut baseline = None;
+            for threads in THREAD_COUNTS {
+                let opts = ParallelOptions {
+                    threads,
+                    chunk_count: 12,
+                    fault_policy: policy,
+                    injector: Some(FaultInjector::new(7).error_rate(0.002)),
+                    ..ParallelOptions::default()
+                };
+                let (par, report) = run_parallel_report(&lp, &opts, || {
+                    CollectVisitor::new(names.clone(), usize::MAX)
+                })
+                .unwrap();
+                match &baseline {
+                    None => baseline = Some((par.visitor.points, report.faults)),
+                    Some((points, faults)) => {
+                        assert_eq!(
+                            &par.visitor.points, points,
+                            "{name}: {policy:?} survivors diverged at {threads} threads"
+                        );
+                        assert_eq!(
+                            &report.faults, faults,
+                            "{name}: {policy:?} fault records diverged at {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Forcing pathologically fine chunks (1 outer value per chunk) still
 /// reproduces the serial outcome — chunk granularity is invisible.
 #[test]

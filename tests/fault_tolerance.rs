@@ -1,0 +1,264 @@
+//! Fault-tolerance regression suite for the sweep supervisor.
+//!
+//! Pins the contracts documented on [`beast_engine::parallel`] and
+//! [`beast_engine::checkpoint`]:
+//!
+//! - Injected faults are keyed on `(seed, chunk, ordinal, attempt)` only,
+//!   so with a pinned chunk grid the *same* faults fire — and the same
+//!   structured [`FaultRecord`]s come back — at every thread count.
+//! - Recovery policies degrade deterministically: `SkipPoint` drops exactly
+//!   the faulted points, `QuarantineChunk` drops exactly the faulted
+//!   chunks, and `Retry` over transient faults reproduces the un-faulted
+//!   sweep bit for bit (with idempotent progress accounting).
+//! - Injected panics are caught at the chunk boundary and never poison the
+//!   orchestrator.
+//! - An interrupted checkpointed sweep, resumed, is bit-identical to an
+//!   uninterrupted run: same survivors, same emission order (fingerprint),
+//!   same merged [`PruneStats`].
+
+use std::sync::Arc;
+
+use beast::prelude::*;
+use beast_core::ir::LoweredPlan;
+use beast_engine::checkpoint::{run_checkpointed, CheckpointConfig};
+use beast_engine::fault::{FaultKind, FaultPolicy};
+use beast_engine::parallel::{run_parallel_report, ParallelOptions};
+use beast_gemm::{build_gemm_space, GemmSpaceParams};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Pinned chunk grid: injector decisions and checkpoint prefixes are keyed
+/// on chunk indices, so every run in this suite uses the same grid.
+const CHUNKS: usize = 16;
+
+fn gemm_lowered() -> LoweredPlan {
+    let space = build_gemm_space(&GemmSpaceParams::reduced(16)).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    LoweredPlan::new(&plan).unwrap()
+}
+
+fn opts(threads: usize) -> ParallelOptions {
+    ParallelOptions {
+        threads,
+        chunk_count: CHUNKS,
+        ..ParallelOptions::default()
+    }
+}
+
+/// A unique scratch path for checkpoint files.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("beast-fault-tolerance");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Injected errors under `SkipPoint` and `QuarantineChunk` produce the
+/// same survivors, same fingerprint, and byte-identical fault records at
+/// every thread count.
+#[test]
+fn injected_faults_are_thread_count_invariant() {
+    let lp = gemm_lowered();
+    for policy in [FaultPolicy::SkipPoint, FaultPolicy::QuarantineChunk] {
+        let mut baseline: Option<(FingerprintVisitor, Vec<FaultRecord>, PruneStats)> = None;
+        for threads in THREAD_COUNTS {
+            let mut o = opts(threads);
+            o.fault_policy = policy;
+            o.injector = Some(FaultInjector::new(42).error_rate(0.001));
+            let (out, report) =
+                run_parallel_report(&lp, &o, FingerprintVisitor::default).unwrap();
+            assert!(!report.partial, "{policy:?}: faulted sweep marked partial");
+            assert!(
+                !report.faults.is_empty(),
+                "{policy:?}: injector never fired — rate too low for this space"
+            );
+            match &baseline {
+                None => baseline = Some((out.visitor, report.faults, out.stats)),
+                Some((fp, faults, stats)) => {
+                    assert_eq!(
+                        &out.visitor, fp,
+                        "{policy:?}: fingerprint diverged at {threads} threads"
+                    );
+                    assert_eq!(
+                        &report.faults, faults,
+                        "{policy:?}: fault records diverged at {threads} threads"
+                    );
+                    assert_eq!(
+                        &out.stats, stats,
+                        "{policy:?}: stats diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `SkipPoint` loses at most one survivor per fault record; every other
+/// point of the un-faulted sweep is still emitted, in order.
+#[test]
+fn skip_point_drops_at_most_the_faulted_points() {
+    let lp = gemm_lowered();
+    let (clean, _) = run_parallel_report(&lp, &opts(2), FingerprintVisitor::default).unwrap();
+    let mut o = opts(2);
+    o.fault_policy = FaultPolicy::SkipPoint;
+    o.injector = Some(FaultInjector::new(42).error_rate(0.001));
+    let (faulted, report) = run_parallel_report(&lp, &o, FingerprintVisitor::default).unwrap();
+    let skipped = report.fault_counters.points_skipped;
+    assert!(skipped > 0, "injector never fired");
+    assert!(
+        clean.visitor.count - faulted.visitor.count <= skipped,
+        "skip dropped more survivors ({} → {}) than faults recorded ({skipped})",
+        clean.visitor.count,
+        faulted.visitor.count
+    );
+}
+
+/// Transient faults under `Retry` recover completely: the outcome is
+/// bit-identical to the un-faulted sweep, every fault shows up as a
+/// `Retried` record, and the progress counter stays idempotent — retried
+/// chunks are counted once, not once per attempt.
+#[test]
+fn transient_retry_reproduces_the_unfaulted_sweep() {
+    let lp = gemm_lowered();
+    let (clean, _) = run_parallel_report(&lp, &opts(2), FingerprintVisitor::default).unwrap();
+    for threads in THREAD_COUNTS {
+        let progress = Arc::new(SweepProgress::default());
+        let mut o = opts(threads);
+        o.fault_policy = FaultPolicy::Retry { max: 2, backoff_ms: 0 };
+        o.injector = Some(FaultInjector::new(42).error_rate(0.001).transient(true));
+        o.progress = Some(progress.clone());
+        let (out, report) = run_parallel_report(&lp, &o, FingerprintVisitor::default).unwrap();
+        assert_eq!(
+            out.visitor, clean.visitor,
+            "retry over transient faults diverged at {threads} threads"
+        );
+        assert_eq!(out.stats, clean.stats, "stats diverged at {threads} threads");
+        assert!(report.fault_counters.retries > 0, "injector never fired");
+        assert_eq!(
+            report.fault_counters.chunks_quarantined, 0,
+            "transient faults should never exhaust two retries"
+        );
+        // Idempotent accounting (the double-count bug): chunks and tuples
+        // are credited when a chunk *folds*, not per attempt.
+        let snap = progress.snapshot();
+        assert_eq!(snap.chunks_done, report.chunks, "chunks over-counted at {threads} threads");
+        assert_eq!(
+            snap.tuples_decided,
+            out.stats.survivors + out.stats.total_pruned(),
+            "tuples_decided over-counted on retried chunks at {threads} threads"
+        );
+    }
+}
+
+/// Injected panics are confined to their chunk: the sweep completes, the
+/// process never aborts, and each panic is a structured record.
+#[test]
+fn injected_panics_never_poison_the_orchestrator() {
+    let lp = gemm_lowered();
+    let mut baseline: Option<(FingerprintVisitor, Vec<FaultRecord>)> = None;
+    for threads in THREAD_COUNTS {
+        let mut o = opts(threads);
+        o.fault_policy = FaultPolicy::QuarantineChunk;
+        o.injector = Some(FaultInjector::new(11).panic_rate(0.3));
+        let (out, report) =
+            run_parallel_report(&lp, &o, FingerprintVisitor::default).unwrap();
+        assert!(report.fault_counters.panics > 0, "injector never fired");
+        assert_eq!(
+            report.fault_counters.panics, report.fault_counters.chunks_quarantined,
+            "every panic quarantines exactly one chunk"
+        );
+        for r in &report.faults {
+            assert_eq!(r.kind, FaultKind::Panic);
+            assert!(r.error.contains("injected panic"), "unexpected payload: {}", r.error);
+        }
+        match &baseline {
+            None => baseline = Some((out.visitor, report.faults)),
+            Some((fp, faults)) => {
+                assert_eq!(&out.visitor, fp, "panic set diverged at {threads} threads");
+                assert_eq!(&report.faults, faults, "records diverged at {threads} threads");
+            }
+        }
+    }
+}
+
+/// An already-expired deadline degrades to an empty partial result instead
+/// of an error — the graceful-degradation contract.
+#[test]
+fn expired_deadline_degrades_to_partial() {
+    let lp = gemm_lowered();
+    let mut o = opts(4);
+    o.deadline = Some(std::time::Duration::ZERO);
+    let (out, report) = run_parallel_report(&lp, &o, FingerprintVisitor::default).unwrap();
+    assert!(report.partial, "expired deadline must mark the report partial");
+    assert_eq!(out.visitor.count, 0);
+}
+
+/// The headline acceptance check: interrupt a checkpointed GEMM sweep
+/// after K chunks, resume it, and the final outcome — survivors, emission
+/// order, merged `PruneStats` and block counters — is bit-identical to an
+/// uninterrupted run, at every thread count.
+#[test]
+fn interrupted_then_resumed_equals_uninterrupted() {
+    let lp = gemm_lowered();
+    let (full, full_report) =
+        run_parallel_report(&lp, &opts(2), FingerprintVisitor::default).unwrap();
+    assert!(full.visitor.count > 0);
+    for threads in THREAD_COUNTS {
+        let path = scratch(&format!("resume-{threads}.json"));
+        let _ = std::fs::remove_file(&path);
+
+        // Phase 1: run, but stop pulling chunks after 5 — a deterministic
+        // stand-in for killing the process mid-sweep.
+        let mut o = opts(threads);
+        o.stop_after_chunks = 5;
+        let ck = CheckpointConfig { path: path.clone(), every_chunks: 2, resume: false };
+        let (_, partial) =
+            run_checkpointed(&lp, &o, &ck, FingerprintVisitor::default).unwrap();
+        assert!(partial.partial, "stopped sweep must be partial at {threads} threads");
+        let pulled: u64 = partial.workers.iter().map(|w| w.chunks).sum();
+        assert!(pulled < full_report.chunks as u64, "stop_after_chunks did not stop early");
+
+        // Phase 2: resume from the file and finish.
+        let o = opts(threads);
+        let ck = CheckpointConfig { path: path.clone(), every_chunks: 2, resume: true };
+        let (resumed, report) =
+            run_checkpointed(&lp, &o, &ck, FingerprintVisitor::default).unwrap();
+        assert!(!report.partial, "resumed sweep did not finish at {threads} threads");
+        assert!(report.resumed_at.is_some());
+        assert_eq!(
+            resumed.visitor, full.visitor,
+            "resume fingerprint diverged at {threads} threads"
+        );
+        assert_eq!(resumed.stats, full.stats, "resume stats diverged at {threads} threads");
+        assert_eq!(resumed.blocks, full.blocks, "resume blocks diverged at {threads} threads");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Resuming a checkpoint written by a *different* space refuses cleanly
+/// with a structured checkpoint error, not a corrupt merge.
+#[test]
+fn resume_refuses_a_mismatched_checkpoint() {
+    let lp = gemm_lowered();
+    let other = Space::builder("ft_other")
+        .range("x", 0, 8)
+        .build()
+        .unwrap();
+    let other_lp = {
+        let plan = Plan::new(&other, PlanOptions::default()).unwrap();
+        LoweredPlan::new(&plan).unwrap()
+    };
+    let path = scratch("mismatch.json");
+    let _ = std::fs::remove_file(&path);
+    let ck = CheckpointConfig { path: path.clone(), every_chunks: 1, resume: false };
+    let mut o = opts(2);
+    o.stop_after_chunks = 2;
+    run_checkpointed(&other_lp, &o, &ck, FingerprintVisitor::default).unwrap();
+
+    let ck = CheckpointConfig { path: path.clone(), every_chunks: 1, resume: true };
+    let err = run_checkpointed(&lp, &opts(2), &ck, FingerprintVisitor::default).unwrap_err();
+    assert!(
+        matches!(err, SweepError::Checkpoint(_)),
+        "expected a checkpoint error, got {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
