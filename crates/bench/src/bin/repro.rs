@@ -35,6 +35,22 @@
 //!                                    order-sensitive survivor fingerprint
 //!                                    and exits 3 when the result is
 //!                                    partial (resumable)
+//! repro serve [--addr A] [--threads N] [--executors E] [--chunks M]
+//!             [--cache PATH]
+//!                         service    sweep-as-a-service HTTP daemon
+//!                                    (default 127.0.0.1:7411) with the
+//!                                    fingerprint-keyed sub-sweep cache;
+//!                                    protocol in docs/PROTOCOL.md; runs
+//!                                    until POST /shutdown
+//! repro client [DIM] [--addr A] [--runs K] [--expect-speedup F]
+//!              [--shutdown]
+//!                         service    smoke client: submits the same GEMM
+//!                                    sweep K times (default 2), prints
+//!                                    per-run wall time and cache traffic,
+//!                                    exits 4 if survivor fingerprints
+//!                                    differ across runs and 5 if the warm
+//!                                    speedup is below --expect-speedup;
+//!                                    --shutdown stops the daemon after
 //! repro all               everything above with small defaults
 //! ```
 //!
@@ -66,15 +82,16 @@ use beast_core::ir::LoweredPlan;
 use beast_core::plan::{Plan, PlanOptions};
 use beast_cuda::{CcLimits, DeviceProps};
 use beast_core::schedule::ScheduleMode;
-use beast_engine::checkpoint::{run_checkpointed, CheckpointConfig};
+use beast_engine::checkpoint::{run_checkpointed, CheckpointConfig, JsonValue};
 use beast_engine::compiled::{Compiled, EngineOptions};
 use beast_engine::fault::{FaultInjector, FaultPolicy};
 use beast_engine::parallel::{run_parallel_report, ParallelOptions};
+use beast_engine::service::{ServiceConfig, SweepService};
 use beast_engine::telemetry::{ScheduleTelemetry, SweepReport};
 use beast_engine::visit::{CountVisitor, FingerprintVisitor};
 use beast_engine::vm::{Vm, VmStyle};
 use beast_engine::walker::{LoopStyle, Walker};
-use beast_gemm::{build_gemm_space, GemmSpaceParams};
+use beast_gemm::{build_gemm_space, gemm_resolver, GemmSpaceParams};
 use beast_gpu_sim::Transpose;
 use beast_kernels::{
     autotune, batched_cholesky, batched_cholesky_space, blocked_gemm, cholesky_interleaved,
@@ -144,6 +161,8 @@ fn main() {
             flag("--json"),
         ),
         "sweep" => sweep(&args, engine),
+        "serve" => serve(&args),
+        "client" => client(&args),
         "all" => {
             device();
             space();
@@ -988,5 +1007,190 @@ fn threads(dim: i64, only: Option<usize>, json_path: Option<String>, engine: Eng
             std::process::exit(1);
         }
         println!("\nwrote SweepReport JSON to {path}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-as-a-service: the daemon and its smoke client
+// ---------------------------------------------------------------------------
+
+fn serve(args: &[String]) {
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parsed = |name: &str, default: usize| -> usize {
+        match flag(name) {
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("error: {name} needs an unsigned integer, got `{s}`");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    };
+    let cfg = ServiceConfig {
+        addr: flag("--addr").unwrap_or_else(|| "127.0.0.1:7411".to_string()),
+        threads: parsed("--threads", 4).max(1),
+        executors: parsed("--executors", 2).max(1),
+        chunk_count: parsed("--chunks", 32).max(1),
+        cache_path: flag("--cache").map(std::path::PathBuf::from),
+    };
+    let cache_note = match &cfg.cache_path {
+        Some(p) => format!(", cache file {}", p.display()),
+        None => ", in-memory cache".to_string(),
+    };
+    let service = SweepService::start(cfg, gemm_resolver()).unwrap_or_else(|e| {
+        eprintln!("error: cannot start service: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "repro serve: listening on http://{}{cache_note} (POST /shutdown to stop)",
+        service.addr()
+    );
+    if let Err(e) = service.wait() {
+        eprintln!("error: service shutdown: {e}");
+        std::process::exit(1);
+    }
+    println!("repro serve: stopped");
+}
+
+/// One HTTP/1.1 exchange against the daemon: send, read to EOF (the server
+/// always closes), split off the body, de-chunk it if necessary.
+fn http_call(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    stream.write_all(body.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("receive: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line in: {raw:.60}"))?;
+    let (headers, payload) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "response has no body separator".to_string())?;
+    let body = if headers.to_ascii_lowercase().contains("transfer-encoding: chunked") {
+        let mut out = String::new();
+        let mut rest = payload;
+        loop {
+            let (size_line, tail) =
+                rest.split_once("\r\n").ok_or_else(|| "truncated chunk size".to_string())?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("bad chunk size `{size_line}`"))?;
+            if size == 0 {
+                break;
+            }
+            if tail.len() < size {
+                return Err("truncated chunk body".to_string());
+            }
+            out.push_str(&tail[..size]);
+            rest = tail[size..].strip_prefix("\r\n").unwrap_or(&tail[size..]);
+        }
+        out
+    } else {
+        payload.to_string()
+    };
+    Ok((status, body))
+}
+
+fn client(args: &[String]) {
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let has = |name: &str| args.iter().any(|a| a == name);
+    let dim: i64 = args
+        .get(1)
+        .filter(|s| !s.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let addr = flag("--addr").unwrap_or_else(|| "127.0.0.1:7411".to_string());
+    let runs: usize = flag("--runs").and_then(|s| s.parse().ok()).unwrap_or(2).max(1);
+    let expect_speedup: Option<f64> = flag("--expect-speedup").map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("error: --expect-speedup needs a number, got `{s}`");
+            std::process::exit(2);
+        })
+    });
+    let die = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    };
+
+    header(&format!("sweep service smoke — gemm reduced({dim}) at http://{addr}"));
+    let request = format!("{{\"space\":{{\"kind\":\"gemm\",\"reduced\":{dim}}},\"wait\":true}}");
+    let mut fingerprints: Vec<String> = Vec::new();
+    let mut elapsed: Vec<f64> = Vec::new();
+    for run in 1..=runs {
+        let (status, body) = http_call(&addr, "POST", "/sweeps", &request)
+            .unwrap_or_else(|e| die(e));
+        if status != 200 {
+            die(format!("run {run}: HTTP {status}: {body}"));
+        }
+        let doc = JsonValue::parse(&body)
+            .unwrap_or_else(|e| die(format!("run {run}: malformed response: {e}")));
+        if doc.get("state").and_then(JsonValue::as_str) != Some("done") {
+            die(format!("run {run}: sweep did not complete: {body}"));
+        }
+        let num = |key: &str| -> u64 {
+            doc.get(key)
+                .and_then(JsonValue::as_u64)
+                .unwrap_or_else(|| die(format!("run {run}: response missing `{key}`")))
+        };
+        let secs = match doc.get("elapsed_s") {
+            Some(JsonValue::Float(f)) => *f,
+            Some(JsonValue::Int(i)) => *i as f64,
+            _ => die(format!("run {run}: response missing `elapsed_s`")),
+        };
+        let fp = doc
+            .get("fingerprint")
+            .and_then(|f| f.get("hash"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| die(format!("run {run}: response missing fingerprint")));
+        println!(
+            "run {run}: survivors {}  elapsed {secs:.3} s  cache {} hit(s) / {} miss(es)  \
+             fingerprint {fp:016x}",
+            num("survivors"),
+            num("cache_hits"),
+            num("cache_misses"),
+        );
+        fingerprints.push(format!("{fp:016x}"));
+        elapsed.push(secs.max(1e-9));
+    }
+
+    let (status, stats) = http_call(&addr, "GET", "/cache/stats", "").unwrap_or_else(|e| die(e));
+    if status == 200 {
+        println!("cache stats: {stats}");
+    }
+
+    if fingerprints.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("error: fingerprints differ across runs: {fingerprints:?}");
+        std::process::exit(4);
+    }
+    println!("fingerprints identical across {runs} run(s): {}", fingerprints[0]);
+    if runs > 1 {
+        let speedup = elapsed[0] / elapsed[runs - 1];
+        println!("warm speedup: {speedup:.1}x (cold {:.3} s, warm {:.3} s)", elapsed[0], elapsed[runs - 1]);
+        if let Some(want) = expect_speedup {
+            if speedup < want {
+                eprintln!("error: warm speedup {speedup:.1}x below required {want}x");
+                std::process::exit(5);
+            }
+        }
+    }
+    if has("--shutdown") {
+        let (status, _) = http_call(&addr, "POST", "/shutdown", "").unwrap_or_else(|e| die(e));
+        println!("shutdown: HTTP {status}");
     }
 }

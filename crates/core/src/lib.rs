@@ -53,6 +53,7 @@ pub mod dag;
 pub mod derived;
 pub mod error;
 pub mod expr;
+pub mod hash;
 pub mod interval;
 pub mod ir;
 pub mod iterator;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::derived::DerivedKind;
     pub use crate::error::{EvalError, SpaceError};
     pub use crate::expr::{lit, max2, min2, ternary, var, Bindings, Expr, VarRef, E};
+    pub use crate::hash::Fnv1a;
     pub use crate::interval::{interval_of, Interval, IntervalOutcome, IvProg};
     pub use crate::ir::{IntExpr, LoweredPlan};
     pub use crate::iterator::{build as iter_build, IterKind, Realized};

@@ -16,7 +16,10 @@
 //! the build environment cannot vendor `serde` — so this module also carries
 //! a minimal recursive-descent JSON parser ([`JsonValue`]). Counters are
 //! written as exact decimal integers and parsed as `i128`, never routed
-//! through `f64`, which would silently round 64-bit hashes above 2^53.
+//! through `f64`, which would silently round 64-bit hashes above 2^53. The
+//! sub-sweep cache in [`crate::service::cache`] persists through the same
+//! machinery: the parser, the [`SaveState`] visitor encoding, the shared
+//! stats/blocks (de)serializers, and the atomic write protocol.
 //!
 //! Writes are atomic: the file is written to `<path>.tmp` and renamed over
 //! the target, so a crash mid-write leaves the previous checkpoint intact.
@@ -93,6 +96,14 @@ impl JsonValue {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -399,7 +410,7 @@ where
     };
     let writer = |snap: &CkSnapshot<'_, V>| write_checkpoint(&ck.path, &space_name, snap);
     let sink = CkSink { every: ck.every_chunks.max(1), write: &writer };
-    run_supervised(lp, opts, make_visitor, seed, Some(&sink))
+    run_supervised(lp, opts, make_visitor, seed, Some(&sink), None)
 }
 
 /// Serialize and atomically persist one snapshot.
@@ -417,20 +428,10 @@ fn write_checkpoint<V: SaveState>(
         ",\"outer_len\":{},\"chunk_len\":{},\"chunks\":{},\"next\":{}",
         snap.outer_len, snap.chunk_len, snap.chunks, snap.next
     );
-    out.push_str(",\"stats\":{\"evaluated\":");
-    u64_array(&mut out, &snap.stats.evaluated);
-    out.push_str(",\"pruned\":");
-    u64_array(&mut out, &snap.stats.pruned);
-    let _ = write!(out, ",\"survivors\":{}}}", snap.stats.survivors);
-    let _ = write!(
-        out,
-        ",\"blocks\":{{\"subtree_skips\":{},\"congruence_skips\":{},\
-         \"points_skipped\":{},\"checks_elided\":{}}}",
-        snap.blocks.subtree_skips,
-        snap.blocks.congruence_skips,
-        snap.blocks.points_skipped,
-        snap.blocks.checks_elided
-    );
+    out.push_str(",\"stats\":");
+    stats_json(&mut out, snap.stats);
+    out.push_str(",\"blocks\":");
+    blocks_json(&mut out, snap.blocks);
     out.push_str(",\"faults\":[");
     for (i, r) in snap.faults.iter().enumerate() {
         if i > 0 {
@@ -461,6 +462,71 @@ fn u64_array(out: &mut String, values: &[u64]) {
         let _ = write!(out, "{v}");
     }
     out.push(']');
+}
+
+/// Append [`PruneStats`] as a JSON object with exact integer counters.
+/// Shared by the checkpoint writer and the sub-sweep cache store.
+pub(crate) fn stats_json(out: &mut String, stats: &PruneStats) {
+    use std::fmt::Write as _;
+    out.push_str("{\"evaluated\":");
+    u64_array(out, &stats.evaluated);
+    out.push_str(",\"pruned\":");
+    u64_array(out, &stats.pruned);
+    let _ = write!(out, ",\"survivors\":{}}}", stats.survivors);
+}
+
+/// Append [`BlockStats`] as a JSON object with exact integer counters.
+pub(crate) fn blocks_json(out: &mut String, blocks: &BlockStats) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"subtree_skips\":{},\"congruence_skips\":{},\
+         \"points_skipped\":{},\"checks_elided\":{}}}",
+        blocks.subtree_skips,
+        blocks.congruence_skips,
+        blocks.points_skipped,
+        blocks.checks_elided
+    );
+}
+
+/// Parse a [`PruneStats`] object written by [`stats_json`]. `ctx` prefixes
+/// error messages (e.g. `"checkpoint"` or `"cache"`).
+pub(crate) fn parse_stats(doc: &JsonValue, ctx: &str) -> Result<PruneStats, String> {
+    let counters = |key: &str| -> Result<Vec<u64>, String> {
+        doc.get(key)
+            .and_then(JsonValue::items)
+            .ok_or_else(|| format!("{ctx}: stats.{key} missing"))?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| format!("{ctx}: stats.{key} not integers")))
+            .collect()
+    };
+    let stats = PruneStats {
+        evaluated: counters("evaluated")?,
+        pruned: counters("pruned")?,
+        survivors: doc
+            .get("survivors")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("{ctx}: stats.survivors missing"))?,
+    };
+    if stats.evaluated.len() != stats.pruned.len() {
+        return Err(format!("{ctx}: stats arrays disagree in length"));
+    }
+    Ok(stats)
+}
+
+/// Parse a [`BlockStats`] object written by [`blocks_json`].
+pub(crate) fn parse_blocks(doc: &JsonValue, ctx: &str) -> Result<BlockStats, String> {
+    let block = |key: &str| {
+        doc.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("{ctx}: blocks.{key} missing"))
+    };
+    Ok(BlockStats {
+        subtree_skips: block("subtree_skips")?,
+        congruence_skips: block("congruence_skips")?,
+        points_skipped: block("points_skipped")?,
+        checks_elided: block("checks_elided")?,
+    })
 }
 
 /// Parse and validate a checkpoint file into a [`ResumeSeed`]. Returns
@@ -498,41 +564,8 @@ fn parse_checkpoint<V: Visitor + SaveState>(
         return Ok(None);
     }
 
-    let stats_doc = field("stats")?;
-    let counters = |key: &str| -> Result<Vec<u64>, String> {
-        stats_doc
-            .get(key)
-            .and_then(JsonValue::items)
-            .ok_or_else(|| format!("checkpoint: stats.{key} missing"))?
-            .iter()
-            .map(|v| v.as_u64().ok_or_else(|| format!("checkpoint: stats.{key} not integers")))
-            .collect()
-    };
-    let stats = PruneStats {
-        evaluated: counters("evaluated")?,
-        pruned: counters("pruned")?,
-        survivors: stats_doc
-            .get("survivors")
-            .and_then(JsonValue::as_u64)
-            .ok_or_else(|| "checkpoint: stats.survivors missing".to_string())?,
-    };
-    if stats.evaluated.len() != stats.pruned.len() {
-        return Err("checkpoint: stats arrays disagree in length".to_string());
-    }
-
-    let blocks_doc = field("blocks")?;
-    let block = |key: &str| {
-        blocks_doc
-            .get(key)
-            .and_then(JsonValue::as_u64)
-            .ok_or_else(|| format!("checkpoint: blocks.{key} missing"))
-    };
-    let blocks = BlockStats {
-        subtree_skips: block("subtree_skips")?,
-        congruence_skips: block("congruence_skips")?,
-        points_skipped: block("points_skipped")?,
-        checks_elided: block("checks_elided")?,
-    };
+    let stats = parse_stats(field("stats")?, "checkpoint")?;
+    let blocks = parse_blocks(field("blocks")?, "checkpoint")?;
 
     let faults = field("faults")?
         .items()

@@ -43,6 +43,7 @@ pub mod fault;
 pub mod parallel;
 pub mod point;
 pub mod postfix;
+pub mod service;
 pub mod stats;
 pub mod sweep;
 pub mod telemetry;
@@ -58,6 +59,8 @@ pub mod prelude {
     pub use crate::fault::{CancelToken, FaultInjector, FaultPolicy, FaultRecord};
     pub use crate::parallel::{run_parallel, run_parallel_report, ParallelOptions};
     pub use crate::point::{Point, PointRef};
+    pub use crate::service::cache::{run_cached, CacheStats, SweepCache};
+    pub use crate::service::{ResolvedSpace, ServiceConfig, SpaceResolver, SweepService};
     pub use crate::stats::{BlockStats, FaultCounters, PruneStats};
     pub use crate::sweep::SweepError;
     pub use crate::telemetry::{SweepProgress, SweepReport};

@@ -71,10 +71,18 @@
 //! to an uninterrupted one. Only the *telemetry* (worker timings,
 //! chunks-per-worker) varies run to run. This is enforced by
 //! `tests/determinism.rs` and `tests/fault_tolerance.rs`.
+//!
+//! The same contract is what makes chunk-level *memoization* sound: the
+//! supervisor exposes an internal `ChunkMemo` hook consulted at each chunk
+//! boundary, and because a stored fault-free outcome is folded exactly where
+//! evaluation would have folded, a cache hit cannot change the merge. The
+//! fingerprint-keyed cache in [`crate::service::cache`] builds on this;
+//! per-run hit/miss traffic lands in
+//! [`SweepReport::cache_hits`]/[`SweepReport::cache_misses`].
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -178,7 +186,7 @@ where
     V: Visitor + Send,
     F: Fn() -> V + Sync,
 {
-    run_supervised(lp, opts, make_visitor, None, None)
+    run_supervised(lp, opts, make_visitor, None, None, None)
 }
 
 /// Merged state an interrupted sweep hands back to [`run_supervised`] so the
@@ -223,6 +231,23 @@ pub(crate) struct CkSink<'a, V> {
     /// Writer; failures abort the sweep with [`SweepError::Checkpoint`].
     #[allow(clippy::type_complexity)]
     pub write: &'a (dyn Fn(&CkSnapshot<'_, V>) -> Result<(), String> + Sync),
+}
+
+/// Sub-sweep memo consulted by [`run_supervised`] at every chunk boundary.
+///
+/// A hit replaces chunk evaluation entirely: the returned outcome is folded
+/// exactly where a freshly evaluated one would be, so the merged result is
+/// bit-identical as long as implementations only return outcomes previously
+/// stored for the *same* `(chunk index, level-0 values)` under the same plan
+/// — the contract `crate::service::cache` enforces with its structural-hash
+/// key. Only fault-free chunks are offered to [`ChunkMemo::store`]; a
+/// skipped-point or quarantined chunk must never be replayed from cache
+/// because its outcome depends on the fault policy, not just the plan.
+pub(crate) trait ChunkMemo<V>: Sync {
+    /// Return the memoized outcome for `chunk` covering `values`, if any.
+    fn lookup(&self, chunk: usize, values: &[i64]) -> Option<SweepOutcome<V>>;
+    /// Offer a freshly evaluated, fault-free chunk outcome for storage.
+    fn store(&self, chunk: usize, values: &[i64], outcome: &SweepOutcome<V>);
 }
 
 /// What one finished chunk contributes to the merge: its outcome (`None`
@@ -334,6 +359,7 @@ pub(crate) fn run_supervised<V, F>(
     make_visitor: F,
     resume: Option<ResumeSeed<V>>,
     sink: Option<&CkSink<'_, V>>,
+    memo: Option<&dyn ChunkMemo<V>>,
 ) -> Result<(SweepOutcome<V>, SweepReport), SweepError>
 where
     V: Visitor + Send,
@@ -452,6 +478,8 @@ where
     let probe = CancelProbe::new(opts.cancel.clone(), opts.deadline.map(|d| t_start + d));
     let n_workers = threads.min((limit - start).max(1));
     let cursor = AtomicUsize::new(start);
+    let memo_hits = AtomicU64::new(0);
+    let memo_misses = AtomicU64::new(0);
     let abort = AtomicBool::new(false);
     let first_error: Mutex<Option<SweepError>> = Mutex::new(None);
     let collector = Mutex::new(Collector {
@@ -503,6 +531,32 @@ where
             let t0 = Instant::now();
             let mut chunk_faults: Vec<FaultRecord> = Vec::new();
             let mut outcome: Option<SweepOutcome<V>> = None;
+            // Sub-sweep cache: a hit replaces evaluation of this chunk with
+            // the memoized outcome, folded exactly where a fresh one would
+            // be — the merge path cannot tell the difference.
+            if let Some(memo) = memo {
+                if let Some(cached) = memo.lookup(i, chunks[i]) {
+                    memo_hits.fetch_add(1, Ordering::Relaxed);
+                    telemetry.busy += t0.elapsed();
+                    telemetry.chunks += 1;
+                    // Replayed work still counts toward the merged totals,
+                    // so worker sums keep matching the report.
+                    telemetry.evaluated += cached.stats.evaluated.iter().sum::<u64>();
+                    telemetry.survivors += cached.stats.survivors;
+                    let folded = collector.lock().unwrap().add(
+                        i,
+                        ChunkDone { outcome: Some(cached), faults: Vec::new() },
+                        opts.progress.as_ref(),
+                        sink,
+                    );
+                    if let Err(msg) = folded {
+                        fail(SweepError::Checkpoint(msg));
+                        break;
+                    }
+                    continue 'pull;
+                }
+                memo_misses.fetch_add(1, Ordering::Relaxed);
+            }
             for attempt in 0..=retry_max {
                 if attempt > 0 && backoff_ms > 0 {
                     std::thread::sleep(Duration::from_millis(backoff_ms));
@@ -573,6 +627,14 @@ where
                 });
                 if exhausted {
                     break;
+                }
+            }
+            if let (Some(memo), Some(out)) = (memo, &outcome) {
+                // Only clean chunks are cacheable: an outcome shaped by a
+                // fault policy (skipped points, retries) must be recomputed,
+                // not replayed under a possibly different policy.
+                if chunk_faults.is_empty() {
+                    memo.store(i, chunks[i], out);
                 }
             }
             telemetry.busy += t0.elapsed();
@@ -652,6 +714,8 @@ where
     report.fault_policy = policy.name();
     report.fault_counters = FaultCounters::from_records(&faults);
     report.faults = faults;
+    report.cache_hits = memo_hits.into_inner();
+    report.cache_misses = memo_misses.into_inner();
     Ok((
         SweepOutcome {
             stats,

@@ -1,0 +1,265 @@
+//! Minimal HTTP/1.1 support for the sweep service — hand-rolled over
+//! [`std::net::TcpStream`], because the build environment cannot vendor an
+//! HTTP crate (the registry mirror is unreachable; everything in this repo
+//! is std-only).
+//!
+//! Scope is deliberately small: one request per connection, `Content-Length`
+//! bodies on the way in, fixed-length or `chunked` transfer-encoding on the
+//! way out. That covers the whole protocol in `docs/PROTOCOL.md` without
+//! keep-alive or pipelining edge cases; clients that send
+//! `Connection: keep-alive` simply get a closed socket after the response,
+//! which HTTP/1.1 permits (`Connection: close` is always advertised).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers), in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body, in bytes.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Body decoded as UTF-8.
+    pub fn body_str(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "body is not valid UTF-8".to_string())
+    }
+}
+
+/// Read and parse one request from `stream`.
+///
+/// Returns `Ok(None)` when the peer closed the connection before sending a
+/// request line (a common health-probe pattern), and `Err` with a short
+/// diagnostic for malformed or oversized requests.
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(|e| format!("read request line: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let target = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || target.is_empty() {
+        return Err("malformed request line".to_string());
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header).map_err(|e| format!("read header: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-headers".to_string());
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD {
+            return Err("request head too large".to_string());
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| "bad Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err("request body too large".to_string());
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Reason phrase for the handful of status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete fixed-length response and flush it.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Shorthand for an `application/json` response.
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body)
+}
+
+/// Shorthand for a JSON error payload `{"error": "..."}`.
+pub fn write_error(stream: &mut TcpStream, status: u16, message: &str) -> std::io::Result<()> {
+    let mut body = String::from("{");
+    crate::telemetry::json_str(&mut body, "error", message);
+    body.push('}');
+    write_json(stream, status, &body)
+}
+
+/// Incremental `Transfer-Encoding: chunked` response writer, used by the
+/// progress-stream endpoint so clients see updates while the sweep runs.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    open: bool,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Send the response head and switch the connection to chunked mode.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status),
+            content_type
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream, open: true })
+    }
+
+    /// Send one chunk (empty input is skipped — a zero-length chunk would
+    /// terminate the stream).
+    pub fn chunk(&mut self, data: &str) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data.as_bytes())?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Send the terminating zero-length chunk.
+    pub fn end(mut self) -> std::io::Result<()> {
+        self.open = false;
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+impl Drop for ChunkedWriter<'_> {
+    fn drop(&mut self) {
+        if self.open {
+            // Best effort: terminate the stream so well-behaved clients do
+            // not hang waiting for more chunks after a handler error.
+            let _ = self.stream.write_all(b"0\r\n\r\n");
+            let _ = self.stream.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(
+                b"POST /sweeps?wait=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n",
+            )
+            .unwrap();
+        let req = read_request(&mut server).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sweeps");
+        assert_eq!(req.body_str().unwrap(), "{\"a\": 1}\n");
+    }
+
+    #[test]
+    fn get_without_body() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let req = read_request(&mut server).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn closed_connection_yields_none() {
+        let (client, mut server) = pair();
+        drop(client);
+        assert!(read_request(&mut server).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_content_length_rejected() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+            .unwrap();
+        assert!(read_request(&mut server).is_err());
+    }
+
+    #[test]
+    fn chunked_stream_is_well_formed() {
+        let (mut client, mut server) = pair();
+        let writer_thread = std::thread::spawn(move || {
+            let mut w = ChunkedWriter::begin(&mut server, 200, "application/json").unwrap();
+            w.chunk("{\"n\":1}\n").unwrap();
+            w.chunk("{\"n\":2}\n").unwrap();
+            w.end().unwrap();
+        });
+        let mut raw = String::new();
+        client.read_to_string(&mut raw).unwrap();
+        writer_thread.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(raw.contains("Transfer-Encoding: chunked"));
+        assert!(raw.contains("8\r\n{\"n\":1}\n\r\n"));
+        assert!(raw.ends_with("0\r\n\r\n"));
+    }
+}

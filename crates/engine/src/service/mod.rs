@@ -1,0 +1,562 @@
+//! Sweep-as-a-service: a std-only HTTP daemon that accepts space
+//! descriptions over JSON, schedules sweeps on a shared fault-tolerant
+//! worker pool, streams progress, and memoizes completed sub-sweeps in a
+//! fingerprint-keyed cache so repeated or overlapping requests fold cached
+//! chunk outcomes instead of re-enumerating them.
+//!
+//! The wire protocol (endpoints, JSON shapes, examples) is documented in
+//! `docs/PROTOCOL.md`; the architecture and the cache-soundness argument in
+//! `DESIGN.md` §8. In brief:
+//!
+//! | Route                      | Purpose                                    |
+//! |----------------------------|--------------------------------------------|
+//! | `GET  /healthz`            | liveness + job count                       |
+//! | `POST /sweeps`             | submit a sweep (`"wait": true` to block)   |
+//! | `GET  /sweeps`             | list all jobs                              |
+//! | `GET  /sweeps/{id}`        | job state; full report once done           |
+//! | `GET  /sweeps/{id}/progress` | chunked stream of progress JSON lines    |
+//! | `GET  /cache/stats`        | sub-sweep cache counters                   |
+//! | `POST /shutdown`           | graceful stop                              |
+//!
+//! The daemon is generic over *what spaces it can build*: callers supply a
+//! [`SpaceResolver`] that turns the request's `"space"` JSON object into a
+//! [`ResolvedSpace`] (lowered plan + cache scope). The engine crate stays
+//! ignorant of concrete space families; the GEMM resolver lives in
+//! `beast-gemm` and is wired up by `repro serve`.
+
+pub mod cache;
+pub mod http;
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use beast_core::ir::LoweredPlan;
+
+use crate::checkpoint::{JsonValue, SaveState};
+use crate::compiled::EngineOptions;
+use crate::parallel::ParallelOptions;
+use crate::telemetry::{json_num, json_str, SweepProgress};
+use crate::visit::FingerprintVisitor;
+
+use cache::{run_cached, SweepCache};
+use http::{read_request, write_error, write_json, ChunkedWriter, Request};
+
+use beast_core::analyze::LintGate;
+
+/// A space description resolved into something the engine can sweep.
+#[derive(Debug)]
+pub struct ResolvedSpace {
+    /// Human-readable label echoed in job listings (e.g.
+    /// `gemm reduced(16) on Reduced synthetic Kepler, sgemm NN`).
+    pub label: String,
+    /// Cache-scope component naming everything about the request that the
+    /// lowered plan does not already pin (in practice: a stable rendering
+    /// of the resolver inputs). Folded into every sub-sweep cache key.
+    pub scope: String,
+    /// The lowered plan to sweep.
+    pub plan: LoweredPlan,
+}
+
+/// Callback that turns the request's `"space"` JSON object into a
+/// [`ResolvedSpace`]. Errors become HTTP 400 responses verbatim.
+pub type SpaceResolver =
+    Arc<dyn Fn(&JsonValue) -> Result<ResolvedSpace, String> + Send + Sync>;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address, e.g. `127.0.0.1:7app` — port 0 picks a free port
+    /// (the realized address is available from [`ServiceHandle::addr`]).
+    pub addr: String,
+    /// Worker threads per sweep (the `ParallelOptions::threads` each job
+    /// runs with).
+    pub threads: usize,
+    /// Sweeps executed concurrently (executor pool size). Queued jobs wait.
+    pub executors: usize,
+    /// Pinned scheduler chunk count. Every job uses the same grid so that
+    /// overlapping requests produce cache-compatible chunks; see
+    /// `DESIGN.md` §8 for why the key tolerates grid changes anyway.
+    pub chunk_count: usize,
+    /// Optional on-disk store for the sub-sweep cache; persisted after
+    /// every completed job and at shutdown.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            executors: 2,
+            chunk_count: 32,
+            cache_path: None,
+        }
+    }
+}
+
+/// Lifecycle of one submitted sweep.
+enum JobState {
+    Queued,
+    Running,
+    /// Completed: the pre-rendered result JSON (see `job_json`).
+    Done(String),
+    Failed(String),
+}
+
+impl JobState {
+    fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_))
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One submitted sweep.
+struct Job {
+    id: u64,
+    label: String,
+    /// Consumed by the executor when the job starts; `None` afterwards.
+    work: Mutex<Option<(LoweredPlan, String)>>,
+    progress: Arc<SweepProgress>,
+    state: Mutex<JobState>,
+    state_cv: Condvar,
+}
+
+impl Job {
+    /// Render the job as a JSON object for listings and result fetches.
+    fn to_json(&self) -> String {
+        let state = self.state.lock().unwrap();
+        match &*state {
+            JobState::Done(body) => body.clone(),
+            other => {
+                let mut out = String::from("{");
+                json_num(&mut out, "id", self.id as f64);
+                out.push(',');
+                json_str(&mut out, "label", &self.label);
+                out.push(',');
+                json_str(&mut out, "state", other.name());
+                if let JobState::Failed(err) = other {
+                    out.push(',');
+                    json_str(&mut out, "error", err);
+                }
+                if matches!(other, JobState::Running) {
+                    let snap = self.progress.snapshot();
+                    out.push(',');
+                    json_num(&mut out, "chunks_done", snap.chunks_done as f64);
+                    out.push(',');
+                    json_num(&mut out, "chunks_total", snap.chunks_total as f64);
+                    out.push(',');
+                    json_num(&mut out, "tuples_decided", snap.tuples_decided as f64);
+                }
+                out.push('}');
+                out
+            }
+        }
+    }
+
+    /// One progress-stream line: state plus the live counters.
+    fn progress_line(&self) -> String {
+        let snap = self.progress.snapshot();
+        let state = self.state.lock().unwrap();
+        let mut out = String::from("{");
+        json_num(&mut out, "id", self.id as f64);
+        out.push(',');
+        json_str(&mut out, "state", state.name());
+        out.push(',');
+        json_num(&mut out, "chunks_done", snap.chunks_done as f64);
+        out.push(',');
+        json_num(&mut out, "chunks_total", snap.chunks_total as f64);
+        out.push(',');
+        json_num(&mut out, "tuples_decided", snap.tuples_decided as f64);
+        out.push_str("}\n");
+        out
+    }
+
+    fn set_state(&self, next: JobState) {
+        *self.state.lock().unwrap() = next;
+        self.state_cv.notify_all();
+    }
+
+    /// Block until the job reaches a terminal state, then return its JSON.
+    fn wait_terminal(&self) -> String {
+        let mut state = self.state.lock().unwrap();
+        while !state.is_terminal() {
+            state = self.state_cv.wait(state).unwrap();
+        }
+        drop(state);
+        self.to_json()
+    }
+}
+
+/// Everything the listener, connection handlers and executors share.
+struct ServerState {
+    cfg: ServiceConfig,
+    resolver: SpaceResolver,
+    cache: SweepCache<FingerprintVisitor>,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs.lock().unwrap().get(&id).cloned()
+    }
+}
+
+/// A running daemon: the realized bind address plus join handles for every
+/// thread it owns. Dropping the handle without calling
+/// [`ServiceHandle::wait`] detaches the threads (they still honor
+/// `POST /shutdown`).
+pub struct SweepService {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    listener: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+/// Alias kept for readability at call sites: `serve` returns the handle
+/// you shut the daemon down through.
+pub type ServiceHandle = SweepService;
+
+impl SweepService {
+    /// Bind, spawn the executor pool and the listener, and return.
+    ///
+    /// Fails if the address cannot be bound or (when `cache_path` is set)
+    /// the existing cache file is malformed.
+    pub fn start(cfg: ServiceConfig, resolver: SpaceResolver) -> Result<SweepService, String> {
+        let cache = match &cfg.cache_path {
+            Some(path) => SweepCache::with_path(path, &FingerprintVisitor::new)?,
+            None => SweepCache::new(),
+        };
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+
+        let executors = cfg.executors.max(1);
+        let state = Arc::new(ServerState {
+            cfg,
+            resolver,
+            cache,
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let executor_joins: Vec<JoinHandle<()>> = (0..executors)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("sweep-exec-{i}"))
+                    .spawn(move || executor_loop(&state))
+                    .map_err(|e| format!("cannot spawn executor: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let listener_state = Arc::clone(&state);
+        let listener_join = std::thread::Builder::new()
+            .name("sweep-listener".to_string())
+            .spawn(move || listener_loop(listener, &listener_state))
+            .map_err(|e| format!("cannot spawn listener: {e}"))?;
+
+        Ok(SweepService {
+            addr,
+            state,
+            listener: Some(listener_join),
+            executors: executor_joins,
+        })
+    }
+
+    /// The realized bind address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a graceful stop, exactly like `POST /shutdown`.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue_cv.notify_all();
+    }
+
+    /// Block until every daemon thread has exited (after a shutdown was
+    /// requested via [`SweepService::shutdown`] or `POST /shutdown`), then
+    /// persist the cache one final time.
+    pub fn wait(mut self) -> Result<(), String> {
+        if let Some(listener) = self.listener.take() {
+            listener.join().map_err(|_| "listener thread panicked".to_string())?;
+        }
+        for join in self.executors.drain(..) {
+            join.join().map_err(|_| "executor thread panicked".to_string())?;
+        }
+        self.state.cache.persist()
+    }
+}
+
+/// Accept loop: poll the nonblocking listener, hand each connection to a
+/// short-lived handler thread, exit when shutdown is flagged.
+fn listener_loop(listener: TcpListener, state: &Arc<ServerState>) {
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                let _ = std::thread::Builder::new()
+                    .name("sweep-conn".to_string())
+                    .spawn(move || handle_connection(stream, &state));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Executor loop: pull job ids off the queue, run each sweep through the
+/// cache, publish the result, persist the cache.
+fn executor_loop(state: &Arc<ServerState>) {
+    loop {
+        let id = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(id) = queue.pop_front() {
+                    break Some(id);
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _timeout) = state
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap();
+                queue = q;
+            }
+        };
+        let Some(id) = id else { return };
+        let Some(job) = state.job(id) else { continue };
+        run_job(state, &job);
+    }
+}
+
+/// Run one job to a terminal state.
+fn run_job(state: &ServerState, job: &Job) {
+    let Some((plan, scope)) = job.work.lock().unwrap().take() else {
+        job.set_state(JobState::Failed("job has no work attached".to_string()));
+        return;
+    };
+    job.set_state(JobState::Running);
+    let opts = ParallelOptions {
+        chunk_count: state.cfg.chunk_count,
+        progress: Some(Arc::clone(&job.progress)),
+        engine: EngineOptions {
+            // The daemon serves programmatic clients; linting belongs to
+            // the space author's workflow, not the request path.
+            lint: LintGate::Allow,
+            ..EngineOptions::default()
+        },
+        ..ParallelOptions::new(state.cfg.threads)
+    };
+    match run_cached(&plan, &opts, &state.cache, &scope, FingerprintVisitor::new) {
+        Ok((outcome, report)) => {
+            let mut out = String::from("{");
+            json_num(&mut out, "id", job.id as f64);
+            out.push(',');
+            json_str(&mut out, "label", &job.label);
+            out.push(',');
+            json_str(&mut out, "state", "done");
+            out.push(',');
+            json_num(&mut out, "survivors", report.survivors as f64);
+            out.push(',');
+            json_num(&mut out, "elapsed_s", report.elapsed.as_secs_f64());
+            out.push(',');
+            json_num(&mut out, "cache_hits", report.cache_hits as f64);
+            out.push(',');
+            json_num(&mut out, "cache_misses", report.cache_misses as f64);
+            out.push_str(",\"fingerprint\":");
+            out.push_str(&outcome.visitor.save_state());
+            out.push_str(",\"report\":");
+            out.push_str(&report.to_json());
+            out.push('}');
+            job.set_state(JobState::Done(out));
+            if let Err(e) = state.cache.persist() {
+                eprintln!("repro serve: cache persist failed: {e}");
+            }
+        }
+        Err(e) => job.set_state(JobState::Failed(format!("sweep failed: {e}"))),
+    }
+}
+
+/// Serve one connection: read a single request, dispatch, close.
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    // Accepted sockets inherit O_NONBLOCK from the listener on some
+    // platforms; request parsing needs blocking reads.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let request = match read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = write_error(&mut stream, 400, &e);
+            return;
+        }
+    };
+    let result = dispatch(&mut stream, &request, state);
+    if let Err(e) = result {
+        // Head may already be on the wire; best effort.
+        let _ = write_error(&mut stream, 500, &e);
+    }
+}
+
+/// Route one parsed request.
+fn dispatch(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServerState>,
+) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("write response: {e}");
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let mut body = String::from("{\"ok\":true,");
+            json_num(&mut body, "jobs", state.jobs.lock().unwrap().len() as f64);
+            body.push('}');
+            write_json(stream, 200, &body).map_err(io)
+        }
+        ("POST", ["sweeps"]) => submit(stream, request, state),
+        ("GET", ["sweeps"]) => {
+            let jobs = state.jobs.lock().unwrap();
+            let mut ids: Vec<u64> = jobs.keys().copied().collect();
+            ids.sort_unstable();
+            let mut body = String::from("{\"jobs\":[");
+            for (i, id) in ids.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&jobs[id].to_json());
+            }
+            body.push_str("]}");
+            drop(jobs);
+            write_json(stream, 200, &body).map_err(io)
+        }
+        ("GET", ["sweeps", id]) => match parse_id(id) {
+            Some(id) => match state.job(id) {
+                Some(job) => write_json(stream, 200, &job.to_json()).map_err(io),
+                None => write_error(stream, 404, &format!("no sweep {id}")).map_err(io),
+            },
+            None => write_error(stream, 400, "sweep id must be an integer").map_err(io),
+        },
+        ("GET", ["sweeps", id, "progress"]) => match parse_id(id) {
+            Some(id) => match state.job(id) {
+                Some(job) => stream_progress(stream, &job),
+                None => write_error(stream, 404, &format!("no sweep {id}")).map_err(io),
+            },
+            None => write_error(stream, 400, "sweep id must be an integer").map_err(io),
+        },
+        ("GET", ["cache", "stats"]) => {
+            write_json(stream, 200, &state.cache.stats().to_json()).map_err(io)
+        }
+        ("POST", ["shutdown"]) => {
+            let reply = write_json(stream, 200, "{\"ok\":true,\"shutting_down\":true}");
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue_cv.notify_all();
+            reply.map_err(io)
+        }
+        ("GET" | "POST", _) => {
+            write_error(stream, 404, &format!("no route for {}", request.path)).map_err(io)
+        }
+        _ => write_error(stream, 405, &format!("method {} not allowed", request.method))
+            .map_err(io),
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse::<u64>().ok()
+}
+
+/// `POST /sweeps`: resolve the space, enqueue a job, answer `202` with the
+/// queued job — or, with `"wait": true`, block until terminal and answer
+/// `200` with the full result.
+fn submit(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServerState>,
+) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("write response: {e}");
+    if state.shutdown.load(Ordering::SeqCst) {
+        return write_error(stream, 503, "service is shutting down").map_err(io);
+    }
+    let body = match request.body_str() {
+        Ok(body) => body,
+        Err(e) => return write_error(stream, 400, &e).map_err(io),
+    };
+    let doc = match JsonValue::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return write_error(stream, 400, &format!("malformed JSON: {e}")).map_err(io),
+    };
+    let Some(space) = doc.get("space") else {
+        return write_error(stream, 400, "request must have a `space` object").map_err(io);
+    };
+    let resolved = match (state.resolver)(space) {
+        Ok(resolved) => resolved,
+        Err(e) => return write_error(stream, 400, &e).map_err(io),
+    };
+    let wait = doc.get("wait").and_then(JsonValue::as_bool).unwrap_or(false);
+
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(Job {
+        id,
+        label: resolved.label,
+        work: Mutex::new(Some((resolved.plan, resolved.scope))),
+        progress: Arc::new(SweepProgress::default()),
+        state: Mutex::new(JobState::Queued),
+        state_cv: Condvar::new(),
+    });
+    state.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+    state.queue.lock().unwrap().push_back(id);
+    state.queue_cv.notify_one();
+
+    if wait {
+        write_json(stream, 200, &job.wait_terminal()).map_err(io)
+    } else {
+        write_json(stream, 202, &job.to_json()).map_err(io)
+    }
+}
+
+/// `GET /sweeps/{id}/progress`: chunked JSON lines at ~25 ms cadence while
+/// the job runs, then one terminal line with the full result.
+fn stream_progress(stream: &mut TcpStream, job: &Job) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("stream progress: {e}");
+    let mut writer = ChunkedWriter::begin(stream, 200, "application/json").map_err(io)?;
+    loop {
+        if job.state.lock().unwrap().is_terminal() {
+            break;
+        }
+        writer.chunk(&job.progress_line()).map_err(io)?;
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let mut terminal = job.to_json();
+    terminal.push('\n');
+    writer.chunk(&terminal).map_err(io)?;
+    writer.end().map_err(io)
+}

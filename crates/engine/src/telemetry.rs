@@ -199,6 +199,12 @@ pub struct SweepReport {
     /// Per-point constraint evaluations elided because the check was
     /// statically true over its subtree (still counted in `evaluated`).
     pub checks_elided: u64,
+    /// Chunks satisfied from the sub-sweep cache instead of re-enumeration
+    /// (0 unless the sweep ran under `crate::service`'s memo).
+    pub cache_hits: u64,
+    /// Chunks that consulted the sub-sweep cache and missed (0 when no
+    /// cache was attached).
+    pub cache_misses: u64,
     /// Space-linter summary recorded at engine compile time (`None` when
     /// the lint gate is `Allow`).
     pub lint: Option<LintSummary>,
@@ -284,6 +290,8 @@ impl SweepReport {
             congruence_skips: blocks.congruence_skips,
             points_skipped: blocks.points_skipped,
             checks_elided: blocks.checks_elided,
+            cache_hits: 0,
+            cache_misses: 0,
             lint,
             constraints,
             levels,
@@ -364,6 +372,10 @@ impl SweepReport {
         json_num(&mut out, "points_skipped", self.points_skipped as f64);
         out.push(',');
         json_num(&mut out, "checks_elided", self.checks_elided as f64);
+        out.push(',');
+        json_num(&mut out, "cache_hits", self.cache_hits as f64);
+        out.push(',');
+        json_num(&mut out, "cache_misses", self.cache_misses as f64);
         out.push(',');
         json_num(&mut out, "imbalance", self.imbalance());
         out.push_str(",\"partial\":");
@@ -503,6 +515,13 @@ impl SweepReport {
                 out,
                 "block pruning: {} subtree skips ({} by congruence, ≥ {} points never enumerated), {} checks elided",
                 self.subtree_skips, self.congruence_skips, self.points_skipped, self.checks_elided
+            );
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            let _ = writeln!(
+                out,
+                "sub-sweep cache: {} hit(s), {} miss(es)",
+                self.cache_hits, self.cache_misses
             );
         }
         if let Some(s) = self.lint {

@@ -18,6 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batched;
+pub mod resolve;
 pub mod space;
 pub mod tune;
 
@@ -25,6 +26,7 @@ pub use batched::{
     build_batched_cholesky_space, estimate_batched, point_to_batched_config,
     tune_batched_cholesky, BatchedCholeskyConfig, BatchedCholeskyParams,
 };
+pub use resolve::{gemm_resolver, resolve_gemm_space};
 pub use space::{
     build_gemm_space, point_to_config, pointref_to_config, GemmSpaceParams, ITERATOR_NAMES,
 };

@@ -1,0 +1,208 @@
+//! GEMM [`SpaceResolver`] for the sweep service: turns the `"space"` JSON
+//! object of a `POST /sweeps` request into a lowered GEMM plan.
+//!
+//! Request shape (all keys except the device designator optional; see
+//! `docs/PROTOCOL.md` for the full reference):
+//!
+//! ```json
+//! {
+//!   "kind": "gemm",
+//!   "reduced": 16,
+//!   "precision": "double",
+//!   "transpose": "nn",
+//!   "min_threads_per_multiprocessor": 256,
+//!   "min_fmas_per_load": 2
+//! }
+//! ```
+//!
+//! Devices are designated either by `"reduced": N` (the synthetic reduced
+//! Kepler with an `N`-wide thread grid, sized for demos and tests) or by
+//! `"device": "k40"` (case-insensitive substring match against
+//! [`DeviceProps::known_devices`]).
+
+use std::sync::Arc;
+
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_cuda::DeviceProps;
+use beast_engine::checkpoint::JsonValue;
+use beast_engine::service::{ResolvedSpace, SpaceResolver};
+use beast_gpu_sim::{Precision, Transpose};
+
+use crate::space::{build_gemm_space, GemmSpaceParams};
+
+/// The GEMM resolver as a [`SpaceResolver`] ready to hand to
+/// [`beast_engine::service::SweepService::start`].
+pub fn gemm_resolver() -> SpaceResolver {
+    Arc::new(resolve_gemm_space)
+}
+
+/// Resolve one `"space"` JSON object into a lowered GEMM plan.
+///
+/// Errors are short human-readable diagnostics; the service forwards them
+/// verbatim as HTTP 400 bodies.
+pub fn resolve_gemm_space(doc: &JsonValue) -> Result<ResolvedSpace, String> {
+    if let Some(kind) = doc.get("kind").and_then(JsonValue::as_str) {
+        if kind != "gemm" {
+            return Err(format!("unknown space kind `{kind}` (this server builds `gemm`)"));
+        }
+    }
+
+    let (device, device_desc) = match (
+        doc.get("reduced").and_then(JsonValue::as_i64),
+        doc.get("device").and_then(JsonValue::as_str),
+    ) {
+        (Some(_), Some(_)) => {
+            return Err("give either `reduced` or `device`, not both".to_string());
+        }
+        (Some(dim), None) => {
+            if dim < 1 {
+                return Err(format!("`reduced` must be positive, got {dim}"));
+            }
+            (DeviceProps::reduced(dim), format!("reduced({dim})"))
+        }
+        (None, Some(name)) => match DeviceProps::by_name(name) {
+            Some(d) => {
+                let desc = d.name.to_string();
+                (d, desc)
+            }
+            None => {
+                let known: Vec<&str> =
+                    DeviceProps::known_devices().iter().map(|d| d.name).collect();
+                return Err(format!(
+                    "unknown device `{name}` (known: {})",
+                    known.join(", ")
+                ));
+            }
+        },
+        (None, None) => {
+            return Err("space needs a device: `\"reduced\": N` or `\"device\": \"name\"`"
+                .to_string());
+        }
+    };
+
+    let precision = match doc.get("precision") {
+        None => Precision::Double,
+        Some(v) => {
+            let s = v.as_str().ok_or("`precision` must be a string")?;
+            parse_precision(s)?
+        }
+    };
+    let transpose = match doc.get("transpose") {
+        None => Transpose::default(),
+        Some(v) => {
+            let s = v.as_str().ok_or("`transpose` must be a string")?;
+            parse_transpose(s)?
+        }
+    };
+
+    let defaults = GemmSpaceParams::paper_default();
+    let min_threads = opt_i64(doc, "min_threads_per_multiprocessor")?
+        .unwrap_or(defaults.min_threads_per_multiprocessor);
+    let min_fmas = opt_i64(doc, "min_fmas_per_load")?.unwrap_or(defaults.min_fmas_per_load);
+
+    let params = GemmSpaceParams {
+        device,
+        precision,
+        transpose,
+        min_threads_per_multiprocessor: min_threads,
+        min_fmas_per_load: min_fmas,
+    };
+    let space = build_gemm_space(&params).map_err(|e| format!("cannot build space: {e}"))?;
+    let plan = Plan::new(&space, PlanOptions::default())
+        .map_err(|e| format!("cannot plan space: {e}"))?;
+    let lowered = LoweredPlan::new(&plan).map_err(|e| format!("cannot lower plan: {e}"))?;
+
+    let case = format!(
+        "{}gemm_{}",
+        params.precision.blas_letter(),
+        params.transpose.suffix()
+    );
+    Ok(ResolvedSpace {
+        label: format!("{case} on {}", params.device.name),
+        scope: format!("gemm|dev={device_desc}|case={case}|mt={min_threads}|mf={min_fmas}"),
+        plan: lowered,
+    })
+}
+
+fn opt_i64(doc: &JsonValue, key: &str) -> Result<Option<i64>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_i64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be an integer")),
+    }
+}
+
+fn parse_precision(s: &str) -> Result<Precision, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "s" | "single" => Ok(Precision::Single),
+        "d" | "double" => Ok(Precision::Double),
+        "c" | "single-complex" => Ok(Precision::SingleComplex),
+        "z" | "double-complex" => Ok(Precision::DoubleComplex),
+        _ => Err(format!(
+            "unknown precision `{s}` (want single, double, single-complex, double-complex)"
+        )),
+    }
+}
+
+fn parse_transpose(s: &str) -> Result<Transpose, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "nn" => Ok(Transpose { a: false, b: false }),
+        "nt" => Ok(Transpose { a: false, b: true }),
+        "tn" => Ok(Transpose { a: true, b: false }),
+        "tt" => Ok(Transpose { a: true, b: true }),
+        _ => Err(format!("unknown transpose `{s}` (want nn, nt, tn, tt)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<ResolvedSpace, String> {
+        resolve_gemm_space(&JsonValue::parse(body).unwrap())
+    }
+
+    #[test]
+    fn reduced_request_resolves() {
+        let r = parse("{\"kind\":\"gemm\",\"reduced\":16}").unwrap();
+        assert_eq!(r.label, "dgemm_nn on Reduced synthetic Kepler");
+        assert!(r.scope.contains("dev=reduced(16)"), "{}", r.scope);
+        assert!(!r.plan.has_opaque_steps());
+    }
+
+    #[test]
+    fn named_device_and_settings_resolve() {
+        let r = parse(
+            "{\"device\":\"k40\",\"precision\":\"single\",\"transpose\":\"NT\",\
+             \"min_fmas_per_load\":3}",
+        )
+        .unwrap();
+        assert_eq!(r.label, "sgemm_nt on Tesla K40c");
+        assert!(r.scope.contains("case=sgemm_nt"), "{}", r.scope);
+        assert!(r.scope.contains("mf=3"), "{}", r.scope);
+    }
+
+    #[test]
+    fn different_reduced_dims_get_different_plans() {
+        let a = parse("{\"reduced\":16}").unwrap();
+        let b = parse("{\"reduced\":32}").unwrap();
+        assert_ne!(
+            a.plan.structural_hash(),
+            b.plan.structural_hash(),
+            "device limits fold into plan constants, so the structural hash must differ"
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_diagnosed() {
+        assert!(parse("{}").unwrap_err().contains("needs a device"));
+        assert!(parse("{\"kind\":\"stencil\",\"reduced\":8}").unwrap_err().contains("stencil"));
+        assert!(parse("{\"reduced\":8,\"device\":\"k40\"}").unwrap_err().contains("not both"));
+        assert!(parse("{\"device\":\"nosuch\"}").unwrap_err().contains("known:"));
+        assert!(parse("{\"reduced\":8,\"precision\":\"half\"}").unwrap_err().contains("half"));
+        assert!(parse("{\"reduced\":8,\"transpose\":\"xy\"}").unwrap_err().contains("xy"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Cache-correctness suite for the sweep service (`beast_engine::service`).
+//!
+//! Pins the headline soundness claim of `DESIGN.md` §8: a sweep served from
+//! the fingerprint-keyed sub-sweep cache is **bit-identical** to a cold
+//! run — same survivors, same emission order (order-sensitive fingerprint),
+//! same merged statistics. Every scenario asserts fingerprint equality
+//! against a cold in-process baseline:
+//!
+//! - identical request resubmitted → every chunk hits;
+//! - prefix overlap (a partial sweep seeds the cache, a full sweep follows)
+//!   → exactly the seeded chunks hit, the rest miss;
+//! - device-parameter mismatch (`reduced(16)` vs `reduced(32)`) → no hits,
+//!   because device limits fold into the lowered plan's constants and
+//!   change its structural hash;
+//! - concurrent HTTP clients racing the same sweep → all get the cold
+//!   fingerprint;
+//! - the chunked progress stream terminates with the full result.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use beast_engine::checkpoint::JsonValue;
+use beast_engine::parallel::{run_parallel_report, ParallelOptions};
+use beast_engine::service::cache::{run_cached, SweepCache};
+use beast_engine::service::{ServiceConfig, SweepService};
+use beast_engine::visit::FingerprintVisitor;
+use beast_gemm::{gemm_resolver, resolve_gemm_space};
+
+/// Same grid the service pins, so in-process baselines and HTTP runs chunk
+/// identically (the cache key tolerates grid changes, but matching grids
+/// make hit counts exact).
+const CHUNKS: usize = 32;
+
+fn gemm_plan(dim: i64) -> beast_core::ir::LoweredPlan {
+    let doc = JsonValue::parse(&format!("{{\"kind\":\"gemm\",\"reduced\":{dim}}}")).unwrap();
+    resolve_gemm_space(&doc).unwrap().plan
+}
+
+fn opts() -> ParallelOptions {
+    ParallelOptions { chunk_count: CHUNKS, ..ParallelOptions::new(2) }
+}
+
+/// Cold, cache-free baseline: (fingerprint hash, survivors).
+fn cold_baseline(dim: i64) -> (u64, u64) {
+    let (out, report) =
+        run_parallel_report(&gemm_plan(dim), &opts(), FingerprintVisitor::new).unwrap();
+    (out.visitor.hash, report.survivors)
+}
+
+// ---------------------------------------------------------------------------
+// run_cached-level scenarios
+// ---------------------------------------------------------------------------
+
+#[test]
+fn identical_sweep_hits_every_chunk_and_is_bit_identical() {
+    let lp = gemm_plan(16);
+    let (cold_fp, cold_survivors) = cold_baseline(16);
+    let cache: SweepCache<FingerprintVisitor> = SweepCache::new();
+
+    let (first, first_rep) =
+        run_cached(&lp, &opts(), &cache, "t", FingerprintVisitor::new).unwrap();
+    assert_eq!(first.visitor.hash, cold_fp, "cold cached run must match cache-free run");
+    assert_eq!(first_rep.cache_hits, 0);
+    let chunks = first_rep.chunks as u64;
+    assert_eq!(first_rep.cache_misses, chunks);
+
+    let (second, second_rep) =
+        run_cached(&lp, &opts(), &cache, "t", FingerprintVisitor::new).unwrap();
+    assert_eq!(second_rep.cache_hits, chunks, "every chunk must be served from cache");
+    assert_eq!(second_rep.cache_misses, 0);
+    assert_eq!(second.visitor, first.visitor, "fingerprint must be bit-identical");
+    assert_eq!(second.stats, first.stats);
+    assert_eq!(second.blocks, first.blocks);
+    assert_eq!(second_rep.survivors, cold_survivors);
+}
+
+#[test]
+fn prefix_overlap_hits_exactly_the_seeded_chunks() {
+    let lp = gemm_plan(16);
+    let (cold_fp, _) = cold_baseline(16);
+    let cache: SweepCache<FingerprintVisitor> = SweepCache::new();
+
+    // Seed the cache with a strict prefix of the chunk grid.
+    let seed_opts = ParallelOptions { stop_after_chunks: 5, ..opts() };
+    let (_, seed_rep) =
+        run_cached(&lp, &seed_opts, &cache, "t", FingerprintVisitor::new).unwrap();
+    assert!(seed_rep.partial, "seeding run must stop early");
+    let seeded = cache.stats().entries as u64;
+    assert!(seeded >= 5, "expected at least 5 seeded chunks, got {seeded}");
+
+    // The full sweep folds the seeded prefix from cache and computes the
+    // rest — and is still bit-identical to the cold run.
+    let (full, full_rep) =
+        run_cached(&lp, &opts(), &cache, "t", FingerprintVisitor::new).unwrap();
+    assert_eq!(full_rep.cache_hits, seeded, "exactly the seeded chunks must hit");
+    assert_eq!(full_rep.cache_misses, full_rep.chunks as u64 - seeded);
+    assert_eq!(full.visitor.hash, cold_fp, "partial-hit run must be bit-identical to cold");
+}
+
+#[test]
+fn device_param_mismatch_never_hits() {
+    let (fp16, _) = cold_baseline(16);
+    let (fp32, _) = cold_baseline(32);
+    assert_ne!(fp16, fp32, "the two devices must genuinely differ");
+
+    let cache: SweepCache<FingerprintVisitor> = SweepCache::new();
+    let (a, _) =
+        run_cached(&gemm_plan(16), &opts(), &cache, "t", FingerprintVisitor::new).unwrap();
+    let (b, rep) =
+        run_cached(&gemm_plan(32), &opts(), &cache, "t", FingerprintVisitor::new).unwrap();
+    assert_eq!(rep.cache_hits, 0, "different device limits must never share entries");
+    assert_eq!(a.visitor.hash, fp16);
+    assert_eq!(b.visitor.hash, fp32);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP-level scenarios
+// ---------------------------------------------------------------------------
+
+/// One HTTP/1.1 exchange: send, read to EOF, strip headers, de-chunk.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let (headers, payload) = raw.split_once("\r\n\r\n").unwrap();
+    let body = if headers.to_ascii_lowercase().contains("transfer-encoding: chunked") {
+        let mut out = String::new();
+        let mut rest = payload;
+        loop {
+            let (size_line, tail) = rest.split_once("\r\n").unwrap();
+            let size = usize::from_str_radix(size_line.trim(), 16).unwrap();
+            if size == 0 {
+                break;
+            }
+            out.push_str(&tail[..size]);
+            rest = tail[size..].strip_prefix("\r\n").unwrap_or(&tail[size..]);
+        }
+        out
+    } else {
+        payload.to_string()
+    };
+    (status, body)
+}
+
+fn start_service() -> (SweepService, String) {
+    let cfg = ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        executors: 2,
+        chunk_count: CHUNKS,
+        cache_path: None,
+    };
+    let service = SweepService::start(cfg, gemm_resolver()).unwrap();
+    let addr = service.addr().to_string();
+    (service, addr)
+}
+
+fn submit_wait(addr: &str, dim: i64) -> JsonValue {
+    let body = format!("{{\"space\":{{\"kind\":\"gemm\",\"reduced\":{dim}}},\"wait\":true}}");
+    let (status, body) = http(addr, "POST", "/sweeps", &body);
+    assert_eq!(status, 200, "{body}");
+    let doc = JsonValue::parse(&body).unwrap();
+    assert_eq!(doc.get("state").and_then(JsonValue::as_str), Some("done"), "{body}");
+    doc
+}
+
+fn fingerprint_of(doc: &JsonValue) -> u64 {
+    doc.get("fingerprint").and_then(|f| f.get("hash")).and_then(JsonValue::as_u64).unwrap()
+}
+
+fn hits_of(doc: &JsonValue) -> (u64, u64) {
+    (
+        doc.get("cache_hits").and_then(JsonValue::as_u64).unwrap(),
+        doc.get("cache_misses").and_then(JsonValue::as_u64).unwrap(),
+    )
+}
+
+#[test]
+fn http_resubmission_hits_and_matches_cold_fingerprint() {
+    let (cold_fp, cold_survivors) = cold_baseline(16);
+    let (service, addr) = start_service();
+
+    let first = submit_wait(&addr, 16);
+    let (h1, m1) = hits_of(&first);
+    assert_eq!(h1, 0);
+    assert!(m1 > 0);
+    assert_eq!(fingerprint_of(&first), cold_fp);
+    assert_eq!(first.get("survivors").and_then(JsonValue::as_u64), Some(cold_survivors));
+
+    let second = submit_wait(&addr, 16);
+    let (h2, m2) = hits_of(&second);
+    assert_eq!(m2, 0, "resubmission must not re-enumerate any chunk");
+    assert_eq!(h2, m1, "every first-run chunk must be served from cache");
+    assert_eq!(fingerprint_of(&second), cold_fp, "cache hit must be bit-identical");
+
+    // Different device parameters must not reuse those entries.
+    let other = submit_wait(&addr, 32);
+    let (h3, _) = hits_of(&other);
+    assert_eq!(h3, 0, "reduced(32) must miss entries stored for reduced(16)");
+    assert_eq!(fingerprint_of(&other), cold_baseline(32).0);
+
+    let (status, stats) = http(&addr, "GET", "/cache/stats", "");
+    assert_eq!(status, 200);
+    let stats = JsonValue::parse(&stats).unwrap();
+    assert_eq!(stats.get("hits").and_then(JsonValue::as_u64), Some(h2));
+
+    service.shutdown();
+    service.wait().unwrap();
+}
+
+#[test]
+fn concurrent_clients_all_get_the_cold_fingerprint() {
+    let (cold_fp, _) = cold_baseline(16);
+    let (service, addr) = start_service();
+
+    let addr = Arc::new(addr);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = Arc::clone(&addr);
+            std::thread::spawn(move || fingerprint_of(&submit_wait(&addr, 16)))
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.join().unwrap(), cold_fp, "every concurrent client must agree");
+    }
+
+    // After the race settles, a fresh submission is served fully from cache.
+    let settled = submit_wait(&addr, 16);
+    let (_, misses) = hits_of(&settled);
+    assert_eq!(misses, 0);
+    assert_eq!(fingerprint_of(&settled), cold_fp);
+
+    service.shutdown();
+    service.wait().unwrap();
+}
+
+#[test]
+fn progress_stream_terminates_with_the_full_result() {
+    let (cold_fp, _) = cold_baseline(16);
+    let (service, addr) = start_service();
+
+    let (status, body) =
+        http(&addr, "POST", "/sweeps", "{\"space\":{\"kind\":\"gemm\",\"reduced\":16}}");
+    assert_eq!(status, 202, "{body}");
+    let id = JsonValue::parse(&body).unwrap().get("id").and_then(JsonValue::as_u64).unwrap();
+
+    let (status, stream) = http(&addr, "GET", "/sweeps/{id}/progress".replace("{id}", &id.to_string()).as_str(), "");
+    assert_eq!(status, 200);
+    let last = stream.lines().last().unwrap();
+    let terminal = JsonValue::parse(last).unwrap();
+    assert_eq!(terminal.get("state").and_then(JsonValue::as_str), Some("done"), "{last}");
+    assert_eq!(fingerprint_of(&terminal), cold_fp);
+
+    // The result endpoint agrees with the stream's terminal line.
+    let (status, body) = http(&addr, "GET", &format!("/sweeps/{id}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(fingerprint_of(&JsonValue::parse(&body).unwrap()), cold_fp);
+
+    // Unknown ids and malformed requests are diagnosed, not 500s.
+    let (status, _) = http(&addr, "GET", "/sweeps/99999", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(&addr, "POST", "/sweeps", "{\"space\":{\"kind\":\"gemm\"}}");
+    assert_eq!(status, 400);
+    let (status, _) = http(&addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    service.shutdown();
+    service.wait().unwrap();
+}
