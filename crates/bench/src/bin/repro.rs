@@ -64,6 +64,15 @@
 //! the `ablation_congruence` benchmark. Survivors are identical either way;
 //! only `congruence_skips` drops to zero.
 //!
+//! The global `--no-batch` flag disables the compiled engine's batched lane
+//! tier *and* superinstruction fusion, reproducing the pre-batching scalar
+//! engine — the ablation knob behind the `ablation_batch` benchmark.
+//! Survivors, emission order and pruning statistics are bit-identical either
+//! way; only the `lane_evals`/`lanes_masked`/`scalar_fallbacks`/`super_hits`
+//! telemetry drops to zero. Note that the adaptive schedule (this binary's
+//! default) never builds batch plans, so `--no-batch` only changes behaviour
+//! under `--schedule declared` or `--schedule static`.
+//!
 //! The global `--schedule {declared,static,adaptive}` flag picks the
 //! constraint-schedule mode for the same subcommands (default: `adaptive`,
 //! the profile-guided mode behind the `ablation_schedule` benchmark). The
@@ -107,6 +116,8 @@ fn main() {
     args.retain(|a| a != "--no-intervals");
     let no_congruence = args.iter().any(|a| a == "--no-congruence");
     args.retain(|a| a != "--no-congruence");
+    let no_batch = args.iter().any(|a| a == "--no-batch");
+    args.retain(|a| a != "--no-batch");
     let mut schedule = ScheduleMode::Adaptive;
     if let Some(i) = args.iter().position(|a| a == "--schedule") {
         let Some(value) = args.get(i + 1) else {
@@ -125,6 +136,7 @@ fn main() {
         EngineOptions::default()
     };
     engine.congruence = !no_congruence;
+    engine.batch = !no_batch;
     engine.schedule = schedule;
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let arg_num = |default: u64| -> u64 {

@@ -40,6 +40,7 @@
 pub mod checkpoint;
 pub mod compiled;
 pub mod fault;
+pub mod lanes;
 pub mod parallel;
 pub mod point;
 pub mod postfix;
@@ -61,7 +62,7 @@ pub mod prelude {
     pub use crate::point::{Point, PointRef};
     pub use crate::service::cache::{run_cached, CacheStats, SweepCache};
     pub use crate::service::{ResolvedSpace, ServiceConfig, SpaceResolver, SweepService};
-    pub use crate::stats::{BlockStats, FaultCounters, PruneStats};
+    pub use crate::stats::{BlockStats, FaultCounters, LaneStats, PruneStats};
     pub use crate::sweep::SweepError;
     pub use crate::telemetry::{SweepProgress, SweepReport};
     pub use crate::visit::{

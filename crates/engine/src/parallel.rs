@@ -93,7 +93,7 @@ use crate::compiled::{ChunkCtx, Compiled, EngineOptions};
 use crate::fault::{
     CancelProbe, CancelToken, FaultAction, FaultInjector, FaultKind, FaultPolicy, FaultRecord,
 };
-use crate::stats::{BlockStats, FaultCounters, PruneStats};
+use crate::stats::{BlockStats, FaultCounters, LaneStats, PruneStats};
 use crate::sweep::SweepError;
 use crate::telemetry::{SweepProgress, SweepReport, WorkerTelemetry};
 use crate::visit::Visitor;
@@ -269,6 +269,7 @@ struct Collector<V> {
     pending: BTreeMap<usize, ChunkDone<V>>,
     stats: PruneStats,
     blocks: BlockStats,
+    lanes: LaneStats,
     faults: Vec<FaultRecord>,
     visitor: Option<V>,
     schedule: Option<Vec<Vec<u32>>>,
@@ -297,6 +298,7 @@ impl<V: Visitor> Collector<V> {
                 }
                 self.stats.merge(&out.stats);
                 self.blocks.merge(&out.blocks);
+                self.lanes.merge(&out.lanes);
                 if let Some(progress) = progress {
                     progress.tuples_decided.fetch_add(
                         out.stats.survivors + out.stats.total_pruned(),
@@ -427,6 +429,7 @@ where
             SweepOutcome {
                 stats,
                 blocks: seed_blocks,
+                lanes: LaneStats::default(),
                 schedule: None,
                 visitor: seed_visitor.unwrap_or_else(&make_visitor),
             },
@@ -441,6 +444,7 @@ where
             SweepOutcome {
                 stats,
                 blocks: seed_blocks,
+                lanes: LaneStats::default(),
                 schedule: None,
                 visitor: seed_visitor.unwrap_or_else(&make_visitor),
             },
@@ -487,6 +491,9 @@ where
         pending: BTreeMap::new(),
         stats,
         blocks: seed_blocks,
+        // Lane telemetry is not checkpointed (it is observational only, like
+        // the schedule); a resumed run reports counters for its own chunks.
+        lanes: LaneStats::default(),
         faults: seed_faults,
         visitor: seed_visitor,
         schedule: None,
@@ -694,7 +701,7 @@ where
         // Final flush so the file always reflects the folded prefix edge.
         collector.save(sink).map_err(SweepError::Checkpoint)?;
     }
-    let Collector { stats, blocks, faults, visitor, schedule, .. } = collector;
+    let Collector { stats, blocks, lanes, faults, visitor, schedule, .. } = collector;
 
     let mut report = SweepReport::new(
         space,
@@ -716,10 +723,12 @@ where
     report.faults = faults;
     report.cache_hits = memo_hits.into_inner();
     report.cache_misses = memo_misses.into_inner();
+    report.lanes = lanes.clone();
     Ok((
         SweepOutcome {
             stats,
             blocks,
+            lanes,
             schedule,
             visitor: visitor.unwrap_or_else(make_visitor),
         },

@@ -50,7 +50,7 @@ use beast_core::ir::LoweredPlan;
 use crate::checkpoint::{blocks_json, parse_blocks, parse_stats, stats_json, JsonValue, SaveState};
 use crate::compiled::EngineOptions;
 use crate::parallel::{run_supervised, ChunkMemo, ParallelOptions};
-use crate::stats::{BlockStats, PruneStats};
+use crate::stats::{BlockStats, LaneStats, PruneStats};
 use crate::sweep::SweepError;
 use crate::telemetry::{json_num, json_str, SweepReport};
 use crate::visit::Visitor;
@@ -276,6 +276,10 @@ impl<V: Visitor + SaveState + Clone + Send + Sync> ChunkMemo<V> for ScopedMemo<'
                 Some(SweepOutcome {
                     stats: e.stats.clone(),
                     blocks: e.blocks,
+                    // Telemetry-only, like `schedule`: lane counters describe
+                    // work actually executed, and a replayed chunk executed
+                    // none, so the default (all-zero) value is reported.
+                    lanes: LaneStats::default(),
                     // Telemetry-only: the adaptive-schedule final order is
                     // not stored, so replayed chunk 0 reports no reorder.
                     schedule: None,
@@ -303,16 +307,22 @@ impl<V: Visitor + SaveState + Clone + Send + Sync> ChunkMemo<V> for ScopedMemo<'
     }
 }
 
-/// Signature of the [`EngineOptions`] that can change a chunk's *counters*
-/// (not just its speed), folded into every cache key. The lint gate is
+/// Signature of the [`EngineOptions`] folded into every cache key: the
+/// knobs that can change a chunk's *counters* (not just its speed), plus
+/// the batch-tier configuration — batching never changes stats or
+/// survivors, but keeping the key an exact execution-options fingerprint
+/// costs nothing and keeps ablation sweeps (batch on vs off) from sharing
+/// entries whose lane telemetry provenance differs. The lint gate is
 /// excluded: it gates compilation but never alters sweep results.
 fn engine_signature(e: &EngineOptions) -> String {
     format!(
-        "iv{}cg{}g{}{:?}",
+        "iv{}cg{}g{}{:?}b{}w{}",
         u8::from(e.intervals),
         u8::from(e.congruence),
         e.min_guard_fanout,
-        e.schedule
+        e.schedule,
+        u8::from(e.batch),
+        e.lane_width
     )
 }
 

@@ -27,7 +27,7 @@ use beast_core::iterator::Realized;
 
 use crate::compiled::SlotBindings;
 use crate::point::PointRef;
-use crate::stats::{BlockStats, PruneStats};
+use crate::stats::{BlockStats, LaneStats, PruneStats};
 use crate::visit::Visitor;
 use crate::walker::SweepOutcome;
 
@@ -165,201 +165,352 @@ impl Vm {
     }
 
     /// Execute the program, feeding survivors to the visitor.
+    ///
+    /// Dispatch goes through a *handler table*: `Op::opcode` maps every
+    /// instruction to a dense index into a fixed `[Handler<V>; N_OPCODES]`
+    /// array of monomorphic function pointers, so the hot loop is an indexed
+    /// load plus an indirect call instead of a branch tree over the enum.
+    /// Each handler returns a `Ctl` describing where the program counter
+    /// goes next.
     pub fn run<V: Visitor>(&self, visitor: V) -> Result<SweepOutcome<V>, EvalError> {
         let space = self.lp.plan.space();
-        let n_slots = self.lp.n_slots as usize;
-        let mut regs = vec![0i64; self.n_regs as usize];
-        let mut states: Vec<Cursor> = (0..self.n_states).map(|_| Cursor::empty()).collect();
-        let mut stats = PruneStats::new(space.constraints().len());
-        let mut visitor = visitor;
+        let table = handler_table::<V>();
+        let mut ex = Exec {
+            regs: vec![0i64; self.n_regs as usize],
+            states: (0..self.n_states).map(|_| Cursor::empty()).collect(),
+            stats: PruneStats::new(space.constraints().len()),
+            visitor,
+            lp: &self.lp,
+            n_slots: self.lp.n_slots as usize,
+        };
 
         let ops = &self.ops[..];
         let mut pc: usize = 0;
         loop {
-            match ops[pc] {
-                Op::LoadK { dst, k } => {
-                    regs[dst as usize] = k;
-                    pc += 1;
-                }
-                Op::Move { dst, src } => {
-                    regs[dst as usize] = regs[src as usize];
-                    pc += 1;
-                }
-                Op::Bin { op, dst, a, b } => {
-                    let x = regs[a as usize];
-                    let y = regs[b as usize];
-                    regs[dst as usize] = match op {
-                        IntBinOp::Add => x.wrapping_add(y),
-                        IntBinOp::Sub => x.wrapping_sub(y),
-                        IntBinOp::Mul => x.wrapping_mul(y),
-                        IntBinOp::Div => {
-                            if y == 0 {
-                                return Err(EvalError::DivisionByZero);
-                            }
-                            x.wrapping_div(y)
-                        }
-                        IntBinOp::FloorDiv => {
-                            if y == 0 {
-                                return Err(EvalError::DivisionByZero);
-                            }
-                            x.div_euclid(y)
-                        }
-                        IntBinOp::Rem => {
-                            if y == 0 {
-                                return Err(EvalError::DivisionByZero);
-                            }
-                            x.wrapping_rem(y)
-                        }
-                        IntBinOp::Lt => i64::from(x < y),
-                        IntBinOp::Le => i64::from(x <= y),
-                        IntBinOp::Gt => i64::from(x > y),
-                        IntBinOp::Ge => i64::from(x >= y),
-                        IntBinOp::Eq => i64::from(x == y),
-                        IntBinOp::Ne => i64::from(x != y),
-                        IntBinOp::And | IntBinOp::Or => {
-                            unreachable!("short-circuit ops compile to jumps")
-                        }
-                    };
-                    pc += 1;
-                }
-                Op::Neg { dst, a } => {
-                    regs[dst as usize] = regs[a as usize].wrapping_neg();
-                    pc += 1;
-                }
-                Op::Not { dst, a } => {
-                    regs[dst as usize] = i64::from(regs[a as usize] == 0);
-                    pc += 1;
-                }
-                Op::Abs { dst, a } => {
-                    regs[dst as usize] = regs[a as usize].wrapping_abs();
-                    pc += 1;
-                }
-                Op::Call2 { f, dst, a, b } => {
-                    let x = regs[a as usize];
-                    let y = regs[b as usize];
-                    regs[dst as usize] = match f {
-                        Builtin::Min => x.min(y),
-                        Builtin::Max => x.max(y),
-                        Builtin::DivCeil => {
-                            if y == 0 {
-                                return Err(EvalError::DivisionByZero);
-                            }
-                            (x + y - 1).div_euclid(y)
-                        }
-                        Builtin::Gcd => {
-                            let (mut a, mut b) = (x.unsigned_abs(), y.unsigned_abs());
-                            while b != 0 {
-                                let t = a % b;
-                                a = b;
-                                b = t;
-                            }
-                            a as i64
-                        }
-                        Builtin::RoundUp => {
-                            if y == 0 {
-                                return Err(EvalError::DivisionByZero);
-                            }
-                            (x + y - 1).div_euclid(y) * y
-                        }
-                        Builtin::Abs => unreachable!("unary"),
-                    };
-                    pc += 1;
-                }
-                Op::Jmp { to } => pc = to as usize,
-                Op::JmpIfZero { r, to } => {
-                    pc = if regs[r as usize] == 0 { to as usize } else { pc + 1 };
-                }
-                Op::JmpIfNonZero { r, to } => {
-                    pc = if regs[r as usize] != 0 { to as usize } else { pc + 1 };
-                }
-                Op::ForPrep { base, slot, to } => {
-                    let cur = regs[base as usize];
-                    let stop = regs[base as usize + 1];
-                    let step = regs[base as usize + 2];
-                    let runnable =
-                        (step > 0 && cur < stop) || (step < 0 && cur > stop);
-                    if runnable {
-                        regs[slot as usize] = cur;
-                        pc += 1;
-                    } else {
-                        pc = to as usize;
-                    }
-                }
-                Op::ForLoop { base, slot, to } => {
-                    let step = regs[base as usize + 2];
-                    let next = regs[base as usize].wrapping_add(step);
-                    regs[base as usize] = next;
-                    let stop = regs[base as usize + 1];
-                    let in_range = (step > 0 && next < stop) || (step < 0 && next > stop);
-                    if in_range {
-                        regs[slot as usize] = next;
-                        pc = to as usize;
-                    } else {
-                        pc += 1;
-                    }
-                }
-                Op::IterInit { state, iter } => {
-                    let realized = {
-                        let view = SlotBindings {
-                            names: &self.lp.slot_names,
-                            slots: &regs[..n_slots],
-                            consts: space.consts(),
-                        };
-                        space.realize_iter(iter as usize, &view)?
-                    };
-                    states[state as usize] = Cursor::new(realized);
-                    pc += 1;
-                }
-                Op::IterNext { state, dst, to } => match states[state as usize].next()? {
-                    Some(v) => {
-                        regs[dst as usize] = v;
-                        pc += 1;
-                    }
-                    None => pc = to as usize,
-                },
-                Op::DefineOpaque { derived, dst } => {
-                    let v = {
-                        let view = SlotBindings {
-                            names: &self.lp.slot_names,
-                            slots: &regs[..n_slots],
-                            consts: space.consts(),
-                        };
-                        space.deriveds()[derived as usize].kind.eval(&view)?
-                    };
-                    regs[dst as usize] = v.as_int()?;
-                    pc += 1;
-                }
-                Op::Check { constraint, r, to } => {
-                    let rejected = regs[r as usize] != 0;
-                    stats.record(constraint as usize, rejected);
-                    pc = if rejected { to as usize } else { pc + 1 };
-                }
-                Op::CheckOpaque { constraint, to } => {
-                    let rejected = {
-                        let view = SlotBindings {
-                            names: &self.lp.slot_names,
-                            slots: &regs[..n_slots],
-                            consts: space.consts(),
-                        };
-                        space.constraints()[constraint as usize].kind.rejects(&view)?
-                    };
-                    stats.record(constraint as usize, rejected);
-                    pc = if rejected { to as usize } else { pc + 1 };
-                }
-                Op::Visit { to } => {
-                    stats.record_survivor();
-                    let view = PointRef::Slots {
-                        names: &self.lp.slot_names,
-                        slots: &regs[..n_slots],
-                    };
-                    visitor.visit(&view);
-                    pc = to as usize;
-                }
-                Op::Halt => break,
+            let op = &ops[pc];
+            match table[op.opcode()](&mut ex, op)? {
+                Ctl::Next => pc += 1,
+                Ctl::Jump(to) => pc = to,
+                Ctl::Halt => break,
             }
         }
-        Ok(SweepOutcome { stats, blocks: BlockStats::default(), schedule: None, visitor })
+        let Exec { stats, visitor, .. } = ex;
+        Ok(SweepOutcome {
+            stats,
+            blocks: BlockStats::default(),
+            lanes: LaneStats::default(),
+            schedule: None,
+            visitor,
+        })
     }
+}
+
+impl Op {
+    /// Dense index of this instruction's handler in the dispatch table.
+    fn opcode(&self) -> usize {
+        match self {
+            Op::LoadK { .. } => 0,
+            Op::Move { .. } => 1,
+            Op::Bin { .. } => 2,
+            Op::Neg { .. } => 3,
+            Op::Not { .. } => 4,
+            Op::Abs { .. } => 5,
+            Op::Call2 { .. } => 6,
+            Op::Jmp { .. } => 7,
+            Op::JmpIfZero { .. } => 8,
+            Op::JmpIfNonZero { .. } => 9,
+            Op::ForPrep { .. } => 10,
+            Op::ForLoop { .. } => 11,
+            Op::IterInit { .. } => 12,
+            Op::IterNext { .. } => 13,
+            Op::DefineOpaque { .. } => 14,
+            Op::Check { .. } => 15,
+            Op::CheckOpaque { .. } => 16,
+            Op::Visit { .. } => 17,
+            Op::Halt => 18,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handler-table dispatch
+// ---------------------------------------------------------------------------
+
+/// Where the program counter goes after a handler runs.
+enum Ctl {
+    /// Fall through to the next instruction.
+    Next,
+    /// Jump to an absolute instruction index.
+    Jump(usize),
+    /// Stop the program.
+    Halt,
+}
+
+/// Mutable execution context threaded through every opcode handler.
+struct Exec<'a, V> {
+    regs: Vec<i64>,
+    states: Vec<Cursor>,
+    stats: PruneStats,
+    visitor: V,
+    lp: &'a LoweredPlan,
+    n_slots: usize,
+}
+
+/// One opcode handler, monomorphized per visitor type.
+type Handler<V> = fn(&mut Exec<'_, V>, &Op) -> Result<Ctl, EvalError>;
+
+/// Number of distinct opcodes — the handler-table width.
+const N_OPCODES: usize = 19;
+
+/// Build the dispatch table, indexed by [`Op::opcode`]. The table is a plain
+/// array of `fn` pointers, so each slot has a fixed target and every handler
+/// stays small enough for the operand decode to inline.
+fn handler_table<V: Visitor>() -> [Handler<V>; N_OPCODES] {
+    [
+        h_load_k,
+        h_move,
+        h_bin,
+        h_neg,
+        h_not,
+        h_abs,
+        h_call2,
+        h_jmp,
+        h_jmp_if_zero,
+        h_jmp_if_nonzero,
+        h_for_prep,
+        h_for_loop,
+        h_iter_init,
+        h_iter_next,
+        h_define_opaque,
+        h_check,
+        h_check_opaque,
+        h_visit,
+        h_halt,
+    ]
+}
+
+fn h_load_k<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::LoadK { dst, k } = op else { unreachable!("mis-dispatched opcode") };
+    ex.regs[*dst as usize] = *k;
+    Ok(Ctl::Next)
+}
+
+fn h_move<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::Move { dst, src } = op else { unreachable!("mis-dispatched opcode") };
+    ex.regs[*dst as usize] = ex.regs[*src as usize];
+    Ok(Ctl::Next)
+}
+
+fn h_bin<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::Bin { op: bin, dst, a, b } = op else { unreachable!("mis-dispatched opcode") };
+    let x = ex.regs[*a as usize];
+    let y = ex.regs[*b as usize];
+    ex.regs[*dst as usize] = match bin {
+        IntBinOp::Add => x.wrapping_add(y),
+        IntBinOp::Sub => x.wrapping_sub(y),
+        IntBinOp::Mul => x.wrapping_mul(y),
+        IntBinOp::Div => {
+            if y == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            x.wrapping_div(y)
+        }
+        IntBinOp::FloorDiv => {
+            if y == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            x.div_euclid(y)
+        }
+        IntBinOp::Rem => {
+            if y == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        IntBinOp::Lt => i64::from(x < y),
+        IntBinOp::Le => i64::from(x <= y),
+        IntBinOp::Gt => i64::from(x > y),
+        IntBinOp::Ge => i64::from(x >= y),
+        IntBinOp::Eq => i64::from(x == y),
+        IntBinOp::Ne => i64::from(x != y),
+        IntBinOp::And | IntBinOp::Or => {
+            unreachable!("short-circuit ops compile to jumps")
+        }
+    };
+    Ok(Ctl::Next)
+}
+
+fn h_neg<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::Neg { dst, a } = op else { unreachable!("mis-dispatched opcode") };
+    ex.regs[*dst as usize] = ex.regs[*a as usize].wrapping_neg();
+    Ok(Ctl::Next)
+}
+
+fn h_not<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::Not { dst, a } = op else { unreachable!("mis-dispatched opcode") };
+    ex.regs[*dst as usize] = i64::from(ex.regs[*a as usize] == 0);
+    Ok(Ctl::Next)
+}
+
+fn h_abs<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::Abs { dst, a } = op else { unreachable!("mis-dispatched opcode") };
+    ex.regs[*dst as usize] = ex.regs[*a as usize].wrapping_abs();
+    Ok(Ctl::Next)
+}
+
+fn h_call2<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::Call2 { f, dst, a, b } = op else { unreachable!("mis-dispatched opcode") };
+    let x = ex.regs[*a as usize];
+    let y = ex.regs[*b as usize];
+    ex.regs[*dst as usize] = match f {
+        Builtin::Min => x.min(y),
+        Builtin::Max => x.max(y),
+        Builtin::DivCeil => {
+            if y == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            (x + y - 1).div_euclid(y)
+        }
+        Builtin::Gcd => {
+            let (mut a, mut b) = (x.unsigned_abs(), y.unsigned_abs());
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a as i64
+        }
+        Builtin::RoundUp => {
+            if y == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            (x + y - 1).div_euclid(y) * y
+        }
+        Builtin::Abs => unreachable!("unary"),
+    };
+    Ok(Ctl::Next)
+}
+
+fn h_jmp<V: Visitor>(_ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::Jmp { to } = op else { unreachable!("mis-dispatched opcode") };
+    Ok(Ctl::Jump(*to as usize))
+}
+
+fn h_jmp_if_zero<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::JmpIfZero { r, to } = op else { unreachable!("mis-dispatched opcode") };
+    Ok(if ex.regs[*r as usize] == 0 { Ctl::Jump(*to as usize) } else { Ctl::Next })
+}
+
+fn h_jmp_if_nonzero<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::JmpIfNonZero { r, to } = op else { unreachable!("mis-dispatched opcode") };
+    Ok(if ex.regs[*r as usize] != 0 { Ctl::Jump(*to as usize) } else { Ctl::Next })
+}
+
+fn h_for_prep<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::ForPrep { base, slot, to } = op else { unreachable!("mis-dispatched opcode") };
+    let base = *base as usize;
+    let cur = ex.regs[base];
+    let stop = ex.regs[base + 1];
+    let step = ex.regs[base + 2];
+    if (step > 0 && cur < stop) || (step < 0 && cur > stop) {
+        ex.regs[*slot as usize] = cur;
+        Ok(Ctl::Next)
+    } else {
+        Ok(Ctl::Jump(*to as usize))
+    }
+}
+
+fn h_for_loop<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::ForLoop { base, slot, to } = op else { unreachable!("mis-dispatched opcode") };
+    let base = *base as usize;
+    let step = ex.regs[base + 2];
+    let next = ex.regs[base].wrapping_add(step);
+    ex.regs[base] = next;
+    let stop = ex.regs[base + 1];
+    if (step > 0 && next < stop) || (step < 0 && next > stop) {
+        ex.regs[*slot as usize] = next;
+        Ok(Ctl::Jump(*to as usize))
+    } else {
+        Ok(Ctl::Next)
+    }
+}
+
+fn h_iter_init<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::IterInit { state, iter } = op else { unreachable!("mis-dispatched opcode") };
+    let space = ex.lp.plan.space();
+    let realized = {
+        let view = SlotBindings {
+            names: &ex.lp.slot_names,
+            slots: &ex.regs[..ex.n_slots],
+            consts: space.consts(),
+        };
+        space.realize_iter(*iter as usize, &view)?
+    };
+    ex.states[*state as usize] = Cursor::new(realized);
+    Ok(Ctl::Next)
+}
+
+fn h_iter_next<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::IterNext { state, dst, to } = op else { unreachable!("mis-dispatched opcode") };
+    match ex.states[*state as usize].next()? {
+        Some(v) => {
+            ex.regs[*dst as usize] = v;
+            Ok(Ctl::Next)
+        }
+        None => Ok(Ctl::Jump(*to as usize)),
+    }
+}
+
+fn h_define_opaque<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::DefineOpaque { derived, dst } = op else { unreachable!("mis-dispatched opcode") };
+    let space = ex.lp.plan.space();
+    let v = {
+        let view = SlotBindings {
+            names: &ex.lp.slot_names,
+            slots: &ex.regs[..ex.n_slots],
+            consts: space.consts(),
+        };
+        space.deriveds()[*derived as usize].kind.eval(&view)?
+    };
+    ex.regs[*dst as usize] = v.as_int()?;
+    Ok(Ctl::Next)
+}
+
+fn h_check<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::Check { constraint, r, to } = op else { unreachable!("mis-dispatched opcode") };
+    let rejected = ex.regs[*r as usize] != 0;
+    ex.stats.record(*constraint as usize, rejected);
+    Ok(if rejected { Ctl::Jump(*to as usize) } else { Ctl::Next })
+}
+
+fn h_check_opaque<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::CheckOpaque { constraint, to } = op else { unreachable!("mis-dispatched opcode") };
+    let space = ex.lp.plan.space();
+    let rejected = {
+        let view = SlotBindings {
+            names: &ex.lp.slot_names,
+            slots: &ex.regs[..ex.n_slots],
+            consts: space.consts(),
+        };
+        space.constraints()[*constraint as usize].kind.rejects(&view)?
+    };
+    ex.stats.record(*constraint as usize, rejected);
+    Ok(if rejected { Ctl::Jump(*to as usize) } else { Ctl::Next })
+}
+
+fn h_visit<V: Visitor>(ex: &mut Exec<'_, V>, op: &Op) -> Result<Ctl, EvalError> {
+    let Op::Visit { to } = op else { unreachable!("mis-dispatched opcode") };
+    ex.stats.record_survivor();
+    let view = PointRef::Slots {
+        names: &ex.lp.slot_names,
+        slots: &ex.regs[..ex.n_slots],
+    };
+    ex.visitor.visit(&view);
+    Ok(Ctl::Jump(*to as usize))
+}
+
+fn h_halt<V: Visitor>(_ex: &mut Exec<'_, V>, _op: &Op) -> Result<Ctl, EvalError> {
+    Ok(Ctl::Halt)
 }
 
 /// Runtime cursor over a realized domain (list/opaque loops).

@@ -54,6 +54,11 @@ pub struct SweepOutcome<V> {
     /// `None` for backends and modes without online scheduling (walker, VM,
     /// and the compiled engine under declared/static schedules).
     pub schedule: Option<Vec<Vec<u32>>>,
+    /// Batched-lane-tier and superinstruction telemetry. All-zero for
+    /// backends without the tier (walker, VM) and for the compiled engine
+    /// with batching off; replayed cached chunks also report the default
+    /// (telemetry-only, like `schedule`).
+    pub lanes: crate::stats::LaneStats,
     /// The visitor, holding whatever it accumulated.
     pub visitor: V,
 }
@@ -97,6 +102,7 @@ impl<'p> Walker<'p> {
             stats: state.stats,
             blocks: BlockStats::default(),
             schedule: None,
+            lanes: crate::stats::LaneStats::default(),
             visitor: state.visitor,
         })
     }

@@ -391,6 +391,92 @@ fn faulted_sweeps_are_thread_count_invariant() {
     }
 }
 
+/// Batched lane evaluation is invisible in results: with the batch tier on
+/// or off, serial and parallel sweeps at every thread count produce the
+/// same survivors in the same order with identical `PruneStats` *and*
+/// identical `BlockStats` (the slab path defers stats crediting so even
+/// per-constraint evaluation counts match the scalar path exactly). The
+/// lane counters are the only permitted difference: batch-off runs must
+/// report zero lane activity, and the GEMM space must actually exercise
+/// the slab path.
+#[test]
+fn batch_on_and_off_agree_at_every_thread_count() {
+    for (name, space) in all_spaces() {
+        let lp = lower(&space);
+        let on = Compiled::new(lp.clone());
+        let off = Compiled::with_options(lp.clone(), EngineOptions::no_batch());
+        let names = on.point_names().clone();
+        let serial_on = on.run(CollectVisitor::new(names.clone(), usize::MAX)).unwrap();
+        let serial_off = off.run(CollectVisitor::new(names.clone(), usize::MAX)).unwrap();
+
+        assert_eq!(
+            serial_on.visitor.points, serial_off.visitor.points,
+            "{name}: batching changed survivors or their order"
+        );
+        assert_eq!(serial_on.stats, serial_off.stats, "{name}: batching changed PruneStats");
+        assert_eq!(serial_on.blocks, serial_off.blocks, "{name}: batching changed BlockStats");
+        assert_eq!(
+            serial_off.lanes,
+            LaneStats::default(),
+            "{name}: batch-off mode counted lane activity"
+        );
+        if name == "gemm" {
+            assert!(serial_on.lanes.lane_evals > 0, "gemm never hit the slab path");
+        }
+
+        // A deliberately odd lane width stresses tail masking (almost every
+        // block is partial) and must still be invisible in results.
+        let w7 = Compiled::with_options(
+            lp.clone(),
+            EngineOptions { lane_width: 7, ..EngineOptions::default() },
+        );
+        let serial_w7 = w7.run(CollectVisitor::new(names.clone(), usize::MAX)).unwrap();
+        assert_eq!(
+            serial_w7.visitor.points, serial_on.visitor.points,
+            "{name}: lane_width=7 changed survivors or their order"
+        );
+        assert_eq!(serial_w7.stats, serial_on.stats, "{name}: lane_width=7 changed PruneStats");
+        assert_eq!(serial_w7.blocks, serial_on.blocks, "{name}: lane_width=7 changed BlockStats");
+
+        for threads in THREAD_COUNTS {
+            for (mode, engine, serial) in [
+                ("on", EngineOptions::default(), &serial_on),
+                ("off", EngineOptions::no_batch(), &serial_off),
+            ] {
+                let opts = ParallelOptions { threads, engine, ..ParallelOptions::default() };
+                let (par, report) = run_parallel_report(&lp, &opts, || {
+                    CollectVisitor::new(names.clone(), usize::MAX)
+                })
+                .unwrap();
+                assert_eq!(
+                    par.visitor.points, serial.visitor.points,
+                    "{name}: batch-{mode} visit order diverged at {threads} threads"
+                );
+                assert_eq!(
+                    par.stats, serial.stats,
+                    "{name}: batch-{mode} stats diverged at {threads} threads"
+                );
+                assert_eq!(
+                    par.blocks, serial.blocks,
+                    "{name}: batch-{mode} block counters diverged at {threads} threads"
+                );
+                if mode == "off" {
+                    assert_eq!(
+                        report.lanes,
+                        LaneStats::default(),
+                        "{name}: batch-off parallel run counted lane activity at {threads} threads"
+                    );
+                } else if name == "gemm" {
+                    assert!(
+                        report.lanes.lane_evals > 0,
+                        "{name}: parallel batch run never hit the slab path at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Forcing pathologically fine chunks (1 outer value per chunk) still
 /// reproduces the serial outcome — chunk granularity is invisible.
 #[test]
