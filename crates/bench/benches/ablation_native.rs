@@ -1,0 +1,155 @@
+//! Ablation: the runtime-native C tier on vs off.
+//!
+//! The native tier lowers the plan to a standalone C chunk worker, compiles
+//! it once with `gcc -O2` (cached on disk by structural hash + options
+//! signature), and streams level-0 chunks through worker processes instead
+//! of interpreting them in-process. This benchmark runs the full GEMM sweep
+//! both ways and — before timing — asserts the invariant the tier is sold
+//! on: bit-identical survivor fingerprints (order-sensitive) against the
+//! serial compiled engine at 1, 2, and 8 threads on two space sizes, with
+//! the worker path actually exercised (and never silently falling back)
+//! whenever a C compiler is present.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use beast_codegen::find_c_compiler;
+use beast_core::ir::LoweredPlan;
+use beast_core::plan::{Plan, PlanOptions};
+use beast_engine::compiled::{Compiled, EngineOptions};
+use beast_engine::parallel::{run_parallel_report, ParallelOptions};
+use beast_engine::visit::{CountVisitor, FingerprintVisitor};
+use beast_gemm::{build_gemm_space, GemmSpaceParams};
+
+const DIMS: [i64; 2] = [16, 32];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn lower(dim: i64) -> LoweredPlan {
+    let space = build_gemm_space(&GemmSpaceParams::reduced(dim)).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    LoweredPlan::new(&plan).unwrap()
+}
+
+/// Median of `n` interleaved timed runs per engine configuration, so drift
+/// on a shared machine hits both configurations equally.
+fn interleaved_medians(lp: &LoweredPlan, engines: &[EngineOptions], n: usize) -> Vec<f64> {
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); engines.len()];
+    for _ in 0..n {
+        for (i, engine) in engines.iter().enumerate() {
+            let opts =
+                ParallelOptions { threads: 1, engine: *engine, ..ParallelOptions::default() };
+            let start = std::time::Instant::now();
+            run_parallel_report(lp, &opts, CountVisitor::default).unwrap();
+            samples[i].push(start.elapsed().as_secs_f64());
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut s| {
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let have_cc = find_c_compiler().is_some();
+    if !have_cc {
+        eprintln!("no C compiler on PATH: timing the graceful in-process fallback");
+    }
+    let mut record = String::from("\n{\"native_ablation\":{");
+    for dim in DIMS {
+        let lp = lower(dim);
+        let serial = Compiled::new(lp.clone()).run(FingerprintVisitor::new()).unwrap();
+
+        // The tier changes cost only: identical survivors in identical
+        // order at every thread count, and the native counters prove the
+        // worker path ran (with zero fallbacks) when a compiler exists.
+        for threads in THREAD_COUNTS {
+            for (mode, engine) in
+                [("native", EngineOptions::native()), ("compiled", EngineOptions::default())]
+            {
+                let opts = ParallelOptions { threads, engine, ..ParallelOptions::default() };
+                let (par, report) =
+                    run_parallel_report(&lp, &opts, FingerprintVisitor::new).unwrap();
+                assert_eq!(
+                    (par.visitor.count, par.visitor.hash),
+                    (serial.visitor.count, serial.visitor.hash),
+                    "reduced({dim}): {mode} tier fingerprint diverged at {threads} threads"
+                );
+                if mode == "native" && have_cc {
+                    let stats = report
+                        .native
+                        .expect("compiler present: native counters should be reported");
+                    assert!(
+                        stats.chunks_native > 0,
+                        "reduced({dim}): no chunk ran in a worker at {threads} threads"
+                    );
+                    assert_eq!(
+                        stats.chunks_fallback, 0,
+                        "reduced({dim}): unexpected in-process fallback at {threads} threads"
+                    );
+                    assert_eq!(stats.rows_streamed, serial.visitor.count);
+                }
+            }
+        }
+
+        eprintln!("gemm reduced({dim}): {} survivors, fingerprints identical", serial.visitor.count);
+
+        let meds =
+            interleaved_medians(&lp, &[EngineOptions::native(), EngineOptions::default()], 9);
+        eprintln!(
+            "gemm reduced({dim}): native median {:.4} s, compiled median {:.4} s ({:.2}x)",
+            meds[0],
+            meds[1],
+            meds[1] / meds[0]
+        );
+        if dim != DIMS[0] {
+            record.push(',');
+        }
+        record.push_str(&format!(
+            "\"gemm_reduced{dim}_native_s\":{:.6},\"gemm_reduced{dim}_compiled_s\":{:.6},\
+             \"gemm_reduced{dim}_speedup\":{:.3}",
+            meds[0],
+            meds[1],
+            meds[1] / meds[0]
+        ));
+
+        let mut group = c.benchmark_group(format!("ablation_native_{dim}"));
+        group.sample_size(10);
+        for (name, engine) in
+            [("native", EngineOptions::native()), ("compiled", EngineOptions::default())]
+        {
+            let opts = ParallelOptions { threads: 1, engine, ..ParallelOptions::default() };
+            group.bench_function(name, |bench| {
+                bench.iter(|| {
+                    run_parallel_report(&lp, &opts, CountVisitor::default)
+                        .unwrap()
+                        .0
+                        .visitor
+                        .count
+                });
+            });
+        }
+        group.finish();
+    }
+
+    // --- Median record appended to BENCH_sweep.json. ----------------------
+    record.push_str("}}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    match std::fs::OpenOptions::new().append(true).open(path) {
+        Ok(mut f) => {
+            use std::io::Write as _;
+            if let Err(e) = f.write_all(record.as_bytes()) {
+                eprintln!("cannot append to {path}: {e}");
+            } else {
+                eprintln!("appended native_ablation record to {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("{path} not found ({e}); run the gemm_sweep bench first to create it")
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -25,7 +25,7 @@
 //! repro sweep [DIM] [--threads N] [--chunks M] [--policy P] [--seed S]
 //!             [--inject-errors R] [--inject-panics R] [--transient]
 //!             [--checkpoint PATH] [--resume] [--every N]
-//!             [--deadline SECS] [--stop-after K] [--json PATH]
+//!             [--deadline SECS] [--stop-after K] [--json PATH] [--verify]
 //!                         §X-C       fault-tolerant sweep driver: runs the
 //!                                    GEMM space under a fault policy
 //!                                    (abort, skip, quarantine, retry[:MAX
@@ -34,7 +34,18 @@
 //!                                    wall-clock deadline; prints the
 //!                                    order-sensitive survivor fingerprint
 //!                                    and exits 3 when the result is
-//!                                    partial (resumable)
+//!                                    partial (resumable); --verify re-runs
+//!                                    the sweep on the in-process compiled
+//!                                    tier and exits 6 if survivors or
+//!                                    fingerprint differ from the requested
+//!                                    engine tier
+//! repro bench-native [DIM]
+//!                         §XI        native-tier ablation: GEMM sweep via
+//!                                    the runtime-native C worker vs the
+//!                                    in-process compiled engine vs the
+//!                                    scalar (--no-batch) engine, with
+//!                                    fingerprint equality asserted before
+//!                                    any timing is reported
 //! repro serve [--addr A] [--threads N] [--executors E] [--chunks M]
 //!             [--cache PATH]
 //!                         service    sweep-as-a-service HTTP daemon
@@ -80,6 +91,15 @@
 //! and emission order are identical in every mode. Composes with
 //! `--no-intervals`.
 //!
+//! The global `--engine {walker,compiled,native}` flag picks the evaluation
+//! tier for `sweep` (default: `compiled`). `native` lowers the plan to a
+//! standalone C chunk worker, compiles it once with the host C compiler
+//! (cached on disk across runs), and evaluates level-0 chunks in worker
+//! processes — bit-identical survivors, order and fingerprints, with a
+//! silent fallback to the in-process engine when no compiler is installed.
+//! `walker` runs the serial interpreting backend (no parallel driver, no
+//! fault tolerance) as a ground-truth reference.
+//!
 //! Numbers are machine-relative; the paper's *shape* (ordering, rough
 //! factors) is the reproduction target. See EXPERIMENTS.md.
 
@@ -92,7 +112,7 @@ use beast_core::plan::{Plan, PlanOptions};
 use beast_cuda::{CcLimits, DeviceProps};
 use beast_core::schedule::ScheduleMode;
 use beast_engine::checkpoint::{run_checkpointed, CheckpointConfig, JsonValue};
-use beast_engine::compiled::{Compiled, EngineOptions};
+use beast_engine::compiled::{Compiled, EngineOptions, EngineTier};
 use beast_engine::fault::{FaultInjector, FaultPolicy};
 use beast_engine::parallel::{run_parallel_report, ParallelOptions};
 use beast_engine::service::{ServiceConfig, SweepService};
@@ -130,6 +150,18 @@ fn main() {
         });
         args.drain(i..=i + 1);
     }
+    let mut tier = EngineTier::Compiled;
+    if let Some(i) = args.iter().position(|a| a == "--engine") {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("error: --engine needs a value: walker, compiled or native");
+            std::process::exit(2);
+        };
+        tier = EngineTier::parse(value).unwrap_or_else(|| {
+            eprintln!("error: --engine: unknown tier `{value}` (walker, compiled, native)");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+    }
     let mut engine = if no_intervals {
         EngineOptions::no_intervals()
     } else {
@@ -138,6 +170,7 @@ fn main() {
     engine.congruence = !no_congruence;
     engine.batch = !no_batch;
     engine.schedule = schedule;
+    engine.engine = tier;
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let arg_num = |default: u64| -> u64 {
         args.get(1).and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -173,6 +206,7 @@ fn main() {
             flag("--json"),
         ),
         "sweep" => sweep(&args, engine),
+        "bench-native" => bench_native(arg_num(16) as i64, engine),
         "serve" => serve(&args),
         "client" => client(&args),
         "all" => {
@@ -621,6 +655,31 @@ fn sweep(args: &[String], engine: EngineOptions) {
     let plan = Plan::new(&space, PlanOptions::default()).unwrap();
     let lp = LoweredPlan::new(&plan).unwrap();
 
+    // The walker tier is the serial ground-truth reference: no parallel
+    // driver, so no fault policies, checkpointing or chunk scheduling.
+    if engine.engine == EngineTier::Walker {
+        if opts.injector.is_some() || flag("--checkpoint").is_some() {
+            eprintln!(
+                "error: --engine walker is serial-only and composes with \
+                 neither fault injection nor checkpointing"
+            );
+            std::process::exit(2);
+        }
+        let walker = Walker::new(&plan, LoopStyle::RangeLazy);
+        let t = Instant::now();
+        let out = walker.run(FingerprintVisitor::default()).unwrap_or_else(|e| {
+            eprintln!("error: walker sweep failed: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "walker tier (serial): survivors: {}  fingerprint: {:016x}  elapsed {:.3} s",
+            out.visitor.count,
+            out.visitor.hash,
+            t.elapsed().as_secs_f64()
+        );
+        return;
+    }
+
     let result = match flag("--checkpoint") {
         Some(path) => {
             let mut ck = CheckpointConfig::new(path);
@@ -664,6 +723,126 @@ fn sweep(args: &[String], engine: EngineOptions) {
         // Distinct exit code so scripts (and the CI smoke job) can tell a
         // resumable partial result from success (0) and failure (1).
         std::process::exit(3);
+    }
+    if has("--verify") {
+        // Re-run on the in-process compiled tier with otherwise identical
+        // options and demand the exact bit-identity contract the native
+        // tier is built around. Exit 6 is distinct from partial (3) and the
+        // service client's mismatch codes (4/5).
+        let mut vopts = ParallelOptions::new(opts.threads);
+        vopts.chunk_count = opts.chunk_count;
+        vopts.engine = engine;
+        vopts.engine.engine = EngineTier::Compiled;
+        let (vout, _) = run_parallel_report(&lp, &vopts, FingerprintVisitor::default)
+            .unwrap_or_else(|e| {
+                eprintln!("error: verification sweep failed: {e}");
+                std::process::exit(1);
+            });
+        if vout.visitor.count != out.visitor.count || vout.visitor.hash != out.visitor.hash {
+            eprintln!(
+                "verify FAILED: {} tier gave {} survivors / {:016x}, compiled tier gave {} / {:016x}",
+                engine.engine, out.visitor.count, out.visitor.hash, vout.visitor.count, vout.visitor.hash
+            );
+            std::process::exit(6);
+        }
+        println!(
+            "verify: {} tier matches compiled tier ({} survivors, fingerprint {:016x})",
+            engine.engine, out.visitor.count, out.visitor.hash
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §XI: native-tier ablation (runtime-generated C vs in-process engines)
+// ---------------------------------------------------------------------------
+
+fn bench_native(dim: i64, engine: EngineOptions) {
+    header(&format!(
+        "§XI — native-tier ablation, GEMM sweep on reduced({dim}) device"
+    ));
+    let params = GemmSpaceParams::reduced(dim);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let run_tier = |tier_engine: EngineOptions| {
+        let mut opts = ParallelOptions::new(1);
+        opts.engine = tier_engine;
+        let t = Instant::now();
+        let (out, report) =
+            run_parallel_report(&lp, &opts, FingerprintVisitor::default).unwrap_or_else(|e| {
+                eprintln!("error: sweep failed: {e}");
+                std::process::exit(1);
+            });
+        (t.elapsed().as_secs_f64(), out.visitor, report)
+    };
+
+    let mut native_engine = engine;
+    native_engine.engine = EngineTier::Native;
+    let mut compiled_engine = engine;
+    compiled_engine.engine = EngineTier::Compiled;
+    let mut scalar_engine = compiled_engine;
+    scalar_engine.batch = false;
+
+    // Warmup run: populates the on-disk artifact cache so the timed native
+    // run measures dispatch + evaluation, not the one-off gcc invocation.
+    let (_, warm_fp, warm_report) = run_tier(native_engine);
+    match warm_report.native {
+        Some(n) => println!(
+            "native worker ready: compile {} ms{}, {} chunk(s) native / {} fallback in warmup",
+            n.compile_ms,
+            if n.artifact_cache_hits > 0 { " (artifact cache hit)" } else { "" },
+            n.chunks_native,
+            n.chunks_fallback
+        ),
+        None => println!(
+            "native tier unavailable (no C compiler on PATH?) — the `native` \
+             row below re-measures the in-process engine"
+        ),
+    }
+
+    let (t_native, fp_native, report_native) = run_tier(native_engine);
+    let (t_compiled, fp_compiled, _) = run_tier(compiled_engine);
+    let (t_scalar, fp_scalar, _) = run_tier(scalar_engine);
+
+    // Bit-identity is asserted before a single number is reported: a timing
+    // table over divergent sweeps would be meaningless.
+    for (label, fp) in [
+        ("native warmup", &warm_fp),
+        ("native", &fp_native),
+        ("scalar (--no-batch)", &fp_scalar),
+    ] {
+        assert_eq!(
+            (fp.count, fp.hash),
+            (fp_compiled.count, fp_compiled.hash),
+            "{label} diverged from the compiled tier"
+        );
+    }
+    println!(
+        "fingerprints agree across all tiers: {} survivors, {:016x}\n",
+        fp_compiled.count, fp_compiled.hash
+    );
+
+    let rate = |t: f64| (fp_compiled.count as f64) / t / 1e3;
+    println!("{:<22} {:>10} {:>14} {:>10}", "engine", "time (s)", "survivors/ms", "vs native");
+    for (label, t) in [
+        ("native (C worker)", t_native),
+        ("compiled (in-proc)", t_compiled),
+        ("scalar (--no-batch)", t_scalar),
+    ] {
+        println!(
+            "{:<22} {:>10.3} {:>14.1} {:>9.2}x",
+            label,
+            t,
+            rate(t),
+            t / t_native
+        );
+    }
+    if let Some(n) = report_native.native {
+        println!(
+            "\nnative run: {} chunk(s) in worker processes, {} row(s) streamed, {} fallback",
+            n.chunks_native, n.rows_streamed, n.chunks_fallback
+        );
     }
 }
 

@@ -19,18 +19,27 @@ pub(crate) fn expr_c(e: &PExpr) -> String {
 
 fn expr(e: &PExpr) -> String {
     match e {
-        PExpr::Const(k) => format!("{k}LL"),
+        PExpr::Const(k) => {
+            // `-9223372036854775808LL` is formally two tokens (unary minus on
+            // an out-of-range literal); spell INT64_MIN the portable way.
+            if *k == i64::MIN {
+                "(-9223372036854775807LL - 1)".to_string()
+            } else {
+                format!("{k}LL")
+            }
+        }
         PExpr::Var(v) => v.clone(),
         PExpr::Arith(op, a, b) => {
             let (a, b) = (expr(a), expr(b));
-            match op {
-                ArithOp::Add => format!("({a} + {b})"),
-                ArithOp::Sub => format!("({a} - {b})"),
-                ArithOp::Mul => format!("({a} * {b})"),
-                ArithOp::Div => format!("({a} / {b})"),
-                ArithOp::FloorDiv => format!("b_floordiv({a}, {b})"),
-                ArithOp::Rem => format!("({a} % {b})"),
-            }
+            let f = match op {
+                ArithOp::Add => "b_add",
+                ArithOp::Sub => "b_sub",
+                ArithOp::Mul => "b_mul",
+                ArithOp::Div => "b_div",
+                ArithOp::FloorDiv => "b_floordiv",
+                ArithOp::Rem => "b_rem",
+            };
+            format!("{f}({a}, {b})")
         }
         PExpr::Cmp(op, a, b) => {
             let tok = match op {
@@ -43,7 +52,7 @@ fn expr(e: &PExpr) -> String {
             };
             format!("((int64_t)({} {tok} {}))", expr(a), expr(b))
         }
-        PExpr::Neg(a) => format!("(-{})", expr(a)),
+        PExpr::Neg(a) => format!("b_neg({})", expr(a)),
         PExpr::Not(a) => format!("((int64_t)({} == 0))", expr(a)),
         PExpr::Abs(a) => format!("b_abs({})", expr(a)),
         PExpr::Call(b, x, y) => {
@@ -58,6 +67,34 @@ fn expr(e: &PExpr) -> String {
             format!("{f}({}, {})", expr(x), expr(y))
         }
     }
+}
+
+/// Emit the arithmetic runtime shared by every C-family emitter (plain C,
+/// OpenMP, and the native chunk worker).
+///
+/// The helpers replicate the engine's postfix interpreter bit for bit, i64
+/// extremes included: `+`/`-`/`*`/negate/abs wrap modulo 2^64 (via unsigned
+/// arithmetic, so no signed-overflow UB); `/` and `%` are the wrapping
+/// truncated forms (`INT64_MIN / -1 == INT64_MIN`, `INT64_MIN % -1 == 0`);
+/// floor-division is *Euclidean* (`div_euclid`, remainder always
+/// non-negative), not C99/Python floor semantics. Division by zero and the
+/// one unrepresentable Euclidean quotient abort through `b_fail` (exit 2),
+/// mirroring the interpreter's evaluation error / overflow panic.
+pub(crate) fn emit_c_helpers(w: &mut CodeWriter) {
+    w.line("static int64_t b_add(int64_t a, int64_t b) { return (int64_t)((uint64_t)a + (uint64_t)b); }");
+    w.line("static int64_t b_sub(int64_t a, int64_t b) { return (int64_t)((uint64_t)a - (uint64_t)b); }");
+    w.line("static int64_t b_mul(int64_t a, int64_t b) { return (int64_t)((uint64_t)a * (uint64_t)b); }");
+    w.line("static int64_t b_neg(int64_t a) { return (int64_t)(0ULL - (uint64_t)a); }");
+    w.line("static int64_t b_min(int64_t a, int64_t b) { return a < b ? a : b; }");
+    w.line("static int64_t b_max(int64_t a, int64_t b) { return a > b ? a : b; }");
+    w.line("static int64_t b_abs(int64_t a) { return a < 0 ? b_neg(a) : a; }");
+    w.line("static void b_fail(const char *what) { fprintf(stderr, \"evaluation error: %s\\n\", what); exit(2); }");
+    w.line("static int64_t b_div(int64_t a, int64_t b) { if (b == 0) b_fail(\"division by zero\"); if (b == -1) return b_neg(a); return a / b; }");
+    w.line("static int64_t b_rem(int64_t a, int64_t b) { if (b == 0) b_fail(\"division by zero\"); if (b == -1) return 0; return a % b; }");
+    w.line("static int64_t b_floordiv(int64_t a, int64_t b) { int64_t q, r; if (b == 0) b_fail(\"division by zero\"); if (a == INT64_MIN && b == -1) b_fail(\"floor-division overflow\"); q = a / b; r = a % b; if (r < 0) q = (b > 0) ? q - 1 : q + 1; return q; }");
+    w.line("static int64_t b_divceil(int64_t a, int64_t b) { return b_floordiv(b_sub(b_add(a, b), 1), b); }");
+    w.line("static int64_t b_roundup(int64_t a, int64_t b) { return b_mul(b_divceil(a, b), b); }");
+    w.line("static int64_t b_gcd(int64_t a, int64_t b) { uint64_t x = a < 0 ? 0ULL - (uint64_t)a : (uint64_t)a; uint64_t y = b < 0 ? 0ULL - (uint64_t)b : (uint64_t)b; while (y != 0) { uint64_t t = x % y; x = y; y = t; } return (int64_t)x; }");
 }
 
 fn emit(w: &mut CodeWriter, nodes: &[SNode], program: &LoweredProgram, loop_depth: usize) {
@@ -125,15 +162,10 @@ impl Backend for CBackend {
         w.line(format!("/* generated by beast-codegen: space `{}` */", p.name));
         w.line("#include <stdio.h>");
         w.line("#include <stdint.h>");
+        w.line("#include <stdlib.h>");
         w.line("#include <inttypes.h>");
         w.blank();
-        w.line("static int64_t b_min(int64_t a, int64_t b) { return a < b ? a : b; }");
-        w.line("static int64_t b_max(int64_t a, int64_t b) { return a > b ? a : b; }");
-        w.line("static int64_t b_abs(int64_t a) { return a < 0 ? -a : a; }");
-        w.line("static int64_t b_floordiv(int64_t a, int64_t b) { int64_t q = a / b; return (a % b != 0 && ((a < 0) != (b < 0))) ? q - 1 : q; }");
-        w.line("static int64_t b_divceil(int64_t a, int64_t b) { return b_floordiv(a + b - 1, b); }");
-        w.line("static int64_t b_roundup(int64_t a, int64_t b) { return b_floordiv(a + b - 1, b) * b; }");
-        w.line("static int64_t b_gcd(int64_t a, int64_t b) { a = b_abs(a); b = b_abs(b); while (b != 0) { int64_t t = a % b; a = b; b = t; } return a; }");
+        emit_c_helpers(&mut w);
         w.blank();
         w.line("static uint64_t survivors = 0;");
         w.line(format!("static uint64_t pruned[{}];", p.constraint_names.len().max(1)));

@@ -31,9 +31,11 @@ pub mod fortran;
 pub mod java;
 pub mod lower;
 pub mod lua;
+pub mod native;
 pub mod python;
 pub mod runner;
 pub mod rust;
+pub mod toolchain;
 pub mod tree;
 pub mod writer;
 
@@ -44,8 +46,10 @@ pub use fortran::FortranBackend;
 pub use java::JavaBackend;
 pub use lower::{lower, LoweredProgram};
 pub use lua::LuaBackend;
+pub use native::{emit_chunk_worker, WorkerEmitError, PROTOCOL_VERSION, ROW_SENTINEL};
 pub use python::PythonBackend;
 pub use runner::{generate_and_run, Toolchain, ToolchainResult};
+pub use toolchain::{find_c_compiler, ToolError};
 pub use rust::RustBackend;
 pub use tree::{CodegenError, Program};
 

@@ -1,0 +1,300 @@
+//! Chunk-worker emitter for the engine's runtime-native tier.
+//!
+//! The offline [`crate::c::CBackend`] prints a whole-space program that
+//! enumerates every tuple and reports aggregate counters. The native tier
+//! instead needs a *chunk worker*: the same loop nest, but with the
+//! outermost (level-0) loop replaced by a loop over outer values handed to
+//! the process at runtime, and with every survivor streamed back so the
+//! engine can fold results in chunk order — bit-identical survivors,
+//! emission order, and per-constraint statistics.
+//!
+//! ## Worker protocol (version [`PROTOCOL_VERSION`], host-endian)
+//!
+//! stdin:  `u32 n`, then `n × i64` level-0 values (one chunk).
+//! stdout: per survivor, a length-prefixed row — `u32 len` (= `8 × n_vars`)
+//!         followed by `n_vars × i64` slot values in slot order — then a
+//!         trailer: `u32` [`ROW_SENTINEL`], `u32 n_constraints`, per
+//!         constraint `u64 evaluated` + `u64 pruned`, and `u64 survivors`.
+//!
+//! Exit codes: 0 success; 2 evaluation error (`b_fail`, matching the
+//! interpreter's evaluation-error path); 3 protocol/IO error. The engine
+//! treats any nonzero exit — or a malformed stream — as grounds to re-run
+//! the chunk in-process, so a worker failure is never observable in results.
+//!
+//! Per-point statistics are exact: `evaluated[i]` is bumped immediately
+//! before constraint `i`'s condition is tested, `pruned[i]` when it fires —
+//! the same per-point, declared-order accounting the compiled engine uses
+//! with block pruning disabled.
+
+use crate::c::{emit_c_helpers, expr_c, join_decl};
+use crate::lower::{LoweredProgram, SNode};
+use crate::writer::CodeWriter;
+
+/// Version stamp folded into the artifact cache key; bump on any protocol
+/// or emission change so stale cached binaries can never be reused.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// `u32` marker separating survivor rows from the stats trailer. Never a
+/// valid row length (rows are `8 × n_vars ≤ 2^31`).
+pub const ROW_SENTINEL: u32 = 0xFFFF_FFFF;
+
+/// Why a plan cannot be lowered to a chunk worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerEmitError {
+    /// The plan has no loop at all — nothing to chunk over.
+    NoOuterLoop,
+    /// A constraint check or visit precedes the first loop; its once-per-
+    /// sweep accounting cannot be replicated by per-chunk processes.
+    PreambleEffect,
+}
+
+impl std::fmt::Display for WorkerEmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerEmitError::NoOuterLoop => write!(f, "plan has no outer loop to chunk"),
+            WorkerEmitError::PreambleEffect => {
+                write!(f, "plan checks or visits before the first loop")
+            }
+        }
+    }
+}
+
+fn contains_effect(nodes: &[SNode]) -> bool {
+    nodes.iter().any(|n| match n {
+        SNode::Prune { .. } | SNode::Visit => true,
+        SNode::If { then, otherwise, .. } => {
+            contains_effect(then) || contains_effect(otherwise)
+        }
+        SNode::RangeLoop { body, .. } | SNode::ValuesLoop { body, .. } => contains_effect(body),
+        SNode::Declare { .. } | SNode::Assign { .. } => false,
+    })
+}
+
+/// Emit statements with the worker's extras: per-point `evaluated[i]++`
+/// ahead of every constraint check, and survivor rows streamed on `Visit`.
+fn emit(w: &mut CodeWriter, nodes: &[SNode], program: &LoweredProgram) {
+    for node in nodes {
+        match node {
+            SNode::Declare { .. } => {} // all temps pre-declared at the top
+            SNode::Assign { var, value } => w.line(format!("{var} = {};", expr_c(value))),
+            // A constraint check lowers to exactly `if (cond) prune;` — the
+            // shape we key the per-point evaluation counter on.
+            SNode::If { cond, then, otherwise }
+                if otherwise.is_empty()
+                    && matches!(then.as_slice(), [SNode::Prune { .. }]) =>
+            {
+                let SNode::Prune { idx } = &then[0] else { unreachable!() };
+                w.line(format!("evaluated[{idx}]++;"));
+                w.open(format!("if ({} != 0) {{", expr_c(cond)));
+                w.line(format!("pruned[{idx}]++;"));
+                w.line("continue;");
+                w.close("}");
+            }
+            SNode::If { cond, then, otherwise } => {
+                w.open(format!("if ({} != 0) {{", expr_c(cond)));
+                emit(w, then, program);
+                if !otherwise.is_empty() {
+                    w.hinge("} else {");
+                    emit(w, otherwise, program);
+                }
+                w.close("}");
+            }
+            SNode::RangeLoop { var, start, stop, step, const_positive_step, body } => {
+                if *const_positive_step {
+                    w.open(format!("for ({var} = {start}; {var} < {stop}; {var} += {step}) {{"));
+                } else {
+                    w.open(format!(
+                        "for ({var} = {start}; ({step} > 0) ? ({var} < {stop}) : ({var} > {stop}); {var} += {step}) {{"
+                    ));
+                }
+                emit(w, body, program);
+                w.close("}");
+            }
+            SNode::ValuesLoop { var, pool, body } => {
+                let n = program.pools[*pool].len();
+                w.open(format!(
+                    "for (size_t _pi_{var} = 0; _pi_{var} < {n}; _pi_{var}++) {{"
+                ));
+                w.line(format!("{var} = pool_{pool}[_pi_{var}];"));
+                emit(w, body, program);
+                w.close("}");
+            }
+            SNode::Prune { idx } => {
+                // A prune outside the check shape (should not occur today).
+                w.line(format!("pruned[{idx}]++;"));
+                w.line("continue;");
+            }
+            SNode::Visit => {
+                w.line("survivors++;");
+                for (i, v) in program.vars.iter().enumerate() {
+                    w.line(format!("row[{i}] = {v};"));
+                }
+                w.line("put_u32(8u * (uint32_t)N_VARS);");
+                w.line("fwrite(row, 8, N_VARS, stdout);");
+            }
+        }
+    }
+}
+
+/// Lower a program to standalone chunk-worker C source.
+///
+/// Fails (so the engine can fall back to the in-process tier) when the plan
+/// has no outer loop, or when a check/visit precedes it — those execute
+/// once per sweep in the engine but would execute once per worker process.
+pub fn emit_chunk_worker(p: &LoweredProgram) -> Result<String, WorkerEmitError> {
+    let split = p
+        .body
+        .iter()
+        .position(|n| matches!(n, SNode::RangeLoop { .. } | SNode::ValuesLoop { .. }))
+        .ok_or(WorkerEmitError::NoOuterLoop)?;
+    if contains_effect(&p.body[split + 1..]) {
+        // A second top-level nest would also evaluate per chunk.
+        return Err(WorkerEmitError::PreambleEffect);
+    }
+    if contains_effect(&p.body[..split]) {
+        return Err(WorkerEmitError::PreambleEffect);
+    }
+
+    let nc = p.constraint_names.len();
+    let nv = p.vars.len();
+    let mut w = CodeWriter::new();
+    w.line(format!(
+        "/* generated by beast-codegen: native chunk worker for space `{}` (protocol {PROTOCOL_VERSION}) */",
+        p.name
+    ));
+    w.line("#include <stdio.h>");
+    w.line("#include <stdint.h>");
+    w.line("#include <stdlib.h>");
+    w.blank();
+    emit_c_helpers(&mut w);
+    w.blank();
+    w.line(format!("#define N_VARS {nv}"));
+    w.line(format!("#define N_CONSTRAINTS {nc}"));
+    w.line(format!("static uint64_t evaluated[{}];", nc.max(1)));
+    w.line(format!("static uint64_t pruned[{}];", nc.max(1)));
+    w.line("static uint64_t survivors = 0;");
+    w.line(format!("static int64_t row[{}];", nv.max(1)));
+    for (i, pool) in p.pools.iter().enumerate() {
+        let vals: Vec<String> = pool.iter().map(|v| format!("{v}LL")).collect();
+        w.line(format!(
+            "static const int64_t pool_{i}[{}] = {{{}}};",
+            pool.len(),
+            vals.join(", ")
+        ));
+    }
+    w.blank();
+    w.line("static int read_exact(void *buf, size_t n) { return fread(buf, 1, n, stdin) == n; }");
+    w.line("static void put_u32(uint32_t v) { fwrite(&v, 4, 1, stdout); }");
+    w.line("static void put_u64(uint64_t v) { fwrite(&v, 8, 1, stdout); }");
+    w.blank();
+
+    w.open("static void run_chunk(const int64_t *chunk, uint32_t n_chunk) {");
+    if !p.vars.is_empty() {
+        w.line(format!("int64_t {};", join_decl(&p.vars)));
+    }
+    if !p.temps.is_empty() {
+        w.line(format!("int64_t {};", join_decl(&p.temps)));
+    }
+    // Preamble: bound temps (and any pre-loop defines) for the outer loop.
+    emit(&mut w, &p.body[..split], p);
+    // The outer loop, re-targeted at the supplied chunk values.
+    let outer_var = match &p.body[split] {
+        SNode::RangeLoop { var, .. } | SNode::ValuesLoop { var, .. } => var.clone(),
+        _ => unreachable!("split points at a loop"),
+    };
+    let body: &[SNode] = match &p.body[split] {
+        SNode::RangeLoop { body, .. } | SNode::ValuesLoop { body, .. } => body,
+        _ => unreachable!("split points at a loop"),
+    };
+    w.open("for (uint32_t _ci = 0; _ci < n_chunk; _ci++) {");
+    w.line(format!("{outer_var} = chunk[_ci];"));
+    emit(&mut w, body, p);
+    w.close("}");
+    w.close("}");
+    w.blank();
+
+    w.open("int main(void) {");
+    w.line("uint32_t n_chunk = 0;");
+    w.line("static char outbuf[1 << 20];");
+    w.line("setvbuf(stdout, outbuf, _IOFBF, sizeof outbuf);");
+    w.open("if (!read_exact(&n_chunk, 4)) {");
+    w.line("fprintf(stderr, \"protocol: missing chunk length\\n\");");
+    w.line("return 3;");
+    w.close("}");
+    w.line("int64_t *chunk = NULL;");
+    w.open("if (n_chunk > 0) {");
+    w.line("chunk = malloc((size_t)n_chunk * 8);");
+    w.open("if (!chunk || !read_exact(chunk, (size_t)n_chunk * 8)) {");
+    w.line("fprintf(stderr, \"protocol: truncated chunk values\\n\");");
+    w.line("return 3;");
+    w.close("}");
+    w.close("}");
+    w.line("run_chunk(chunk, n_chunk);");
+    w.line(format!("put_u32(0x{ROW_SENTINEL:08X}u);"));
+    w.line("put_u32(N_CONSTRAINTS);");
+    w.open("for (uint32_t _i = 0; _i < N_CONSTRAINTS; _i++) {");
+    w.line("put_u64(evaluated[_i]);");
+    w.line("put_u64(pruned[_i]);");
+    w.close("}");
+    w.line("put_u64(survivors);");
+    w.line("fflush(stdout);");
+    w.line("return ferror(stdout) ? 3 : 0;");
+    w.close("}");
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::tree::Program;
+    use beast_core::constraint::ConstraintClass;
+    use beast_core::expr::var;
+    use beast_core::ir::LoweredPlan;
+    use beast_core::plan::{Plan, PlanOptions};
+    use beast_core::space::Space;
+
+    fn worker_for(space: &std::sync::Arc<Space>) -> Result<String, WorkerEmitError> {
+        let plan = Plan::new(space, PlanOptions::default()).unwrap();
+        let lp = LoweredPlan::new(&plan).unwrap();
+        emit_chunk_worker(&lower(&Program::from_lowered(&lp).unwrap()))
+    }
+
+    #[test]
+    fn emits_protocol_scaffolding_and_per_check_counters() {
+        let s = Space::builder("worker")
+            .range("a", 1, 5)
+            .range_step("b", var("a"), 17, var("a"))
+            .derived("d", var("a") * var("b"))
+            .constraint("big", ConstraintClass::Hard, var("d").gt(20))
+            .build()
+            .unwrap();
+        let src = worker_for(&s).unwrap();
+        assert!(src.contains("a = chunk[_ci];"), "outer loop not chunk-driven:\n{src}");
+        assert!(src.contains("evaluated[0]++;"));
+        assert!(src.contains("pruned[0]++;"));
+        assert!(src.contains("put_u32(0xFFFFFFFFu);"));
+        assert!(src.contains("fwrite(row, 8, N_VARS, stdout);"));
+        // The original outer range loop must be gone — only the chunk loop
+        // iterates at top level.
+        assert!(!src.contains("for (a = "), "outer range loop survived:\n{src}");
+        assert_eq!(src.matches('{').count(), src.matches('}').count());
+    }
+
+    #[test]
+    fn rejects_planless_or_preamble_effect_shapes() {
+        // A space whose only constraint involves no iterators is checked
+        // before the first loop — once per sweep — which a per-chunk worker
+        // cannot reproduce.
+        let s = Space::builder("pre")
+            .constant("k", 3)
+            .range("a", 0, 4)
+            .constraint("never", ConstraintClass::Hard, var("k").gt(10))
+            .build()
+            .unwrap();
+        match worker_for(&s) {
+            Err(WorkerEmitError::PreambleEffect) | Ok(_) => {} // hoisting-dependent
+            Err(e) => panic!("unexpected: {e:?}"),
+        }
+    }
+}

@@ -4,14 +4,21 @@
 //! [`ToolchainResult::Unavailable`] rather than failing. Build and run are
 //! timed separately so the benchmark harness can report both end-to-end and
 //! run-only figures.
+//!
+//! Compiler probing and command plumbing live in [`crate::toolchain`], which
+//! the engine's runtime-native tier shares; this module only adds the
+//! counter-parsing contract on top.
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::Command;
 use std::time::{Duration, Instant};
 
 use crate::backend::{Backend, RunCounts};
 use crate::java::JAVA_CLASS;
 use crate::lower::LoweredProgram;
+use crate::toolchain::{
+    compile, find_c_compiler, run_binary, run_cmd, which, write_source, ToolError,
+};
 
 /// Result of attempting to build + run a generated program.
 #[derive(Debug)]
@@ -46,29 +53,12 @@ impl ToolchainResult {
     }
 }
 
-fn which(tool: &str) -> Option<PathBuf> {
-    let path = std::env::var_os("PATH")?;
-    for dir in std::env::split_paths(&path) {
-        let candidate = dir.join(tool);
-        if candidate.is_file() {
-            return Some(candidate);
+impl From<ToolError> for ToolchainResult {
+    fn from(e: ToolError) -> ToolchainResult {
+        match e {
+            ToolError::Unavailable(what) => ToolchainResult::Unavailable(what),
+            ToolError::Failed { stage, detail } => ToolchainResult::Failed { stage, detail },
         }
-    }
-    None
-}
-
-fn run_cmd(mut cmd: Command, stage: &'static str) -> Result<String, ToolchainResult> {
-    match cmd.output() {
-        Ok(out) if out.status.success() => Ok(String::from_utf8_lossy(&out.stdout).into_owned()),
-        Ok(out) => Err(ToolchainResult::Failed {
-            stage,
-            detail: format!(
-                "{}\n{}",
-                String::from_utf8_lossy(&out.stdout),
-                String::from_utf8_lossy(&out.stderr)
-            ),
-        }),
-        Err(e) => Err(ToolchainResult::Failed { stage, detail: e.to_string() }),
     }
 }
 
@@ -79,47 +69,38 @@ fn parse_or_fail(stdout: String, build: Duration, run: Duration) -> ToolchainRes
     }
 }
 
-fn write_source(path: &Path, src: &str) -> Result<(), ToolchainResult> {
-    std::fs::write(path, src)
-        .map_err(|e| ToolchainResult::Failed { stage: "write", detail: e.to_string() })
-}
-
 /// Compile `src` with `compiler args` into `bin`, then run it.
 fn compile_and_run(
-    compiler: PathBuf,
+    compiler: &Path,
     args: &[&str],
     src_path: &Path,
     bin: &Path,
     src: &str,
 ) -> ToolchainResult {
-    if let Err(r) = write_source(src_path, src) {
-        return r;
+    if let Err(e) = write_source(src_path, src) {
+        return e.into();
     }
-    let t_build = Instant::now();
-    let mut build = Command::new(compiler);
-    build.args(args).arg("-o").arg(bin).arg(src_path);
-    if let Err(r) = run_cmd(build, "compile") {
-        return r;
-    }
-    let build_time = t_build.elapsed();
-    let t_run = Instant::now();
-    match run_cmd(Command::new(bin), "run") {
-        Ok(out) => parse_or_fail(out, build_time, t_run.elapsed()),
-        Err(r) => r,
+    let build_time = match compile(compiler, args, src_path, bin) {
+        Ok(d) => d,
+        Err(e) => return e.into(),
+    };
+    match run_binary(bin) {
+        Ok((out, run_time)) => parse_or_fail(out, build_time, run_time),
+        Err(e) => e.into(),
     }
 }
 
 /// Run `src` directly through an interpreter.
-fn interpret(interpreter: PathBuf, src_path: &Path, src: &str) -> ToolchainResult {
-    if let Err(r) = write_source(src_path, src) {
-        return r;
+fn interpret(interpreter: &Path, src_path: &Path, src: &str) -> ToolchainResult {
+    if let Err(e) = write_source(src_path, src) {
+        return e.into();
     }
     let t_run = Instant::now();
     let mut run = Command::new(interpreter);
     run.arg(src_path);
     match run_cmd(run, "run") {
         Ok(out) => parse_or_fail(out, Duration::ZERO, t_run.elapsed()),
-        Err(r) => r,
+        Err(e) => e.into(),
     }
 }
 
@@ -144,10 +125,10 @@ impl Toolchain {
         Toolchain {
             language: "C",
             build_and_run: Box::new(|dir, src| {
-                let Some(cc) = which("gcc").or_else(|| which("cc")) else {
+                let Some(cc) = find_c_compiler() else {
                     return ToolchainResult::Unavailable("gcc/cc".into());
                 };
-                compile_and_run(cc, &["-O2"], &dir.join("space.c"), &dir.join("space_c"), src)
+                compile_and_run(&cc, &["-O2"], &dir.join("space.c"), &dir.join("space_c"), src)
             }),
         }
     }
@@ -164,22 +145,20 @@ impl Toolchain {
                 };
                 let src_path = dir.join("space_omp.c");
                 let bin = dir.join("space_omp");
-                if let Err(r) = write_source(&src_path, src) {
-                    return r;
+                if let Err(e) = write_source(&src_path, src) {
+                    return e.into();
                 }
-                let t_build = Instant::now();
-                let mut build = Command::new(cc);
-                build.arg("-O2").arg("-fopenmp").arg("-o").arg(&bin).arg(&src_path);
-                if let Err(r) = run_cmd(build, "compile") {
-                    return r;
-                }
-                let build_time = t_build.elapsed();
+                let build_time =
+                    match compile(&cc, &["-O2", "-fopenmp"], &src_path, &bin) {
+                        Ok(d) => d,
+                        Err(e) => return e.into(),
+                    };
                 let t_run = Instant::now();
                 let mut run = Command::new(&bin);
                 run.env("OMP_NUM_THREADS", "4");
                 match run_cmd(run, "run") {
                     Ok(out) => parse_or_fail(out, build_time, t_run.elapsed()),
-                    Err(r) => r,
+                    Err(e) => e.into(),
                 }
             }),
         }
@@ -194,7 +173,7 @@ impl Toolchain {
                     return ToolchainResult::Unavailable("rustc".into());
                 };
                 compile_and_run(
-                    rustc,
+                    &rustc,
                     &["-O"],
                     &dir.join("space.rs"),
                     &dir.join("space_rs"),
@@ -212,7 +191,7 @@ impl Toolchain {
                 let Some(py) = which("python3").or_else(|| which("python")) else {
                     return ToolchainResult::Unavailable("python3".into());
                 };
-                interpret(py, &dir.join("space.py"), src)
+                interpret(&py, &dir.join("space.py"), src)
             }),
         }
     }
@@ -228,7 +207,7 @@ impl Toolchain {
                 else {
                     return ToolchainResult::Unavailable("lua".into());
                 };
-                interpret(lua, &dir.join("space.lua"), src)
+                interpret(&lua, &dir.join("space.lua"), src)
             }),
         }
     }
@@ -242,7 +221,7 @@ impl Toolchain {
                     return ToolchainResult::Unavailable("gfortran".into());
                 };
                 compile_and_run(
-                    fc,
+                    &fc,
                     &["-O2"],
                     &dir.join("space.f90"),
                     &dir.join("space_f90"),
@@ -261,14 +240,14 @@ impl Toolchain {
                     return ToolchainResult::Unavailable("javac/java".into());
                 };
                 let src_path = dir.join(format!("{JAVA_CLASS}.java"));
-                if let Err(r) = write_source(&src_path, src) {
-                    return r;
+                if let Err(e) = write_source(&src_path, src) {
+                    return e.into();
                 }
                 let t_build = Instant::now();
                 let mut build = Command::new(javac);
                 build.arg(&src_path);
-                if let Err(r) = run_cmd(build, "compile") {
-                    return r;
+                if let Err(e) = run_cmd(build, "compile") {
+                    return e.into();
                 }
                 let build_time = t_build.elapsed();
                 let t_run = Instant::now();
@@ -276,7 +255,7 @@ impl Toolchain {
                 run.arg("-cp").arg(dir).arg(JAVA_CLASS);
                 match run_cmd(run, "run") {
                     Ok(out) => parse_or_fail(out, build_time, t_run.elapsed()),
-                    Err(r) => r,
+                    Err(e) => e.into(),
                 }
             }),
         }
@@ -303,15 +282,4 @@ pub fn generate_and_run(
     let result = toolchain.execute(&dir, &source);
     let _ = std::fs::remove_dir_all(&dir);
     result
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn which_finds_sh() {
-        assert!(which("sh").is_some());
-        assert!(which("definitely-not-a-real-tool-xyz").is_none());
-    }
 }

@@ -1,0 +1,121 @@
+//! Shared toolchain plumbing: compiler discovery and compile/run command
+//! helpers used by both the offline cross-language harness ([`crate::runner`])
+//! and the engine's runtime-native tier.
+//!
+//! Everything here is deliberately primitive — probe `PATH`, write a source
+//! file, run a command, time a compile — so callers can compose the pieces:
+//! the offline harness parses canonical counters from stdout, while the
+//! native tier manages a persistent artifact cache and a binary stream
+//! protocol on top of the same compile step.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// A toolchain-level failure, independent of what the caller wanted to do
+/// with the program.
+#[derive(Debug)]
+pub enum ToolError {
+    /// The needed compiler/interpreter is not installed.
+    Unavailable(String),
+    /// The toolchain exists but the invoked command failed.
+    Failed {
+        /// Which stage failed (`write`, `compile`, `run`, ...).
+        stage: &'static str,
+        /// Captured stderr/stdout or OS error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::Unavailable(what) => write!(f, "{what} not installed"),
+            ToolError::Failed { stage, detail } => write!(f, "{stage} failed: {detail}"),
+        }
+    }
+}
+
+/// Locate `tool` on `PATH`.
+pub fn which(tool: &str) -> Option<PathBuf> {
+    let path = std::env::var_os("PATH")?;
+    for dir in std::env::split_paths(&path) {
+        let candidate = dir.join(tool);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// The host C compiler: `gcc`, falling back to `cc`.
+pub fn find_c_compiler() -> Option<PathBuf> {
+    which("gcc").or_else(|| which("cc"))
+}
+
+/// Run a prepared command, capturing stdout; nonzero exit or spawn failure
+/// becomes a [`ToolError::Failed`] tagged with `stage`.
+pub fn run_cmd(mut cmd: Command, stage: &'static str) -> Result<String, ToolError> {
+    match cmd.output() {
+        Ok(out) if out.status.success() => Ok(String::from_utf8_lossy(&out.stdout).into_owned()),
+        Ok(out) => Err(ToolError::Failed {
+            stage,
+            detail: format!(
+                "{}\n{}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            ),
+        }),
+        Err(e) => Err(ToolError::Failed { stage, detail: e.to_string() }),
+    }
+}
+
+/// Write generated source to `path`.
+pub fn write_source(path: &Path, src: &str) -> Result<(), ToolError> {
+    std::fs::write(path, src)
+        .map_err(|e| ToolError::Failed { stage: "write", detail: e.to_string() })
+}
+
+/// Compile `src_path` with `compiler args` into `bin`, returning the timed
+/// compile duration.
+pub fn compile(
+    compiler: &Path,
+    args: &[&str],
+    src_path: &Path,
+    bin: &Path,
+) -> Result<Duration, ToolError> {
+    let t_build = Instant::now();
+    let mut build = Command::new(compiler);
+    build.args(args).arg("-o").arg(bin).arg(src_path);
+    run_cmd(build, "compile")?;
+    Ok(t_build.elapsed())
+}
+
+/// Run a compiled binary, returning its stdout and timed run duration.
+pub fn run_binary(bin: &Path) -> Result<(String, Duration), ToolError> {
+    let t_run = Instant::now();
+    let out = run_cmd(Command::new(bin), "run")?;
+    Ok((out, t_run.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn which_finds_sh() {
+        assert!(which("sh").is_some());
+        assert!(which("definitely-not-a-real-tool-xyz").is_none());
+    }
+
+    #[test]
+    fn c_compiler_probe_resolves_to_a_file() {
+        // On hosts without any C compiler the probe must return None rather
+        // than guessing; where one exists it must be an actual file. (The
+        // masked-PATH fallback path is exercised end-to-end by CI, which
+        // runs `repro sweep --engine native` under an emptied PATH.)
+        if let Some(cc) = find_c_compiler() {
+            assert!(cc.is_file());
+        }
+    }
+}

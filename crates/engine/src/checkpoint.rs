@@ -397,6 +397,11 @@ where
     F: Fn() -> V + Sync,
 {
     let space_name = lp.plan.space().name().to_string();
+    // The same execution-options fingerprint that scopes the sub-sweep cache
+    // is recorded in every checkpoint: resuming a prefix evaluated under
+    // different options (another engine tier, pruning toggles, schedule)
+    // would merge counters with incompatible accounting.
+    let engine_sig = opts.engine.signature();
     let seed = if ck.resume {
         let text = std::fs::read_to_string(&ck.path).map_err(|e| {
             SweepError::Checkpoint(format!(
@@ -404,11 +409,13 @@ where
                 ck.path.display()
             ))
         })?;
-        parse_checkpoint(&text, &space_name, &make_visitor).map_err(SweepError::Checkpoint)?
+        parse_checkpoint(&text, &space_name, &engine_sig, &make_visitor)
+            .map_err(SweepError::Checkpoint)?
     } else {
         None
     };
-    let writer = |snap: &CkSnapshot<'_, V>| write_checkpoint(&ck.path, &space_name, snap);
+    let writer =
+        |snap: &CkSnapshot<'_, V>| write_checkpoint(&ck.path, &space_name, &engine_sig, snap);
     let sink = CkSink { every: ck.every_chunks.max(1), write: &writer };
     run_supervised(lp, opts, make_visitor, seed, Some(&sink), None)
 }
@@ -417,12 +424,15 @@ where
 fn write_checkpoint<V: SaveState>(
     path: &Path,
     space: &str,
+    engine_sig: &str,
     snap: &CkSnapshot<'_, V>,
 ) -> Result<(), String> {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(1024);
     let _ = write!(out, "{{\"format\":{FORMAT},");
     json_str(&mut out, "space", space);
+    out.push(',');
+    json_str(&mut out, "engine", engine_sig);
     let _ = write!(
         out,
         ",\"outer_len\":{},\"chunk_len\":{},\"chunks\":{},\"next\":{}",
@@ -534,6 +544,7 @@ pub(crate) fn parse_blocks(doc: &JsonValue, ctx: &str) -> Result<BlockStats, Str
 fn parse_checkpoint<V: Visitor + SaveState>(
     text: &str,
     space: &str,
+    engine_sig: &str,
     make_visitor: &dyn Fn() -> V,
 ) -> Result<Option<ResumeSeed<V>>, String> {
     let doc = JsonValue::parse(text).map_err(|e| format!("malformed checkpoint: {e}"))?;
@@ -550,6 +561,18 @@ fn parse_checkpoint<V: Visitor + SaveState>(
         return Err(format!(
             "checkpoint is for space `{recorded_space}`, not `{space}`"
         ));
+    }
+    // `engine` was added after format 1 shipped: absent means an older file
+    // written before options were recorded, which stays resumable; present
+    // and different means the prefix counters were produced under other
+    // execution options and cannot be merged.
+    if let Some(recorded_engine) = doc.get("engine").and_then(JsonValue::as_str) {
+        if recorded_engine != engine_sig {
+            return Err(format!(
+                "checkpoint was written with engine options `{recorded_engine}`, \
+                 current options are `{engine_sig}`"
+            ));
+        }
     }
     let outer_len = usize_field("outer_len")?;
     let chunk_len = usize_field("chunk_len")?;
@@ -619,6 +642,7 @@ fn parse_fault_record(v: &JsonValue) -> Result<FaultRecord, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compiled::EngineOptions;
 
     #[test]
     fn json_parser_round_trips_scalars_and_nesting() {
@@ -702,9 +726,11 @@ mod tests {
             error: "division by zero".to_string(),
             bindings: vec![("x".to_string(), 10)],
         }];
+        let sig = EngineOptions::default().signature();
         write_checkpoint(
             &path,
             "unit",
+            &sig,
             &CkSnapshot {
                 outer_len: 64,
                 chunk_len: 8,
@@ -719,7 +745,7 @@ mod tests {
         .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let seed =
-            parse_checkpoint::<FingerprintVisitor>(&text, "unit", &FingerprintVisitor::new)
+            parse_checkpoint::<FingerprintVisitor>(&text, "unit", &sig, &FingerprintVisitor::new)
                 .unwrap()
                 .expect("next > 0 must produce a seed");
         assert_eq!((seed.outer_len, seed.chunk_len, seed.next), (64, 8, 5));
@@ -728,8 +754,38 @@ mod tests {
         assert_eq!(seed.faults, faults);
         assert_eq!(seed.visitor, visitor);
         // Space mismatch is refused.
-        assert!(parse_checkpoint::<FingerprintVisitor>(&text, "other", &FingerprintVisitor::new)
-            .is_err());
+        assert!(parse_checkpoint::<FingerprintVisitor>(
+            &text,
+            "other",
+            &sig,
+            &FingerprintVisitor::new
+        )
+        .is_err());
+        // Engine-options mismatch is refused: a prefix evaluated under the
+        // native tier (or different pruning toggles) cannot be merged with
+        // chunks evaluated under the defaults.
+        let native_sig = EngineOptions::native().signature();
+        let mismatch = parse_checkpoint::<FingerprintVisitor>(
+            &text,
+            "unit",
+            &native_sig,
+            &FingerprintVisitor::new,
+        );
+        match mismatch {
+            Err(err) => assert!(err.contains("engine options"), "{err}"),
+            Ok(_) => panic!("engine-options mismatch must be refused"),
+        }
+        // A pre-options checkpoint (no `engine` key) stays resumable.
+        let legacy = text.replacen(&format!(",\"engine\":\"{sig}\""), "", 1);
+        assert_ne!(legacy, text, "engine key must be present to strip");
+        assert!(parse_checkpoint::<FingerprintVisitor>(
+            &legacy,
+            "unit",
+            &sig,
+            &FingerprintVisitor::new
+        )
+        .unwrap()
+        .is_some());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -86,6 +86,53 @@ use crate::telemetry::{GroupSchedule, ScheduleTelemetry};
 use crate::visit::Visitor;
 use crate::walker::SweepOutcome;
 
+/// Which evaluation tier executes a sweep (see
+/// [`EngineOptions::engine`]). Survivors, emission order and the survivor
+/// fingerprint are bit-identical across tiers; only throughput and
+/// telemetry differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineTier {
+    /// The serial interpreting walker. Supported only by serial drivers
+    /// (the parallel supervisor rejects it — there is nothing to chunk).
+    Walker,
+    /// The in-process compiled (threaded-code) engine — the default.
+    #[default]
+    Compiled,
+    /// Runtime-native worker processes: the plan is lowered to a C chunk
+    /// worker, compiled once with the host C compiler, and level-0 chunks
+    /// are dispatched to it (see [`crate::native`]). Falls back to the
+    /// compiled tier when no compiler is available or the plan cannot be
+    /// emitted; per-chunk worker failures fall back in-process.
+    Native,
+}
+
+impl EngineTier {
+    /// Stable lowercase name, used in signatures, CLI flags and telemetry.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineTier::Walker => "walker",
+            EngineTier::Compiled => "compiled",
+            EngineTier::Native => "native",
+        }
+    }
+
+    /// Parse a CLI-style tier name.
+    pub fn parse(s: &str) -> Option<EngineTier> {
+        match s {
+            "walker" => Some(EngineTier::Walker),
+            "compiled" => Some(EngineTier::Compiled),
+            "native" => Some(EngineTier::Native),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Tuning knobs for the compiled engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
@@ -142,6 +189,11 @@ pub struct EngineOptions {
     /// survivor-bitmask width). The default of 64 maximizes slab
     /// utilization; smaller widths only matter for experiments.
     pub lane_width: u32,
+    /// Which evaluation tier executes the sweep. `Compiled` (the default)
+    /// runs in process; `Native` dispatches chunks to a gcc-compiled worker
+    /// binary with graceful fallback; `Walker` is serial-only. Results are
+    /// bit-identical across tiers.
+    pub engine: EngineTier,
 }
 
 impl Default for EngineOptions {
@@ -154,6 +206,7 @@ impl Default for EngineOptions {
             lint: LintGate::Warn,
             batch: true,
             lane_width: 64,
+            engine: EngineTier::Compiled,
         }
     }
 }
@@ -180,6 +233,35 @@ impl EngineOptions {
     /// `ablation_batch` bench and `--no-batch`).
     pub fn no_batch() -> EngineOptions {
         EngineOptions { batch: false, ..EngineOptions::default() }
+    }
+
+    /// Default options on the runtime-native tier (used by the
+    /// `ablation_native` bench and `--engine native`).
+    pub fn native() -> EngineOptions {
+        EngineOptions { engine: EngineTier::Native, ..EngineOptions::default() }
+    }
+
+    /// Exact execution-options fingerprint: every knob that can change a
+    /// sweep's counters, telemetry provenance or execution tier, in a
+    /// stable printable form. This single signature keys both the
+    /// fingerprint-keyed sub-sweep cache ([`crate::service::cache`]) and
+    /// the checkpoint resume compatibility check, so a future option can
+    /// never silently alias cache entries or resume across incompatible
+    /// configurations — a pinned test asserts the exact default string and
+    /// the struct size, forcing this function to be revisited whenever a
+    /// field is added. The lint gate is excluded: it gates compilation but
+    /// never alters sweep results.
+    pub fn signature(&self) -> String {
+        format!(
+            "iv{}cg{}g{}{:?}b{}w{}e{}",
+            u8::from(self.intervals),
+            u8::from(self.congruence),
+            self.min_guard_fanout,
+            self.schedule,
+            u8::from(self.batch),
+            self.lane_width,
+            self.engine.as_str()
+        )
     }
 }
 
@@ -3328,5 +3410,51 @@ mod tests {
         assert_eq!(out.stats.survivors, declared.stats.survivors);
         assert_eq!(out.stats.total_pruned(), declared.stats.total_pruned());
         assert_eq!(out.visitor.count, declared.visitor.count);
+    }
+
+    /// The options signature keys the sub-sweep cache and the checkpoint
+    /// compatibility check, so its exact shape is pinned: the default string
+    /// must never change silently, every semantic knob must perturb it, and
+    /// the struct size is asserted so adding a field without updating
+    /// `signature()` (and this test) fails loudly instead of aliasing cache
+    /// entries.
+    #[test]
+    fn engine_options_signature_is_pinned_and_injective_per_field() {
+        let d = EngineOptions::default();
+        assert_eq!(d.signature(), "iv1cg1g4Declaredb1w64ecompiled");
+        assert_eq!(
+            EngineOptions::native().signature(),
+            "iv1cg1g4Declaredb1w64enative"
+        );
+        let variants = [
+            EngineOptions { intervals: false, ..d },
+            EngineOptions { congruence: false, ..d },
+            EngineOptions { min_guard_fanout: 2, ..d },
+            EngineOptions { schedule: ScheduleMode::Adaptive, ..d },
+            EngineOptions { batch: false, ..d },
+            EngineOptions { lane_width: 7, ..d },
+            EngineOptions { engine: EngineTier::Native, ..d },
+            EngineOptions { engine: EngineTier::Walker, ..d },
+        ];
+        let mut seen = vec![d.signature()];
+        for v in variants {
+            let sig = v.signature();
+            assert!(!seen.contains(&sig), "field change did not alter signature: {sig}");
+            seen.push(sig);
+        }
+        // If this assertion fires you added a field to `EngineOptions`:
+        // fold it into `signature()` (unless, like `lint`, it provably
+        // cannot change sweep results) and update both pins here.
+        assert_eq!(std::mem::size_of::<EngineOptions>(), 24);
+    }
+
+    #[test]
+    fn engine_tier_parses_its_own_names() {
+        for tier in [EngineTier::Walker, EngineTier::Compiled, EngineTier::Native] {
+            assert_eq!(EngineTier::parse(tier.as_str()), Some(tier));
+            assert_eq!(tier.to_string(), tier.as_str());
+        }
+        assert_eq!(EngineTier::parse("turbo"), None);
+        assert_eq!(EngineTier::default(), EngineTier::Compiled);
     }
 }

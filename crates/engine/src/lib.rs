@@ -41,6 +41,7 @@ pub mod checkpoint;
 pub mod compiled;
 pub mod fault;
 pub mod lanes;
+pub mod native;
 pub mod parallel;
 pub mod point;
 pub mod postfix;
@@ -56,8 +57,9 @@ pub mod walker;
 /// Commonly used items, re-exported.
 pub mod prelude {
     pub use crate::checkpoint::{run_checkpointed, CheckpointConfig, SaveState};
-    pub use crate::compiled::{Compiled, EngineOptions};
+    pub use crate::compiled::{Compiled, EngineOptions, EngineTier};
     pub use crate::fault::{CancelToken, FaultInjector, FaultPolicy, FaultRecord};
+    pub use crate::native::{NativeContext, NativeStats};
     pub use crate::parallel::{run_parallel, run_parallel_report, ParallelOptions};
     pub use crate::point::{Point, PointRef};
     pub use crate::service::cache::{run_cached, CacheStats, SweepCache};

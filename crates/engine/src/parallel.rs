@@ -89,10 +89,11 @@ use std::time::{Duration, Instant};
 use beast_core::error::EvalError;
 use beast_core::ir::LoweredPlan;
 
-use crate::compiled::{ChunkCtx, Compiled, EngineOptions};
+use crate::compiled::{ChunkCtx, Compiled, EngineOptions, EngineTier};
 use crate::fault::{
     CancelProbe, CancelToken, FaultAction, FaultInjector, FaultKind, FaultPolicy, FaultRecord,
 };
+use crate::native::NativeContext;
 use crate::stats::{BlockStats, FaultCounters, LaneStats, PruneStats};
 use crate::sweep::SweepError;
 use crate::telemetry::{SweepProgress, SweepReport, WorkerTelemetry};
@@ -369,7 +370,42 @@ where
 {
     let threads = opts.threads.max(1);
     let t_start = Instant::now();
-    let compiled = Compiled::with_options(lp.clone(), opts.engine);
+    if opts.engine.engine == EngineTier::Walker {
+        return Err(SweepError::Config(
+            "the walker tier is serial-only; use the compiled or native tier \
+             for parallel sweeps"
+                .to_string(),
+        ));
+    }
+    // Runtime-native tier: lower the plan to a C chunk worker and compile it
+    // once up front. Preparation failure (no compiler, opaque steps, compile
+    // error) silently falls back to the in-process engine — the tier is an
+    // accelerator, never a requirement. Fault injection stays in-process:
+    // injected faults are keyed to evaluation sites the worker binary cannot
+    // observe.
+    let native: Option<NativeContext> =
+        if opts.engine.engine == EngineTier::Native && opts.injector.is_none() {
+            NativeContext::prepare(lp, &opts.engine).ok()
+        } else {
+            None
+        };
+    // Native workers account per point in declared order (no block pruning,
+    // no reordering), so when the tier is active the in-process engine that
+    // evaluates fallback chunks is normalized to the same accounting —
+    // otherwise a fallback chunk's PruneStats would diverge from its
+    // worker-evaluated twin. Survivors, order and fingerprints are identical
+    // under any options; only the evaluated/pruned split is at stake.
+    let engine_opts = if native.is_some() {
+        EngineOptions {
+            intervals: false,
+            congruence: false,
+            schedule: Default::default(),
+            ..opts.engine
+        }
+    } else {
+        opts.engine
+    };
+    let compiled = Compiled::with_options(lp.clone(), engine_opts);
     compiled.lint_denied()?;
     let space = lp.plan.space();
     let policy = opts.fault_policy;
@@ -420,6 +456,7 @@ where
         report.fault_policy = policy.name();
         report.fault_counters = FaultCounters::from_records(&faults);
         report.faults = faults;
+        report.native = native.as_ref().map(|n| n.stats());
         report
     };
 
@@ -563,6 +600,36 @@ where
                     continue 'pull;
                 }
                 memo_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            // Native tier: dispatch the chunk to a worker process. Any
+            // worker-side failure (spawn, crash, protocol violation) is
+            // counted and falls through to the in-process path below — the
+            // fallback re-evaluates from scratch, and no visit happened yet
+            // because the worker's output is fully validated before replay.
+            if let Some(nat) = &native {
+                match nat.run_chunk(chunks[i], compiled.point_names(), make_visitor()) {
+                    Ok(out) => {
+                        if let Some(memo) = memo {
+                            memo.store(i, chunks[i], &out);
+                        }
+                        telemetry.busy += t0.elapsed();
+                        telemetry.chunks += 1;
+                        telemetry.evaluated += out.stats.evaluated.iter().sum::<u64>();
+                        telemetry.survivors += out.stats.survivors;
+                        let folded = collector.lock().unwrap().add(
+                            i,
+                            ChunkDone { outcome: Some(out), faults: Vec::new() },
+                            opts.progress.as_ref(),
+                            sink,
+                        );
+                        if let Err(msg) = folded {
+                            fail(SweepError::Checkpoint(msg));
+                            break;
+                        }
+                        continue 'pull;
+                    }
+                    Err(_) => nat.note_fallback(),
+                }
             }
             for attempt in 0..=retry_max {
                 if attempt > 0 && backoff_ms > 0 {
@@ -724,6 +791,7 @@ where
     report.cache_hits = memo_hits.into_inner();
     report.cache_misses = memo_misses.into_inner();
     report.lanes = lanes.clone();
+    report.native = native.as_ref().map(|n| n.stats());
     Ok((
         SweepOutcome {
             stats,

@@ -15,8 +15,9 @@
 //!    bound-prefix value slice, so overlapping sweeps hit on shared chunks
 //!    regardless of chunk *indices*.
 //! 3. **The evaluation scope** — a caller-supplied string naming the device/
-//!    request scope plus a signature of the [`EngineOptions`] that affect
-//!    counters (schedule mode, interval/congruence pruning, guard fanout).
+//!    request scope plus [`crate::compiled::EngineOptions::signature`] — the execution-options
+//!    fingerprint (schedule mode, interval/congruence pruning, guard fanout,
+//!    batching, engine tier) shared with the checkpoint compatibility check.
 //!    This is belt-and-suspenders on top of (1): the structural hash already
 //!    separates devices, but the scope string keeps the key auditable and
 //!    protects against option changes that alter *statistics* without
@@ -48,7 +49,6 @@ use beast_core::hash::Fnv1a;
 use beast_core::ir::LoweredPlan;
 
 use crate::checkpoint::{blocks_json, parse_blocks, parse_stats, stats_json, JsonValue, SaveState};
-use crate::compiled::EngineOptions;
 use crate::parallel::{run_supervised, ChunkMemo, ParallelOptions};
 use crate::stats::{BlockStats, LaneStats, PruneStats};
 use crate::sweep::SweepError;
@@ -307,25 +307,6 @@ impl<V: Visitor + SaveState + Clone + Send + Sync> ChunkMemo<V> for ScopedMemo<'
     }
 }
 
-/// Signature of the [`EngineOptions`] folded into every cache key: the
-/// knobs that can change a chunk's *counters* (not just its speed), plus
-/// the batch-tier configuration — batching never changes stats or
-/// survivors, but keeping the key an exact execution-options fingerprint
-/// costs nothing and keeps ablation sweeps (batch on vs off) from sharing
-/// entries whose lane telemetry provenance differs. The lint gate is
-/// excluded: it gates compilation but never alters sweep results.
-fn engine_signature(e: &EngineOptions) -> String {
-    format!(
-        "iv{}cg{}g{}{:?}b{}w{}",
-        u8::from(e.intervals),
-        u8::from(e.congruence),
-        e.min_guard_fanout,
-        e.schedule,
-        u8::from(e.batch),
-        e.lane_width
-    )
-}
-
 /// [`crate::parallel::run_parallel_report`] with chunk-level memoization.
 ///
 /// Cache-eligible sweeps consult `cache` before evaluating each chunk and
@@ -355,7 +336,11 @@ where
     if lp.has_opaque_steps() || opts.injector.is_some() {
         return run_supervised(lp, opts, make_visitor, None, None, None);
     }
-    let scope = format!("{scope}|{}", engine_signature(&opts.engine));
+    // [`EngineOptions::signature`] is the single execution-options
+    // fingerprint shared with the checkpoint compatibility check; folding it
+    // into the scope keeps any two option sets (including engine tiers,
+    // whose PruneStats accounting differs) from sharing cache entries.
+    let scope = format!("{scope}|{}", opts.engine.signature());
     let memo = cache.scoped(lp.structural_hash(), &scope);
     run_supervised(lp, opts, make_visitor, None, None, Some(&memo))
 }

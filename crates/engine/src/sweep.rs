@@ -36,6 +36,9 @@ pub enum SweepError {
     },
     /// Reading, writing or validating a checkpoint file failed.
     Checkpoint(String),
+    /// The requested engine options cannot drive this sweep (for example,
+    /// the serial walker tier handed to the parallel driver).
+    Config(String),
 }
 
 impl From<SpaceError> for SweepError {
@@ -62,6 +65,7 @@ impl std::fmt::Display for SweepError {
                 write!(f, "worker panicked: {message}")
             }
             SweepError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            SweepError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
 }

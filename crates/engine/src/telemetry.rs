@@ -233,6 +233,9 @@ pub struct SweepReport {
     pub fault_counters: FaultCounters,
     /// Structured fault records, merged in chunk order.
     pub faults: Vec<FaultRecord>,
+    /// Runtime-native tier counters (`None` when the tier was not active:
+    /// not requested, or preparation fell back to the in-process engine).
+    pub native: Option<crate::native::NativeStats>,
 }
 
 impl SweepReport {
@@ -308,6 +311,7 @@ impl SweepReport {
             fault_policy: "abort".to_string(),
             fault_counters: FaultCounters::default(),
             faults: Vec::new(),
+            native: None,
         }
     }
 
@@ -399,6 +403,24 @@ impl SweepReport {
         out.push(']');
         out.push(',');
         json_num(&mut out, "imbalance", self.imbalance());
+        out.push_str(",\"native\":");
+        match self.native {
+            Some(n) => {
+                // Exact decimal integers, never through f64.
+                out.push_str("{\"compile_ms\":");
+                out.push_str(&n.compile_ms.to_string());
+                out.push_str(",\"artifact_cache_hits\":");
+                out.push_str(&n.artifact_cache_hits.to_string());
+                out.push_str(",\"chunks_native\":");
+                out.push_str(&n.chunks_native.to_string());
+                out.push_str(",\"rows_streamed\":");
+                out.push_str(&n.rows_streamed.to_string());
+                out.push_str(",\"chunks_fallback\":");
+                out.push_str(&n.chunks_fallback.to_string());
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
         out.push_str(",\"partial\":");
         out.push_str(if self.partial { "true" } else { "false" });
         out.push_str(",\"resumed_at\":");
@@ -543,6 +565,17 @@ impl SweepReport {
                 out,
                 "sub-sweep cache: {} hit(s), {} miss(es)",
                 self.cache_hits, self.cache_misses
+            );
+        }
+        if let Some(n) = self.native {
+            let _ = writeln!(
+                out,
+                "native tier: {} chunk(s) in worker processes ({} fallback), {} row(s) streamed, compile {} ms{}",
+                n.chunks_native,
+                n.chunks_fallback,
+                n.rows_streamed,
+                n.compile_ms,
+                if n.artifact_cache_hits > 0 { " (artifact cache hit)" } else { "" }
             );
         }
         if self.lanes.lane_evals > 0 || self.lanes.total_super_hits() > 0 {
@@ -1011,6 +1044,43 @@ mod tests {
             text.contains(
                 "lane batching: 1000 lane evals, 12 tail lanes masked, \
                  3 scalar fallbacks, 40 superinstruction hit(s)"
+            ),
+            "{text}"
+        );
+    }
+
+    /// The native-tier block serializes with a pinned shape: `null` when
+    /// the tier was inactive, a fixed-key-order object when it ran, keyed
+    /// between `imbalance` and `partial`; active counters also surface in
+    /// the text rendering.
+    #[test]
+    fn native_counters_have_pinned_json_shape() {
+        let mut r = sample_report();
+        let json = r.to_json();
+        assert!(json.contains(",\"native\":null,\"partial\":"), "{json}");
+        let text = r.render_text();
+        assert!(!text.contains("native tier"), "{text}");
+        r.native = Some(crate::native::NativeStats {
+            compile_ms: 120,
+            artifact_cache_hits: 1,
+            chunks_native: 7,
+            rows_streamed: 4096,
+            chunks_fallback: 1,
+        });
+        let json = r.to_json();
+        assert!(
+            json.contains(
+                ",\"native\":{\"compile_ms\":120,\"artifact_cache_hits\":1,\
+                 \"chunks_native\":7,\"rows_streamed\":4096,\
+                 \"chunks_fallback\":1},\"partial\":"
+            ),
+            "native counter key order changed: {json}"
+        );
+        let text = r.render_text();
+        assert!(
+            text.contains(
+                "native tier: 7 chunk(s) in worker processes (1 fallback), \
+                 4096 row(s) streamed, compile 120 ms (artifact cache hit)"
             ),
             "{text}"
         );

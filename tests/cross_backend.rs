@@ -267,6 +267,221 @@ fn reduced_gemm_space_full_agreement() {
     assert_all_agree(space);
 }
 
+/// Minimal deterministic LCG (PCG-XSH-style output) so the property test
+/// below needs no RNG crate and replays identical spaces on every run.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Sample 3–5 distinct values from the extreme pool.
+fn sample_pool(rng: &mut Lcg) -> Vec<i64> {
+    const POOL: [i64; 14] = [
+        i64::MIN,
+        i64::MIN + 1,
+        -1_000_003,
+        -37,
+        -3,
+        -1,
+        0,
+        1,
+        2,
+        7,
+        64,
+        999_983,
+        i64::MAX - 1,
+        i64::MAX,
+    ];
+    let k = 3 + rng.below(3) as usize;
+    let mut vals: Vec<i64> = Vec::new();
+    while vals.len() < k {
+        let v = POOL[rng.below(POOL.len() as u64) as usize];
+        if !vals.contains(&v) {
+            vals.push(v);
+        }
+    }
+    vals
+}
+
+/// Combine two operands with a random arithmetic operator. `/` and `%`
+/// share the engine's wrapping contract with the generated C helpers but
+/// reject a zero denominator outright, so the denominator is guarded to 1
+/// instead of dropping those operators from the alphabet.
+fn random_combine(rng: &mut Lcg, a: E, b: E) -> E {
+    match rng.below(5) {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        3 => a / ternary(b.clone().eq(0), lit(1), b),
+        _ => a % ternary(b.clone().eq(0), lit(1), b),
+    }
+}
+
+/// Random comparison for constraint predicates.
+fn random_compare(rng: &mut Lcg, a: E, b: E) -> E {
+    match rng.below(4) {
+        0 => a.lt(b),
+        1 => a.le(b),
+        2 => a.gt(b),
+        _ => a.ne(b),
+    }
+}
+
+/// Property test: random postfix expressions over i64 extremes evaluated by
+/// the generated-and-compiled C program must agree with the IR interpreter
+/// on survivors, per-constraint prune counts, and the XOR checksum of every
+/// variable at every surviving point. Exercises wrapping `+ - *` and the
+/// `/` / `%` edge cases (negative operands, `MIN / -1`, `MIN % -1`) that a
+/// naive C lowering would hit as signed-overflow UB or SIGFPE.
+#[test]
+fn random_expressions_agree_with_generated_c() {
+    use beast_codegen::{
+        generate_and_run, lower, CBackend, Program, Toolchain, ToolchainResult,
+    };
+    use beast_core::iterator::build as ib;
+
+    let mut rng = Lcg(0x5eed_cafe_f00d_0001);
+    let mut total_survivors = 0u64;
+    let mut total_pruned = 0u64;
+    for round in 0..8u32 {
+        let mut names: Vec<String> = vec!["x".into(), "y".into()];
+        let mut builder = Space::builder(&format!("prop{round}"))
+            .iter("x", ib::list(sample_pool(&mut rng)))
+            .iter("y", ib::list(sample_pool(&mut rng)));
+        for d in 0..3 {
+            let a = var(&names[rng.below(names.len() as u64) as usize]);
+            let b = var(&names[rng.below(names.len() as u64) as usize]);
+            let name = format!("d{d}");
+            builder = builder.derived(&name, random_combine(&mut rng, a, b));
+            names.push(name);
+        }
+        for (ci, class) in [ConstraintClass::Hard, ConstraintClass::Soft]
+            .into_iter()
+            .enumerate()
+        {
+            let a = var(&names[rng.below(names.len() as u64) as usize]);
+            let b = var(&names[rng.below(names.len() as u64) as usize]);
+            builder =
+                builder.constraint(&format!("k{ci}"), class, random_compare(&mut rng, a, b));
+        }
+        let space = builder.build().unwrap();
+
+        let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+        let lowered = LoweredPlan::new(&plan).unwrap();
+        let compiled =
+            Compiled::with_options(lowered.clone(), EngineOptions::no_intervals());
+        let out = compiled
+            .run(CollectVisitor::new(compiled.point_names().clone(), usize::MAX))
+            .unwrap();
+        let engine_checksum = out
+            .visitor
+            .points
+            .iter()
+            .flat_map(|p| p.values().iter().map(|v| v.as_int().unwrap()))
+            .fold(0i64, |acc, v| acc ^ v);
+        let engine_pruned: Vec<(String, u64)> = space
+            .constraints()
+            .iter()
+            .map(|c| c.name.to_string())
+            .zip(out.stats.pruned.iter().copied())
+            .collect();
+        total_survivors += out.stats.survivors;
+        total_pruned += out.stats.total_pruned();
+
+        let program = Program::from_lowered(&lowered).unwrap();
+        match generate_and_run(&CBackend, &Toolchain::c(), &lower(&program)) {
+            ToolchainResult::Unavailable(what) => {
+                eprintln!("skipping property test: {what} not on PATH");
+                return;
+            }
+            ToolchainResult::Failed { stage, detail } => {
+                panic!("round {round}: C backend failed at {stage:?}: {detail}")
+            }
+            ToolchainResult::Ran { counts, .. } => {
+                assert_eq!(
+                    counts.survivors, out.stats.survivors,
+                    "round {round}: survivor counts diverged"
+                );
+                assert_eq!(
+                    counts.pruned, engine_pruned,
+                    "round {round}: per-constraint prune counts diverged"
+                );
+                assert_eq!(
+                    counts.checksum, engine_checksum,
+                    "round {round}: survivor checksums diverged"
+                );
+            }
+        }
+    }
+    // The fixed seed must keep exercising both outcomes; if a generator
+    // change makes every space degenerate, fail loudly instead of passing
+    // vacuously.
+    assert!(total_survivors > 0, "no round produced a survivor");
+    assert!(total_pruned > 0, "no round pruned a point");
+}
+
+/// The native worker tier must reproduce the compiled tier's emission
+/// fingerprint on every one of the 16 GEMM variants (4 precisions × 4
+/// transpose cases) — each variant lowers to a different plan, worker
+/// binary, and constraint mix. Without a C compiler the tier falls back
+/// in-process and the equality still has to hold.
+#[test]
+fn native_tier_fingerprints_all_precision_transpose_cases() {
+    use beast::gpu_sim::{Precision, Transpose};
+
+    let have_cc = beast_codegen::find_c_compiler().is_some();
+    for precision in Precision::all() {
+        for transpose in Transpose::all() {
+            let mut params = beast::gemm::GemmSpaceParams::reduced(16);
+            params.precision = precision;
+            params.transpose = transpose;
+            let space = beast::gemm::build_gemm_space(&params).unwrap();
+            let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+            let lowered = LoweredPlan::new(&plan).unwrap();
+            let serial = Compiled::new(lowered.clone())
+                .run(FingerprintVisitor::new())
+                .unwrap();
+            let opts = ParallelOptions {
+                threads: 2,
+                engine: EngineOptions::native(),
+                ..ParallelOptions::default()
+            };
+            let (out, report) =
+                run_parallel_report(&lowered, &opts, FingerprintVisitor::new).unwrap();
+            assert_eq!(
+                (out.visitor.count, out.visitor.hash),
+                (serial.visitor.count, serial.visitor.hash),
+                "{precision:?}/{transpose:?}: native tier fingerprint diverged"
+            );
+            if have_cc {
+                let native = report
+                    .native
+                    .expect("compiler present: native counters should be reported");
+                assert!(
+                    native.chunks_native > 0,
+                    "{precision:?}/{transpose:?}: no chunk ran in a worker process"
+                );
+                assert_eq!(
+                    native.chunks_fallback, 0,
+                    "{precision:?}/{transpose:?}: unexpected in-process fallback"
+                );
+                assert_eq!(native.rows_streamed, serial.visitor.count);
+            }
+        }
+    }
+}
+
 #[test]
 fn unhoisted_plans_agree_on_survivors() {
     let space = Space::builder("hoist_eq")

@@ -477,6 +477,98 @@ fn batch_on_and_off_agree_at_every_thread_count() {
     }
 }
 
+/// The runtime-native tier (chunks evaluated in gcc-compiled worker
+/// processes) reproduces the compiled tier bit for bit at every thread
+/// count: same survivors, same emission order, and — against a compiled
+/// engine normalized to the worker's per-point declared-order accounting —
+/// identical `PruneStats`. On hosts without a C compiler the tier must
+/// silently fall back and still produce the identical outcome.
+#[test]
+fn native_tier_matches_compiled_bit_for_bit() {
+    use beast_core::schedule::ScheduleMode;
+
+    let lp = lower(&gemm_space());
+    let compiled = Compiled::new(lp.clone());
+    let names = compiled.point_names().clone();
+    let baseline = compiled
+        .run(CollectVisitor::new(names.clone(), usize::MAX))
+        .unwrap();
+    // Stats reference: native workers account per point in declared order
+    // with no block pruning, so the comparable in-process run disables the
+    // interval/congruence product and reordering (batching stays on — it is
+    // stats-invisible, see `batch_on_and_off_agree_at_every_thread_count`).
+    let normalized = Compiled::with_options(
+        lp.clone(),
+        EngineOptions {
+            intervals: false,
+            congruence: false,
+            schedule: ScheduleMode::Declared,
+            ..EngineOptions::native()
+        },
+    )
+    .run(CollectVisitor::new(names.clone(), usize::MAX))
+    .unwrap();
+    assert_eq!(
+        normalized.visitor.points, baseline.visitor.points,
+        "normalization itself must not change survivors or order"
+    );
+
+    for threads in THREAD_COUNTS {
+        let opts = ParallelOptions {
+            threads,
+            engine: EngineOptions::native(),
+            ..ParallelOptions::default()
+        };
+        let (par, report) = run_parallel_report(&lp, &opts, || {
+            CollectVisitor::new(names.clone(), usize::MAX)
+        })
+        .unwrap();
+        assert_eq!(
+            par.visitor.points, baseline.visitor.points,
+            "native visit order diverged from compiled at {threads} threads"
+        );
+        assert_eq!(
+            par.stats, normalized.stats,
+            "native PruneStats diverged from declared-order compiled at {threads} threads"
+        );
+        if beast_codegen::find_c_compiler().is_some() {
+            let n = report
+                .native
+                .expect("a C compiler is present: the native tier must be active");
+            assert!(n.chunks_native > 0, "no chunks ran in worker processes");
+            assert_eq!(n.chunks_fallback, 0, "healthy workers must not fall back");
+            assert_eq!(
+                n.rows_streamed, par.stats.survivors,
+                "streamed rows must equal survivors at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Same bit-identity contract on the larger reduced(32) GEMM device,
+/// pinned through the order-sensitive survivor fingerprint (collecting
+/// every point would dominate the suite's runtime at this size).
+#[test]
+fn native_tier_fingerprints_match_on_reduced_32() {
+    let space = build_gemm_space(&GemmSpaceParams::reduced(32)).unwrap();
+    let lp = lower(&space);
+    let baseline = Compiled::new(lp.clone()).run(FingerprintVisitor::new()).unwrap();
+    assert!(baseline.visitor.count > 0, "degenerate reduced(32) space");
+    for threads in THREAD_COUNTS {
+        let opts = ParallelOptions {
+            threads,
+            engine: EngineOptions::native(),
+            ..ParallelOptions::default()
+        };
+        let (par, _) = run_parallel_report(&lp, &opts, FingerprintVisitor::new).unwrap();
+        assert_eq!(
+            (par.visitor.count, par.visitor.hash),
+            (baseline.visitor.count, baseline.visitor.hash),
+            "native fingerprint diverged on reduced(32) at {threads} threads"
+        );
+    }
+}
+
 /// Forcing pathologically fine chunks (1 outer value per chunk) still
 /// reproduces the serial outcome — chunk granularity is invisible.
 #[test]
