@@ -1,0 +1,150 @@
+//! Ablation: count-weighted direct sampling vs rejection sampling.
+//!
+//! The direct sampler pays one exact counting pass up front and then draws
+//! exactly-uniform survivors in O(depth) per draw with zero rejections; the
+//! rejection sampler walks the plan and retries whenever a constraint
+//! rejects the partial tuple. This benchmark first asserts the property the
+//! ablation is meaningless without — every point either sampler produces is
+//! a true survivor under an independent re-evaluation — and then times
+//! draws/second for both on two GEMM space sizes, asserting the direct
+//! sampler's advantage on the thin reduced(16) space (survival ≈ 2.2e-7)
+//! before recording the medians into BENCH_sweep.json.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use beast_core::ir::{LStep, LoweredPlan};
+use beast_core::plan::{Plan, PlanOptions};
+use beast_engine::point::Point;
+use beast_gemm::{build_gemm_space, GemmSpaceParams};
+use beast_search::{DirectSampler, Sampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIMS: [i64; 2] = [16, 32];
+/// Points each sampler must prove valid before any timing.
+const VALIDATED: usize = 200;
+/// Draws per timed round.
+const TIMED: usize = 200;
+/// Interleaved rounds per configuration (median reported).
+const ROUNDS: usize = 5;
+
+fn lower(dim: i64) -> LoweredPlan {
+    let space = build_gemm_space(&GemmSpaceParams::reduced(dim)).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    LoweredPlan::new(&plan).unwrap()
+}
+
+/// Iterator `(slot, value)` pairs of a sampled point, for re-validation.
+fn iter_assignment(lp: &LoweredPlan, p: &Point) -> Vec<(u32, i64)> {
+    lp.steps
+        .iter()
+        .filter_map(|s| match s {
+            LStep::Bind { slot, .. } => Some((*slot, p.get_int(&lp.slot_names[*slot as usize]))),
+            _ => None,
+        })
+        .collect()
+}
+
+fn median(mut s: Vec<f64>) -> f64 {
+    s.sort_by(f64::total_cmp);
+    s[s.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut record = String::from("\n{\"sampling_ablation\":{");
+    for dim in DIMS {
+        let lp = lower(dim);
+        let mut direct = DirectSampler::new(&lp, StdRng::seed_from_u64(1)).unwrap();
+        let mut rejection = Sampler::new(&lp, StdRng::seed_from_u64(1));
+        let mut validator = Sampler::new(&lp, StdRng::seed_from_u64(0));
+
+        // --- Validity first: both samplers must produce true survivors. ---
+        for i in 0..VALIDATED {
+            let p = direct.sample().unwrap().expect("space is nonempty");
+            assert!(
+                validator.evaluate_assignment(&iter_assignment(&lp, &p)).unwrap().is_some(),
+                "reduced({dim}): direct draw {i} is not a survivor"
+            );
+            let p = rejection.sample(1_000_000).unwrap().expect("space is nonempty");
+            assert!(
+                validator.evaluate_assignment(&iter_assignment(&lp, &p)).unwrap().is_some(),
+                "reduced({dim}): rejection draw {i} is not a survivor"
+            );
+        }
+        assert_eq!(direct.stats.rejected, 0, "direct sampling must never reject");
+        assert_eq!(direct.stats.dead_ends, 0, "direct sampling must never dead-end");
+        eprintln!(
+            "gemm reduced({dim}): {VALIDATED} draws/sampler validated; direct total {} \
+             survivors, rejection discarded {} walks on the way",
+            direct.total(),
+            rejection.stats.rejected + rejection.stats.dead_ends,
+        );
+
+        // --- Interleaved samples/sec medians. ------------------------------
+        let mut direct_s = Vec::new();
+        let mut rejection_s = Vec::new();
+        for _ in 0..ROUNDS {
+            let start = std::time::Instant::now();
+            for _ in 0..TIMED {
+                direct.sample().unwrap().unwrap();
+            }
+            direct_s.push(start.elapsed().as_secs_f64());
+            let start = std::time::Instant::now();
+            for _ in 0..TIMED {
+                rejection.sample(1_000_000).unwrap().unwrap();
+            }
+            rejection_s.push(start.elapsed().as_secs_f64());
+        }
+        let direct_sps = TIMED as f64 / median(direct_s);
+        let rejection_sps = TIMED as f64 / median(rejection_s);
+        let speedup = direct_sps / rejection_sps;
+        eprintln!(
+            "gemm reduced({dim}): direct {direct_sps:.0} samples/s, rejection \
+             {rejection_sps:.0} samples/s ({speedup:.1}x)"
+        );
+        if dim == 16 {
+            assert!(
+                speedup >= 10.0,
+                "direct sampling below the 10x bar on reduced(16): {speedup:.1}x"
+            );
+        }
+        if dim != DIMS[0] {
+            record.push(',');
+        }
+        record.push_str(&format!(
+            "\"gemm_reduced{dim}_direct_sps\":{direct_sps:.1},\
+             \"gemm_reduced{dim}_rejection_sps\":{rejection_sps:.1},\
+             \"gemm_reduced{dim}_speedup\":{speedup:.3}"
+        ));
+
+        let mut group = c.benchmark_group(format!("ablation_sampling_{dim}"));
+        group.sample_size(10);
+        group.bench_function("direct", |b| {
+            b.iter(|| direct.sample().unwrap().unwrap());
+        });
+        group.bench_function("rejection", |b| {
+            b.iter(|| rejection.sample(1_000_000).unwrap().unwrap());
+        });
+        group.finish();
+    }
+
+    // --- Median record appended to BENCH_sweep.json. ----------------------
+    record.push_str("}}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    match std::fs::OpenOptions::new().append(true).open(path) {
+        Ok(mut f) => {
+            use std::io::Write as _;
+            if let Err(e) = f.write_all(record.as_bytes()) {
+                eprintln!("cannot append to {path}: {e}");
+            } else {
+                eprintln!("appended sampling_ablation record to {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("{path} not found ({e}); run the gemm_sweep bench first to create it")
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
         estimate(&device, &cc, &pointref_to_config(&view), precision).gflops
     };
 
-    let budget = SearchBudget { evaluations: EVALS, attempts_per_sample: 100_000 };
+    let budget = SearchBudget { evaluations: EVALS, attempts_per_sample: 100_000, ..Default::default() };
     let mut group = c.benchmark_group("search_methods");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(20));

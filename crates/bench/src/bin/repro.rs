@@ -15,13 +15,27 @@
 //!                                    --threads runs one count and prints the
 //!                                    full telemetry tables, with --json
 //!                                    writes the SweepReport(s) as JSON
-//! repro search [DIM]      §XII       statistical search vs exhaustive (extension)
+//! repro search [DIM] [--sampler {rejection,direct}]
+//!                         §XII       statistical search vs exhaustive
+//!                                    (extension); --sampler picks the
+//!                                    point source: rejection walks
+//!                                    (default) or the zero-rejection
+//!                                    count-weighted direct sampler
 //! repro viz [DIM]         [7]        write funnel.svg / radial.svg / dag.dot
 //! repro batched [N]       ref [5]    the second model problem: batched Cholesky
 //! repro lint [DIM] [--json PATH]
 //!                         linter     static analysis of the GEMM space
-//!                                    (BE001–BE008 diagnostics); exits
-//!                                    nonzero on error-severity findings
+//!                                    (BE001–BE010 diagnostics, including
+//!                                    the exact-count lints); exits nonzero
+//!                                    on error-severity findings
+//! repro count [DIM] [--json PATH]
+//!                         analysis   exact survivor count of the GEMM
+//!                                    space by model counting over the
+//!                                    lowered plan: survivors, dependent
+//!                                    tuples, survival rate, per-level
+//!                                    feasible-domain sizes and cache
+//!                                    stats, cross-checked against a full
+//!                                    engine sweep (exit 6 on mismatch)
 //! repro sweep [DIM] [--threads N] [--chunks M] [--policy P] [--seed S]
 //!             [--inject-errors R] [--inject-panics R] [--transient]
 //!             [--checkpoint PATH] [--resume] [--every N]
@@ -198,10 +212,27 @@ fn main() {
             flag("--json"),
             engine,
         ),
-        "search" => search(arg_num(32) as i64),
+        "search" => {
+            let sampler = match flag("--sampler").as_deref() {
+                None | Some("rejection") => beast_search::SamplerKind::Rejection,
+                Some("direct") => beast_search::SamplerKind::Direct,
+                Some(other) => {
+                    eprintln!("error: --sampler: unknown kind `{other}` (rejection, direct)");
+                    std::process::exit(2);
+                }
+            };
+            search(
+                args.get(1).filter(|s| !s.starts_with("--")).and_then(|s| s.parse().ok()).unwrap_or(32),
+                sampler,
+            )
+        }
         "viz" => viz(arg_num(24) as i64),
         "batched" => batched(arg_num(32) as i64),
         "lint" => lint(
+            args.get(1).filter(|s| !s.starts_with("--")).and_then(|s| s.parse().ok()),
+            flag("--json"),
+        ),
+        "count" => count(
             args.get(1).filter(|s| !s.starts_with("--")).and_then(|s| s.parse().ok()),
             flag("--json"),
         ),
@@ -219,10 +250,11 @@ fn main() {
             headline(24, engine);
             funnel(24, engine);
             lint(None, None);
+            count(Some(16), None);
             table1();
             batched(32);
             threads(32, None, None, engine);
-            search(24);
+            search(24, beast_search::SamplerKind::Rejection);
         }
         other => {
             eprintln!("unknown subcommand `{other}`; see the module docs");
@@ -540,7 +572,7 @@ fn headline(dim: i64, engine: EngineOptions) {
 }
 
 // ---------------------------------------------------------------------------
-// Space linter (static analysis, BE001–BE008)
+// Space linter (static analysis, BE001–BE010)
 // ---------------------------------------------------------------------------
 
 fn lint(dim: Option<i64>, json_path: Option<String>) {
@@ -552,7 +584,7 @@ fn lint(dim: Option<i64>, json_path: Option<String>) {
     let space = build_gemm_space(&params).unwrap();
     let plan = Plan::new(&space, PlanOptions::default()).unwrap();
     let lp = LoweredPlan::new(&plan).unwrap();
-    let report = beast_core::analyze::check_space(&lp);
+    let report = beast_core::analyze::analyze_with_counts(&lp);
     print!("{}", report.render_text());
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, report.to_json()) {
@@ -563,6 +595,130 @@ fn lint(dim: Option<i64>, json_path: Option<String>) {
     }
     if report.has_errors() {
         std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exact survivor counting (model counting over the lowered plan)
+// ---------------------------------------------------------------------------
+
+fn count(dim: Option<i64>, json_path: Option<String>) {
+    use beast_core::analyze::Counter;
+
+    let (label, params) = match dim {
+        Some(d) => (format!("reduced({d})"), GemmSpaceParams::reduced(d)),
+        None => ("paper-default".to_string(), GemmSpaceParams::paper_default()),
+    };
+    header(&format!("exact survivor count — GEMM space, {label} device"));
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let t0 = Instant::now();
+    let mut counter = Counter::new(&lp);
+    let survivors = counter.total().unwrap();
+    let t_surv = t0.elapsed();
+    let stats = counter.stats().clone();
+
+    let t0 = Instant::now();
+    let mut tuple_counter = Counter::tuples(&lp);
+    let tuples = tuple_counter.total().unwrap();
+    let t_tuples = t0.elapsed();
+
+    match survivors {
+        Some(n) => println!("survivors {n}  ({:.3}s)", t_surv.as_secs_f64()),
+        None => println!(
+            "survivors: counting budget exhausted after {:.3}s (enumerated {}, memo entries {})",
+            t_surv.as_secs_f64(),
+            stats.enumerated,
+            stats.cache_misses
+        ),
+    }
+    match tuples {
+        Some(n) => println!("tuples    {n}  ({:.3}s)", t_tuples.as_secs_f64()),
+        None => println!(
+            "tuples:    counting budget exhausted after {:.3}s",
+            t_tuples.as_secs_f64()
+        ),
+    }
+    if let (Some(s), Some(t)) = (survivors, tuples) {
+        if t > 0 {
+            println!("survival rate {:.3e}", s as f64 / t as f64);
+        }
+    }
+
+    println!(
+        "cache: {} hits, {} misses ({} values enumerated, {} whole domains rejected, {} residue classes pruned)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.enumerated,
+        stats.domains_rejected,
+        stats.residue_classes_pruned
+    );
+    if !stats.levels.is_empty() {
+        println!(
+            "{:<16} {:>5} {:>9} {:>9} {:>9} {:>9}",
+            "level", "depth", "entries", "domain", "feasible", "res-skip"
+        );
+        for l in &stats.levels {
+            println!(
+                "{:<16} {:>5} {:>9} {:>9} {:>9} {:>9}",
+                l.name, l.depth, l.entries, l.domain_values, l.feasible_values, l.residue_skipped
+            );
+        }
+    }
+
+    // Cross-check the analysis against ground truth: a full sweep of the
+    // compiled engine must find exactly as many survivors.
+    if let Some(s) = survivors {
+        let t0 = Instant::now();
+        let swept = Compiled::new(lp.clone())
+            .run(CountVisitor::default())
+            .unwrap()
+            .visitor
+            .count as u128;
+        println!("sweep cross-check: {swept} survivors ({:.3}s)", t0.elapsed().as_secs_f64());
+        if swept != s {
+            eprintln!("error: exact count {s} disagrees with engine sweep {swept}");
+            std::process::exit(6);
+        }
+        println!("count matches the engine sweep");
+    } else {
+        println!("sweep cross-check skipped (no exact count to compare)");
+    }
+
+    if let Some(path) = json_path {
+        let opt = |v: Option<u128>| v.map_or("null".to_string(), |n| n.to_string());
+        let levels: Vec<String> = stats
+            .levels
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"name\":\"{}\",\"depth\":{},\"entries\":{},\"domain_values\":{},\"feasible_values\":{},\"residue_skipped\":{}}}",
+                    l.name, l.depth, l.entries, l.domain_values, l.feasible_values, l.residue_skipped
+                )
+            })
+            .collect();
+        let rate = match (survivors, tuples) {
+            (Some(s), Some(t)) if t > 0 => format!("{:e}", s as f64 / t as f64),
+            _ => "null".to_string(),
+        };
+        let json = format!(
+            "{{\"space\":\"{label}\",\"survivors\":{},\"tuples\":{},\"survival_rate\":{rate},\"cache_hits\":{},\"cache_misses\":{},\"enumerated\":{},\"domains_rejected\":{},\"residue_classes_pruned\":{},\"levels\":[{}]}}\n",
+            opt(survivors),
+            opt(tuples),
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.enumerated,
+            stats.domains_rejected,
+            stats.residue_classes_pruned,
+            levels.join(",")
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write count JSON to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote count JSON to {path}");
     }
 }
 
@@ -1071,10 +1227,11 @@ fn viz(dim: i64) {
 // §XII extension: statistical search methods
 // ---------------------------------------------------------------------------
 
-fn search(dim: i64) {
+fn search(dim: i64, sampler: beast_search::SamplerKind) {
     header(&format!(
         "§XII extension — statistical search vs exhaustive, GEMM on reduced({dim}) device"
     ));
+    println!("sampler: {sampler:?}");
     use beast_engine::point::{Point, PointRef};
     use beast_gemm::pointref_to_config;
     use beast_gpu_sim::estimate;
@@ -1100,7 +1257,7 @@ fn search(dim: i64) {
         estimate(&device, &cc, &pointref_to_config(&view), precision).gflops
     };
 
-    let budget = SearchBudget { evaluations: 300, attempts_per_sample: 100_000 };
+    let budget = SearchBudget { evaluations: 300, attempts_per_sample: 100_000, sampler };
     println!(
         "{:<22} {:>12} {:>12} {:>14} {:>9}",
         "method", "evals", "seconds", "best GFLOP/s", "vs exh."

@@ -19,6 +19,12 @@
 //! | BE006 | info     | check reads only outer-loop variables: hoistable |
 //! | BE007 | warning  | derived variable can fail at runtime (divisor may be 0) |
 //! | BE008 | warning  | arithmetic provably can exceed `i64` and wrap |
+//! | BE009 | info     | exact survivor count and survival rate (counting pass) |
+//! | BE010 | warning  | survival rate below 1e-4: rejection sampling impractical |
+//!
+//! BE009/BE010 come from the exact model-counting pass ([`count`]) and are
+//! only emitted by [`analyze_with_counts`] — the engine's pre-sweep gate
+//! runs the abstract passes alone, so building an engine stays cheap.
 //!
 //! The congruence half ([`congruence`]) is shared with
 //! `beast_engine::compiled`'s subtree guards, where residue facts prune
@@ -26,6 +32,7 @@
 //! intervals alone cannot decide.
 
 pub mod congruence;
+pub mod count;
 pub mod diagnostics;
 
 use crate::interval::{Interval, IvProg};
@@ -33,6 +40,7 @@ use crate::ir::{IntBinOp, IntExpr, LBody, LIter, LStep, LoweredPlan};
 use crate::space::NodeTarget;
 
 pub use congruence::{cg_of_bind, cg_of_values, eval_product, reduce, Congruence, Product};
+pub use count::{CountBudget, CountStats, Counter, DescentStep, LevelEntry, LevelStats};
 pub use diagnostics::{Diagnostic, LintReport, LintSummary, Severity};
 
 /// What the engine does with lint findings before a sweep (configured via
@@ -68,6 +76,75 @@ pub fn analyze(lp: &LoweredPlan) -> LintReport {
     shadow_pass(lp, &mut diags);
     diags.sort_by(|a, b| (a.code, &a.name).cmp(&(b.code, &b.name)));
     LintReport { diagnostics: diags }
+}
+
+/// [`analyze`] plus the exact counting pass with the default
+/// [`CountBudget`]: BE009 (exact survivor count and survival rate), BE010
+/// (survival rate below 1e-4) and, where the abstract domains could not
+/// prove emptiness but the exact count is zero, a count-witnessed BE001.
+///
+/// Counting is budgeted but not free — this entry point is for the linter
+/// CLI and reports, not for the per-build engine gate.
+pub fn analyze_with_counts(lp: &LoweredPlan) -> LintReport {
+    analyze_with_counts_budget(lp, count::CountBudget::default())
+}
+
+/// [`analyze_with_counts`] under an explicit work budget. When the budget
+/// is exhausted or a domain fails to realize, the count-powered
+/// diagnostics are skipped and the abstract report returned unchanged.
+pub fn analyze_with_counts_budget(lp: &LoweredPlan, budget: CountBudget) -> LintReport {
+    let mut report = analyze(lp);
+    let mut counter = Counter::with_budget(lp, budget);
+    let Ok(Some(survivors)) = counter.total() else { return report };
+    let Ok(Some(tuples)) = Counter::tuples_with_budget(lp, budget).total() else {
+        return report;
+    };
+    let name = lp.plan.space().name().to_string();
+    let rate = if tuples == 0 { 0.0 } else { survivors as f64 / tuples as f64 };
+    let diags = &mut report.diagnostics;
+    diags.push(Diagnostic {
+        severity: Severity::Info,
+        code: "BE009",
+        name: name.clone(),
+        message: format!(
+            "exact count: {survivors} survivor(s) of {tuples} tuple(s) \
+             (survival rate {rate:.3e})"
+        ),
+        suggestion: None,
+    });
+    if survivors == 0 && !diags.iter().any(|d| d.code == "BE001") {
+        diags.push(Diagnostic {
+            severity: Severity::Error,
+            code: "BE001",
+            name: name.clone(),
+            message: "the exact counting pass proves the space empty: every \
+                      tuple is rejected"
+                .into(),
+            suggestion: Some(
+                "the abstract domains cannot name the culprit; bisect by \
+                 removing constraints and re-counting"
+                    .into(),
+            ),
+        });
+    } else if survivors > 0 && rate < 1e-4 {
+        diags.push(Diagnostic {
+            severity: Severity::Warning,
+            code: "BE010",
+            name,
+            message: format!(
+                "survival rate {rate:.3e} is below 1e-4: rejection sampling \
+                 is impractical ({} tuples per survivor)",
+                tuples / survivors
+            ),
+            suggestion: Some(
+                "use the count-weighted direct sampler (zero rejections) or \
+                 relax the tightest constraints"
+                    .into(),
+            ),
+        });
+    }
+    diags.sort_by(|a, b| (a.code, &a.name).cmp(&(b.code, &b.name)));
+    report
 }
 
 /// Evaluate one lowered expression over the product domain.

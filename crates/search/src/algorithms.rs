@@ -13,21 +13,78 @@ use beast_core::ir::LoweredPlan;
 use beast_engine::point::Point;
 use rand::Rng;
 
+use crate::direct::DirectSampler;
 use crate::sampler::Sampler;
+
+/// Which sampler drives an algorithm's draws and neighbor moves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Randomized backtracking walks ([`Sampler`]): no up-front analysis,
+    /// but heavily pruned spaces cost many rejected walks per point.
+    #[default]
+    Rejection,
+    /// Count-weighted descent ([`DirectSampler`]): one exact counting pass
+    /// up front, then exactly-uniform survivors with zero rejections.
+    /// Fails fast (with an error) on spaces past the counting budget.
+    Direct,
+}
 
 /// Budget and retry limits for a search run.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchBudget {
     /// Maximum objective evaluations.
     pub evaluations: usize,
-    /// Walk attempts per requested sample before giving up (rejection
-    /// sampling headroom for heavily pruned spaces).
+    /// Walk attempts per requested sample before giving up. **Rejection
+    /// sampling only**: the direct sampler cannot reject a walk, so it
+    /// ignores this field entirely (its `SampleStats::rejected` stays 0).
     pub attempts_per_sample: usize,
+    /// Sampler driving draws and neighbor moves.
+    pub sampler: SamplerKind,
 }
 
 impl Default for SearchBudget {
     fn default() -> SearchBudget {
-        SearchBudget { evaluations: 100, attempts_per_sample: 10_000 }
+        SearchBudget {
+            evaluations: 100,
+            attempts_per_sample: 10_000,
+            sampler: SamplerKind::Rejection,
+        }
+    }
+}
+
+/// Sampler dispatch for the algorithms: both kinds expose the same
+/// draw/neighbor surface, so an algorithm is generic over the trade
+/// between up-front counting and per-sample rejections.
+enum AnySampler<'a, R: Rng> {
+    Rejection(Sampler<'a, R>),
+    Direct(Box<DirectSampler<'a, R>>),
+}
+
+impl<'a, R: Rng> AnySampler<'a, R> {
+    fn new(lp: &'a LoweredPlan, rng: R, kind: SamplerKind) -> Result<Self, EvalError> {
+        Ok(match kind {
+            SamplerKind::Rejection => AnySampler::Rejection(Sampler::new(lp, rng)),
+            SamplerKind::Direct => AnySampler::Direct(Box::new(DirectSampler::new(lp, rng)?)),
+        })
+    }
+
+    fn sample(&mut self, max_attempts: usize) -> Result<Option<Point>, EvalError> {
+        match self {
+            AnySampler::Rejection(s) => s.sample(max_attempts),
+            // Rejections are impossible: `max_attempts` has no meaning.
+            AnySampler::Direct(s) => s.sample(),
+        }
+    }
+
+    fn neighbor(
+        &mut self,
+        point: &Point,
+        max_attempts: usize,
+    ) -> Result<Option<Point>, EvalError> {
+        match self {
+            AnySampler::Rejection(s) => s.neighbor(point, max_attempts),
+            AnySampler::Direct(s) => s.neighbor(point, max_attempts),
+        }
     }
 }
 
@@ -60,7 +117,7 @@ where
     R: Rng,
     F: FnMut(&Point) -> f64,
 {
-    let mut sampler = Sampler::new(lp, rng);
+    let mut sampler = AnySampler::new(lp, rng, budget.sampler)?;
     let mut best: Option<(f64, Point)> = None;
     let mut history = Vec::with_capacity(budget.evaluations);
     let mut evaluations = 0;
@@ -92,7 +149,7 @@ where
     R: Rng,
     F: FnMut(&Point) -> f64,
 {
-    let mut sampler = Sampler::new(lp, rng);
+    let mut sampler = AnySampler::new(lp, rng, budget.sampler)?;
     let mut best: Option<(f64, Point)> = None;
     let mut history = Vec::with_capacity(budget.evaluations);
     let mut evaluations = 0;
@@ -153,7 +210,7 @@ where
     let accept_seed: u64 = rng.gen();
     let mut accept_rng =
         <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(accept_seed);
-    let mut sampler = Sampler::new(lp, rng);
+    let mut sampler = AnySampler::new(lp, rng, budget.sampler)?;
 
     let mut history = Vec::with_capacity(budget.evaluations);
     let mut evaluations = 0;
@@ -307,7 +364,7 @@ mod tests {
         let out = random_search(
             &lp,
             StdRng::seed_from_u64(4),
-            SearchBudget { evaluations: 10, attempts_per_sample: 50 },
+            SearchBudget { evaluations: 10, attempts_per_sample: 50, ..Default::default() },
             |_| 0.0,
         )
         .unwrap();

@@ -13,11 +13,19 @@
 //! * [`sampler::Sampler`] — rejection-samples surviving points by walking
 //!   the plan (dependent domains realized under the sampled prefix) and
 //!   produces constraint-respecting *neighbors* for local search;
+//! * [`direct::DirectSampler`] — exactly-uniform survivors with **zero
+//!   rejections**: one exact counting pass (`beast-core`'s model-counting
+//!   analysis), then count-weighted descent in O(depth) per draw;
 //! * [`algorithms::random_search`] — independent samples, keep the best;
 //! * [`algorithms::hill_climb`] — greedy neighbor moves with random
 //!   restarts;
 //! * [`algorithms::simulated_annealing`] — temperature-scheduled acceptance
 //!   of worsening moves.
+//!
+//! The algorithms take either sampler via
+//! [`SearchBudget::sampler`](algorithms::SearchBudget::sampler)
+//! ([`algorithms::SamplerKind`]); the rejection sampler remains the default
+//! and the ablation baseline.
 //!
 //! All methods only ever evaluate points that pass every pruning
 //! constraint, so the paper's "only kernels with a chance of running well
@@ -27,9 +35,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod algorithms;
+pub mod direct;
 pub mod sampler;
 
 pub use algorithms::{
-    hill_climb, random_search, simulated_annealing, SearchBudget, SearchOutcome,
+    hill_climb, random_search, simulated_annealing, SamplerKind, SearchBudget, SearchOutcome,
 };
+pub use direct::DirectSampler;
 pub use sampler::{SampleStats, Sampler};

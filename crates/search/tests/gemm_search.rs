@@ -47,6 +47,7 @@ fn all_methods_approach_the_exhaustive_optimum() {
     let budget = SearchBudget {
         evaluations: (survivors / 100).clamp(100, 2000) as usize,
         attempts_per_sample: 200_000,
+        ..Default::default()
     };
 
     let random = random_search(&lp, StdRng::seed_from_u64(1), budget, score.clone()).unwrap();
@@ -83,7 +84,7 @@ fn search_points_are_valid_gemm_configurations() {
     let out = random_search(
         &lp,
         StdRng::seed_from_u64(2),
-        SearchBudget { evaluations: 50, attempts_per_sample: 200_000 },
+        SearchBudget { evaluations: 50, attempts_per_sample: 200_000, ..Default::default() },
         score,
     )
     .unwrap();

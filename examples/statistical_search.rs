@@ -4,11 +4,13 @@
 //! evaluation budget.
 //!
 //! ```sh
-//! cargo run --release --example statistical_search [max_dim] [budget]
+//! cargo run --release --example statistical_search [max_dim] [budget] [rejection|direct]
 //! ```
 
 use beast::prelude::*;
-use beast::search::{hill_climb, random_search, simulated_annealing, SearchBudget};
+use beast::search::{
+    hill_climb, random_search, simulated_annealing, SamplerKind, SearchBudget,
+};
 use beast_gemm::{build_gemm_space, pointref_to_config, tune_gemm, GemmSpaceParams};
 use beast_gpu_sim::estimate;
 use rand::rngs::StdRng;
@@ -18,6 +20,10 @@ fn main() {
     let max_dim: i64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(32);
     let evaluations: usize =
         std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let sampler = match std::env::args().nth(3).as_deref() {
+        Some("direct") => SamplerKind::Direct,
+        _ => SamplerKind::Rejection,
+    };
 
     let params = GemmSpaceParams::reduced(max_dim);
     let space = build_gemm_space(&params).expect("space builds");
@@ -45,7 +51,7 @@ fn main() {
         estimate(&device, &cc, &pointref_to_config(&view), precision).gflops
     };
 
-    let budget = SearchBudget { evaluations, attempts_per_sample: 100_000 };
+    let budget = SearchBudget { evaluations, attempts_per_sample: 100_000, sampler };
     println!(
         "{:<22} {:>10} {:>14} {:>10}",
         "method", "evals", "best GFLOP/s", "vs exh."

@@ -1,5 +1,6 @@
 //! The space linter: pinned diagnostics on the paper's GEMM space, one
-//! broken-space variant per lint pass (BE001–BE008), and the engine-side
+//! broken-space variant per lint pass (BE001–BE010, with the count-powered
+//! lints exercised through `analyze_with_counts`), and the engine-side
 //! lint gate.
 //!
 //! The GEMM snapshot is deliberately exact — codes, names and summary
@@ -40,7 +41,11 @@ fn has(report: &LintReport, code: &str, name: &str, severity: Severity) -> bool 
 #[test]
 fn gemm_canonical_snapshot_is_pinned() {
     let lp = lower(&build_gemm_space(&GemmSpaceParams::paper_default()).unwrap());
-    let report = analyze::check_space(&lp);
+    // The full linter *including* the counting pass: on the paper-default
+    // device the counter exhausts its default budget and degrades
+    // gracefully — the snapshot pins that no BE009/BE010 appears and the
+    // abstract findings are untouched.
+    let report = analyze::analyze_with_counts(&lp);
     let expect: Vec<(&str, String)> = [
         ("BE004", "shmem_banks"),
         ("BE004", "shmem_l1"),
@@ -64,16 +69,24 @@ fn gemm_canonical_snapshot_is_pinned() {
 
 /// On the reduced(16) device the two capacity constraints can never fire
 /// (everything fits), which the linter reports as dead checks on top of
-/// the canonical findings.
+/// the canonical findings — and the space is small enough for the counting
+/// pass to finish, so the exact-count lints land too: BE009 reports 1824
+/// survivors of 8,259,231,744 tuples and BE010 warns that the survival
+/// rate (≈2.2e-7) makes naive rejection sampling impractical.
 #[test]
 fn gemm_reduced_device_adds_dead_capacity_checks() {
     let lp = lower(&build_gemm_space(&GemmSpaceParams::reduced(16)).unwrap());
-    let report = analyze::check_space(&lp);
+    let report = analyze::analyze_with_counts(&lp);
     assert!(has(&report, "BE002", "over_max_shmem", Severity::Warning));
     assert!(has(&report, "BE002", "over_max_threads", Severity::Warning));
+    let be009 = report.diagnostics.iter().find(|d| d.code == "BE009").expect("BE009 missing");
+    assert_eq!(be009.severity, Severity::Info);
+    assert!(be009.message.contains("1824"), "{}", be009.message);
+    let be010 = report.diagnostics.iter().find(|d| d.code == "BE010").expect("BE010 missing");
+    assert_eq!(be010.severity, Severity::Warning);
     let sum = report.summary();
-    assert_eq!((sum.errors, sum.warnings, sum.infos), (0, 4, 5));
-    assert_eq!(report.diagnostics.len(), 9);
+    assert_eq!((sum.errors, sum.warnings, sum.infos), (0, 5, 6));
+    assert_eq!(report.diagnostics.len(), 11);
 }
 
 /// BE001: a constraint that rejects every point by interval reasoning
@@ -215,6 +228,72 @@ fn be008_overflow_risk() {
         .unwrap();
     let report = analyze::check_space(&lower(&space));
     assert!(has(&report, "BE008", "big", Severity::Warning));
+}
+
+/// BE009: the counting pass reports the exact survivor count and survival
+/// rate on any space it can afford to count.
+#[test]
+fn be009_exact_count_info() {
+    let space = Space::builder("lint_be009")
+        .range("x", 0, 10)
+        .constraint("cap", ConstraintClass::Hard, var("x").gt(6))
+        .build()
+        .unwrap();
+    let report = analyze::analyze_with_counts(&lower(&space));
+    assert!(has(&report, "BE009", "lint_be009", Severity::Info));
+    let d = report.diagnostics.iter().find(|d| d.code == "BE009").unwrap();
+    assert!(d.message.contains("7 survivor(s) of 10 tuple(s)"), "{}", d.message);
+    // The plain abstract entry point never counts.
+    assert!(!analyze::check_space(&lower(&space))
+        .diagnostics
+        .iter()
+        .any(|d| d.code == "BE009"));
+}
+
+/// BE010: a needle-in-a-haystack space (1 survivor in 100,000 tuples)
+/// warns that rejection sampling is impractical.
+#[test]
+fn be010_low_survival_rate_warns() {
+    let space = Space::builder("lint_be010")
+        .range("x", 0, 100_000)
+        .constraint("needle", ConstraintClass::Hard, var("x").ne(42))
+        .build()
+        .unwrap();
+    let report = analyze::analyze_with_counts(&lower(&space));
+    assert!(has(&report, "BE010", "lint_be010", Severity::Warning));
+    let d = report.diagnostics.iter().find(|d| d.code == "BE010").unwrap();
+    assert!(d.message.contains("below 1e-4"), "{}", d.message);
+    assert!(!report.has_errors());
+}
+
+/// BE001 with an exact-count witness: `x·(x+1)` is always even, so a
+/// constraint rejecting even products empties the space — but neither the
+/// interval hull of `x·(x+1) % 2` (which is `[0, 1]`) nor any single-slot
+/// residue fact can prove it. Only the counting pass sees zero survivors.
+#[test]
+fn be001_empty_space_by_exact_count_only() {
+    let space = Space::builder("lint_be001_count")
+        .range("x", 0, 10)
+        .constraint(
+            "consecutive_even",
+            ConstraintClass::Hard,
+            ((var("x") * (var("x") + 1)) % 2).eq(0),
+        )
+        .build()
+        .unwrap();
+    let lp = lower(&space);
+    // The abstract passes alone cannot prove emptiness...
+    assert!(
+        !analyze::check_space(&lp).has_errors(),
+        "abstract pass unexpectedly proved emptiness — the fixture no longer \
+         isolates the counting witness"
+    );
+    // ...the counting pass can, and names the space rather than a constraint.
+    let report = analyze::analyze_with_counts(&lp);
+    assert!(has(&report, "BE001", "lint_be001_count", Severity::Error));
+    assert!(report.has_errors());
+    let d = report.diagnostics.iter().find(|d| d.code == "BE001").unwrap();
+    assert!(d.message.contains("counting pass"), "{}", d.message);
 }
 
 /// The engine-side gate: `Deny` refuses to sweep a space with an
