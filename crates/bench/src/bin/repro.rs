@@ -53,6 +53,26 @@
 //!                                    tier and exits 6 if survivors or
 //!                                    fingerprint differ from the requested
 //!                                    engine tier
+//! repro distribute [DIM] [--workers N] [--chunks M] [--policy P]
+//!                  [--heartbeat-ms MS] [--retry K] [--backoff MS]
+//!                  [--restarts R] [--checkpoint PATH] [--resume] [--every N]
+//!                  [--stop-after K] [--json PATH] [--chaos-kill-after S]
+//!                  [--die-after S] [--stall-after S]
+//!                         §X-D       distributed sweep: a supervisor deals
+//!                                    level-0 chunk shards to N worker
+//!                                    *processes* (this binary re-invoked in
+//!                                    its hidden `worker` mode) over the
+//!                                    length-prefixed protocol of
+//!                                    docs/DISTRIBUTED.md, with heartbeats,
+//!                                    retry/backoff re-dealing and a merge
+//!                                    that is bit-identical to `repro sweep`
+//!                                    at any worker count; the chaos flags
+//!                                    kill a worker mid-sweep
+//!                                    (--chaos-kill-after, supervisor-side
+//!                                    SIGKILL) or make one crash/stall on
+//!                                    its Sth shard (--die-after /
+//!                                    --stall-after, forwarded worker-side);
+//!                                    exit codes match `sweep` (3 partial)
 //! repro bench-native [DIM]
 //!                         §XI        native-tier ablation: GEMM sweep via
 //!                                    the runtime-native C worker vs the
@@ -127,6 +147,9 @@ use beast_cuda::{CcLimits, DeviceProps};
 use beast_core::schedule::ScheduleMode;
 use beast_engine::checkpoint::{run_checkpointed, CheckpointConfig, JsonValue};
 use beast_engine::compiled::{Compiled, EngineOptions, EngineTier};
+use beast_engine::distribute::{
+    run_distributed, run_distributed_checkpointed, serve_worker, DistributeOptions, WorkerChaos,
+};
 use beast_engine::fault::{FaultInjector, FaultPolicy};
 use beast_engine::parallel::{run_parallel_report, ParallelOptions};
 use beast_engine::service::{ServiceConfig, SweepService};
@@ -237,6 +260,8 @@ fn main() {
             flag("--json"),
         ),
         "sweep" => sweep(&args, engine),
+        "distribute" => distribute(&args, engine),
+        "worker" => worker_mode(&args, engine),
         "bench-native" => bench_native(arg_num(16) as i64, engine),
         "serve" => serve(&args),
         "client" => client(&args),
@@ -905,6 +930,188 @@ fn sweep(args: &[String], engine: EngineOptions) {
             "verify: {} tier matches compiled tier ({} survivors, fingerprint {:016x})",
             engine.engine, out.visitor.count, out.visitor.hash
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §X-D: distributed sweep (multi-process supervisor + worker mode)
+// ---------------------------------------------------------------------------
+
+/// Replicate the supervisor's engine configuration onto a worker's command
+/// line, so the handshake's [`EngineOptions::signature`] check passes.
+fn worker_engine_flags(engine: EngineOptions) -> Vec<String> {
+    let mut flags = Vec::new();
+    if !engine.intervals {
+        flags.push("--no-intervals".to_string());
+    }
+    if !engine.congruence {
+        flags.push("--no-congruence".to_string());
+    }
+    if !engine.batch {
+        flags.push("--no-batch".to_string());
+    }
+    flags.push("--schedule".to_string());
+    flags.push(
+        match engine.schedule {
+            ScheduleMode::Declared => "declared",
+            ScheduleMode::Static => "static",
+            ScheduleMode::Adaptive => "adaptive",
+        }
+        .to_string(),
+    );
+    flags
+}
+
+fn distribute(args: &[String], engine: EngineOptions) {
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let has = |name: &str| args.iter().any(|a| a == name);
+    let parsed = |name: &str, default: u64| -> u64 {
+        match flag(name) {
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("error: {name} needs an unsigned integer, got `{s}`");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    };
+    let dim: i64 = args
+        .get(1)
+        .filter(|s| !s.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let policy = match flag("--policy") {
+        Some(s) => FaultPolicy::parse(&s).unwrap_or_else(|| {
+            eprintln!(
+                "error: --policy: unknown policy `{s}` (abort, skip, quarantine, retry[:MAX[:BACKOFF_MS]])"
+            );
+            std::process::exit(2);
+        }),
+        None => FaultPolicy::Abort,
+    };
+
+    // The worker command is this very binary in its hidden `worker` mode,
+    // with the supervisor's engine configuration replicated so the
+    // structural/signature handshake passes. Chaos flags ride along.
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: cannot locate own executable for worker spawning: {e}");
+        std::process::exit(1);
+    });
+    let mut worker_cmd = vec![exe.to_string_lossy().into_owned(), "worker".to_string(), dim.to_string()];
+    worker_cmd.extend(worker_engine_flags(engine));
+    for chaos_flag in ["--die-after", "--stall-after"] {
+        if let Some(v) = flag(chaos_flag) {
+            worker_cmd.push(chaos_flag.to_string());
+            worker_cmd.push(v);
+        }
+    }
+
+    let mut opts = DistributeOptions::new(parsed("--workers", 4).max(1) as usize, worker_cmd);
+    opts.engine = engine;
+    opts.chunk_count = parsed("--chunks", 0) as usize;
+    opts.fault_policy = policy;
+    opts.heartbeat = std::time::Duration::from_millis(parsed("--heartbeat-ms", 10_000).max(1));
+    opts.shard_retry_max = parsed("--retry", 3) as u32;
+    opts.shard_backoff_ms = parsed("--backoff", 50);
+    opts.restart_max = parsed("--restarts", 0) as usize;
+    opts.stop_after_chunks = parsed("--stop-after", 0) as usize;
+    opts.chaos_kill_after = flag("--chaos-kill-after").map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("error: --chaos-kill-after needs a shard ordinal, got `{s}`");
+            std::process::exit(2);
+        })
+    });
+
+    header(&format!(
+        "§X-D — distributed sweep, GEMM space on reduced({dim}) device"
+    ));
+    println!(
+        "workers={} policy={} chunks={} heartbeat={}ms retry={} backoff={}ms",
+        opts.workers,
+        opts.fault_policy.name(),
+        if opts.chunk_count > 0 { opts.chunk_count.to_string() } else { "auto".to_string() },
+        opts.heartbeat.as_millis(),
+        opts.shard_retry_max,
+        opts.shard_backoff_ms,
+    );
+    let params = GemmSpaceParams::reduced(dim);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+
+    let result = match flag("--checkpoint") {
+        Some(path) => {
+            let mut ck = CheckpointConfig::new(path);
+            ck.resume = has("--resume");
+            ck.every_chunks = parsed("--every", ck.every_chunks as u64).max(1) as usize;
+            println!(
+                "checkpoint: {} (every {} chunk(s){})",
+                ck.path.display(),
+                ck.every_chunks,
+                if ck.resume { ", resuming" } else { "" }
+            );
+            run_distributed_checkpointed(&lp, &opts, &ck, FingerprintVisitor::default)
+        }
+        None => run_distributed(&lp, &opts, FingerprintVisitor::default),
+    };
+    let (out, report) = result.unwrap_or_else(|e| {
+        eprintln!("error: distributed sweep failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "survivors: {}  fingerprint: {:016x}",
+        out.visitor.count, out.visitor.hash
+    );
+    println!("\n{}", report.render_text());
+    if let Some(path) = flag("--json") {
+        let json = format!(
+            "{{\"fingerprint\":\"{:016x}\",\"survivors\":{},\"partial\":{},\"report\":{}}}",
+            out.visitor.hash,
+            out.visitor.count,
+            report.partial,
+            report.to_json()
+        );
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write distribute JSON to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote distribute JSON to {path}");
+    }
+    if report.partial {
+        std::process::exit(3);
+    }
+}
+
+/// Hidden worker mode: serve protocol-v1 shards for the GEMM space over
+/// stdin/stdout until `bye` or EOF. Spawned by `repro distribute`; all
+/// diagnostics go to stderr (stdout carries frames only).
+fn worker_mode(args: &[String], engine: EngineOptions) {
+    let flag = |name: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    let dim: i64 = args
+        .get(1)
+        .filter(|s| !s.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let chaos = WorkerChaos { die_after: flag("--die-after"), stall_after: flag("--stall-after") };
+    let params = GemmSpaceParams::reduced(dim);
+    let space = build_gemm_space(&params).unwrap();
+    let plan = Plan::new(&space, PlanOptions::default()).unwrap();
+    let lp = LoweredPlan::new(&plan).unwrap();
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout();
+    if let Err(e) = serve_worker(&lp, engine, FingerprintVisitor::default, &chaos, stdin, stdout) {
+        eprintln!("worker error: {e}");
+        std::process::exit(1);
     }
 }
 

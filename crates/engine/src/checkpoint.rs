@@ -37,7 +37,25 @@ use crate::visit::{CountVisitor, FingerprintVisitor, Visitor};
 use crate::walker::SweepOutcome;
 
 /// Current checkpoint file format version.
-const FORMAT: i128 = 1;
+///
+/// Format 2 appends a trailing `"crc"` field — FNV-1a 64 over every byte
+/// before the `,"crc":"` suffix — so truncation and bit flips are detected
+/// on resume instead of merging silently wrong counters. Format 1 files
+/// (no crc) remain readable.
+const FORMAT: i128 = 2;
+
+/// FNV-1a 64-bit over `bytes`: the checkpoint integrity checksum. Chosen
+/// because it is std-only, byte-order free, and already the hashing idiom
+/// of the crate (the structural fingerprint in [`crate::service`] is the
+/// same construction).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// A parsed JSON value (minimal, std-only).
 ///
@@ -192,6 +210,13 @@ impl Parser<'_> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            // Duplicate keys are rejected outright: `get` returns the first
+            // match, so a duplicated counter later in the file would be
+            // silently ignored — exactly the corruption a checkpoint parser
+            // must refuse to guess about.
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key `{key}` at byte {}", self.i));
+            }
             self.skip_ws();
             self.expect(b':')?;
             let v = self.value()?;
@@ -421,7 +446,7 @@ where
 }
 
 /// Serialize and atomically persist one snapshot.
-fn write_checkpoint<V: SaveState>(
+pub(crate) fn write_checkpoint<V: SaveState>(
     path: &Path,
     space: &str,
     engine_sig: &str,
@@ -451,7 +476,10 @@ fn write_checkpoint<V: SaveState>(
     }
     out.push_str("],\"visitor\":");
     out.push_str(&snap.visitor.save_state());
-    out.push('}');
+    // Format 2 integrity suffix: the checksum covers every byte before it,
+    // so the parser can recompute the same prefix with a single `rfind`.
+    let crc = fnv64(out.as_bytes());
+    let _ = write!(out, ",\"crc\":\"{crc:016x}\"}}");
 
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
@@ -462,7 +490,7 @@ fn write_checkpoint<V: SaveState>(
         .map_err(|e| format!("cannot rename {} over {}: {e}", tmp.display(), path.display()))
 }
 
-fn u64_array(out: &mut String, values: &[u64]) {
+pub(crate) fn u64_array(out: &mut String, values: &[u64]) {
     use std::fmt::Write as _;
     out.push('[');
     for (i, v) in values.iter().enumerate() {
@@ -541,7 +569,7 @@ pub(crate) fn parse_blocks(doc: &JsonValue, ctx: &str) -> Result<BlockStats, Str
 
 /// Parse and validate a checkpoint file into a [`ResumeSeed`]. Returns
 /// `Ok(None)` when the file records no completed chunks (fresh start).
-fn parse_checkpoint<V: Visitor + SaveState>(
+pub(crate) fn parse_checkpoint<V: Visitor + SaveState>(
     text: &str,
     space: &str,
     engine_sig: &str,
@@ -553,8 +581,16 @@ fn parse_checkpoint<V: Visitor + SaveState>(
         field(key)?.as_usize().ok_or_else(|| format!("checkpoint: `{key}` is not an integer"))
     };
 
-    if field("format")?.as_i64() != Some(FORMAT as i64) {
-        return Err(format!("checkpoint: unsupported format {:?}", field("format")?));
+    let format = field("format")?
+        .as_i64()
+        .ok_or_else(|| "checkpoint: `format` is not an integer".to_string())?;
+    if format != 1 && format != FORMAT as i64 {
+        return Err(format!("checkpoint: unsupported format {format}"));
+    }
+    // Format 1 predates the checksum and stays readable; format 2 files
+    // must carry a valid crc before any counter is trusted.
+    if format >= 2 {
+        verify_crc(text, &doc)?;
     }
     let recorded_space = field("space")?.as_str().unwrap_or_default();
     if recorded_space != space {
@@ -603,7 +639,35 @@ fn parse_checkpoint<V: Visitor + SaveState>(
     Ok(Some(ResumeSeed { outer_len, chunk_len, next, stats, blocks, faults, visitor }))
 }
 
-fn parse_fault_record(v: &JsonValue) -> Result<FaultRecord, String> {
+/// Verify the trailing `,"crc":"…"` suffix of a format-2 checkpoint:
+/// recompute FNV-1a 64 over the byte prefix and compare against the
+/// recorded value. Truncation, bit flips in the body, and flips inside the
+/// crc itself all fail here with a structured error.
+fn verify_crc(text: &str, doc: &JsonValue) -> Result<(), String> {
+    let recorded = doc
+        .get("crc")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "checkpoint: format 2 requires a `crc` field".to_string())?;
+    let recorded = u64::from_str_radix(recorded, 16)
+        .map_err(|_| "checkpoint: `crc` is not 64-bit hex".to_string())?;
+    // The writer emits the crc as the final field, so the last occurrence
+    // of the marker is the real suffix boundary even if a string payload
+    // earlier in the file happens to contain the same bytes.
+    let marker = ",\"crc\":\"";
+    let pos = text
+        .rfind(marker)
+        .ok_or_else(|| "checkpoint: `crc` suffix missing".to_string())?;
+    let computed = fnv64(&text.as_bytes()[..pos]);
+    if computed != recorded {
+        return Err(format!(
+            "checkpoint: crc mismatch (recorded {recorded:016x}, computed {computed:016x}) \
+             — file is corrupt, refusing to resume"
+        ));
+    }
+    Ok(())
+}
+
+pub(crate) fn parse_fault_record(v: &JsonValue) -> Result<FaultRecord, String> {
     let miss = |key: &str| format!("checkpoint: fault record missing `{key}`");
     Ok(FaultRecord {
         chunk: v.get("chunk").and_then(JsonValue::as_usize).ok_or_else(|| miss("chunk"))?,
@@ -775,9 +839,15 @@ mod tests {
             Err(err) => assert!(err.contains("engine options"), "{err}"),
             Ok(_) => panic!("engine-options mismatch must be refused"),
         }
-        // A pre-options checkpoint (no `engine` key) stays resumable.
-        let legacy = text.replacen(&format!(",\"engine\":\"{sig}\""), "", 1);
+        // A pre-options checkpoint (no `engine` key) stays resumable. Such
+        // files are format 1 and carry no crc, so rebuild one by downgrading
+        // the format and stripping both newer fields.
+        let legacy = text
+            .replacen("{\"format\":2,", "{\"format\":1,", 1)
+            .replacen(&format!(",\"engine\":\"{sig}\""), "", 1);
         assert_ne!(legacy, text, "engine key must be present to strip");
+        let crc_at = legacy.rfind(",\"crc\":\"").expect("crc suffix must be present to strip");
+        let legacy = format!("{}}}", &legacy[..crc_at]);
         assert!(parse_checkpoint::<FingerprintVisitor>(
             &legacy,
             "unit",
@@ -787,5 +857,72 @@ mod tests {
         .unwrap()
         .is_some());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Format 2 corruption is caught by the crc: flipping any single body
+    /// byte, truncating the file, or doctoring the recorded crc itself all
+    /// yield a structured error instead of a silent wrong resume.
+    #[test]
+    fn checkpoint_crc_catches_corruption() {
+        let stats = PruneStats { evaluated: vec![10], pruned: vec![1], survivors: 9 };
+        let blocks = BlockStats::default();
+        let visitor = CountVisitor { count: 9 };
+        let dir = std::env::temp_dir().join("beast-ck-crc-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crc.json");
+        let sig = EngineOptions::default().signature();
+        write_checkpoint(
+            &path,
+            "unit",
+            &sig,
+            &CkSnapshot {
+                outer_len: 16,
+                chunk_len: 4,
+                chunks: 4,
+                next: 2,
+                stats: &stats,
+                blocks: &blocks,
+                faults: &[],
+                visitor: &visitor,
+            },
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let parse = |t: &str| {
+            parse_checkpoint::<CountVisitor>(t, "unit", &sig, &CountVisitor::default)
+        };
+        assert!(parse(&text).unwrap().is_some(), "pristine file must parse");
+
+        // Flip the survivor count: structurally valid JSON, wrong bytes.
+        let flipped = text.replacen("\"survivors\":9", "\"survivors\":8", 1);
+        assert_ne!(flipped, text);
+        let err = parse(&flipped).err().expect("flipped body must be refused");
+        assert!(err.contains("crc mismatch"), "{err}");
+
+        // Doctor the recorded crc itself.
+        let crc_at = text.rfind(",\"crc\":\"").unwrap() + ",\"crc\":\"".len();
+        let mut doctored = text.clone();
+        let old = doctored.as_bytes()[crc_at];
+        let new = if old == b'0' { '1' } else { '0' };
+        doctored.replace_range(crc_at..crc_at + 1, &new.to_string());
+        let err = parse(&doctored).err().expect("doctored crc must be refused");
+        assert!(err.contains("crc"), "{err}");
+
+        // Truncations anywhere are either a parse error or a crc mismatch,
+        // never Ok.
+        for cut in 1..text.len() {
+            assert!(parse(&text[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    /// Duplicate keys are a parse error everywhere: `get` returns the first
+    /// match, so accepting duplicates would silently ignore the second copy
+    /// of a counter.
+    #[test]
+    fn json_parser_rejects_duplicate_keys() {
+        assert!(JsonValue::parse(r#"{"a":1,"a":2}"#).is_err());
+        assert!(JsonValue::parse(r#"{"a":{"b":1,"b":1}}"#).is_err());
+        assert!(JsonValue::parse(r#"{"a":1,"b":{"a":2}}"#).is_ok(), "nesting is not duplication");
     }
 }

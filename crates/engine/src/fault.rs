@@ -73,6 +73,17 @@ impl FaultPolicy {
         }
     }
 
+    /// A spelling that [`FaultPolicy::parse`] accepts (unlike
+    /// [`FaultPolicy::name`], whose `retry(max=…)` form is display-only).
+    /// Used to forward the policy to distributed worker processes over the
+    /// shard protocol ([`crate::distribute`]).
+    pub fn spec(&self) -> String {
+        match self {
+            FaultPolicy::Retry { max, backoff_ms } => format!("retry:{max}:{backoff_ms}"),
+            other => other.name(),
+        }
+    }
+
     /// Parse a CLI spelling: `abort`, `skip`, `skip_point`, `quarantine`,
     /// `quarantine_chunk`, `retry`, or `retry:MAX[:BACKOFF_MS]`.
     pub fn parse(s: &str) -> Option<FaultPolicy> {
@@ -105,6 +116,16 @@ pub enum FaultKind {
     Error,
     /// A panic caught at the chunk boundary.
     Panic,
+    /// A distributed worker *process* died (crash, `kill -9`, or EOF on its
+    /// pipe) while a shard was in flight ([`crate::distribute`]).
+    WorkerExit,
+    /// A distributed worker stopped sending frames: the per-worker
+    /// heartbeat/read deadline expired and the supervisor killed it.
+    WorkerTimeout,
+    /// A worker reply failed validation (malformed frame, wrong chunk,
+    /// mismatched counter shapes, or a failed handshake). The shard is
+    /// re-dealt; nothing from the lying worker is folded.
+    ProtocolError,
 }
 
 impl FaultKind {
@@ -113,6 +134,9 @@ impl FaultKind {
         match self {
             FaultKind::Error => "error",
             FaultKind::Panic => "panic",
+            FaultKind::WorkerExit => "worker_exit",
+            FaultKind::WorkerTimeout => "worker_timeout",
+            FaultKind::ProtocolError => "protocol_error",
         }
     }
 
@@ -121,8 +145,20 @@ impl FaultKind {
         match s {
             "error" => Some(FaultKind::Error),
             "panic" => Some(FaultKind::Panic),
+            "worker_exit" => Some(FaultKind::WorkerExit),
+            "worker_timeout" => Some(FaultKind::WorkerTimeout),
+            "protocol_error" => Some(FaultKind::ProtocolError),
             _ => None,
         }
+    }
+
+    /// Is this a worker-*process* fault (exit/timeout/protocol), as opposed
+    /// to an in-process evaluation fault?
+    pub fn is_worker(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::WorkerExit | FaultKind::WorkerTimeout | FaultKind::ProtocolError
+        )
     }
 }
 
@@ -390,8 +426,25 @@ mod tests {
             } else {
                 assert_eq!(FaultPolicy::parse(&p.name()), Some(p));
             }
+            // `spec()` is parseable for every policy, including retry.
+            assert_eq!(FaultPolicy::parse(&p.spec()), Some(p));
         }
         assert_eq!(FaultPolicy::parse("retry"), Some(FaultPolicy::Retry { max: 2, backoff_ms: 0 }));
         assert_eq!(FaultPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn fault_kind_names_round_trip() {
+        for k in [
+            FaultKind::Error,
+            FaultKind::Panic,
+            FaultKind::WorkerExit,
+            FaultKind::WorkerTimeout,
+            FaultKind::ProtocolError,
+        ] {
+            assert_eq!(FaultKind::parse(k.name()), Some(k));
+            assert_eq!(k.is_worker(), !matches!(k, FaultKind::Error | FaultKind::Panic));
+        }
+        assert_eq!(FaultKind::parse("nope"), None);
     }
 }

@@ -39,6 +39,7 @@
 
 pub mod checkpoint;
 pub mod compiled;
+pub mod distribute;
 pub mod fault;
 pub mod lanes;
 pub mod native;
@@ -58,6 +59,10 @@ pub mod walker;
 pub mod prelude {
     pub use crate::checkpoint::{run_checkpointed, CheckpointConfig, SaveState};
     pub use crate::compiled::{Compiled, EngineOptions, EngineTier};
+    pub use crate::distribute::{
+        run_distributed, run_distributed_checkpointed, serve_worker, DistributeOptions,
+        WorkerChaos,
+    };
     pub use crate::fault::{CancelToken, FaultInjector, FaultPolicy, FaultRecord};
     pub use crate::native::{NativeContext, NativeStats};
     pub use crate::parallel::{run_parallel, run_parallel_report, ParallelOptions};

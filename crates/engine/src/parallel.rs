@@ -253,9 +253,9 @@ pub(crate) trait ChunkMemo<V>: Sync {
 
 /// What one finished chunk contributes to the merge: its outcome (`None`
 /// when the chunk was quarantined) plus the faults recorded while running it.
-struct ChunkDone<V> {
-    outcome: Option<SweepOutcome<V>>,
-    faults: Vec<FaultRecord>,
+pub(crate) struct ChunkDone<V> {
+    pub(crate) outcome: Option<SweepOutcome<V>>,
+    pub(crate) faults: Vec<FaultRecord>,
 }
 
 /// Chunk-order prefix folder shared by all workers behind a mutex.
@@ -265,25 +265,25 @@ struct ChunkDone<V> {
 /// not chunk completion — is the unit of progress accounting, which makes
 /// the `tuples_decided` counter idempotent under retries: a chunk index is
 /// folded exactly once no matter how many attempts it took.
-struct Collector<V> {
-    next: usize,
-    pending: BTreeMap<usize, ChunkDone<V>>,
-    stats: PruneStats,
-    blocks: BlockStats,
-    lanes: LaneStats,
-    faults: Vec<FaultRecord>,
-    visitor: Option<V>,
-    schedule: Option<Vec<Vec<u32>>>,
-    outer_len: usize,
-    chunk_len: usize,
-    chunks: usize,
-    since_save: usize,
+pub(crate) struct Collector<V> {
+    pub(crate) next: usize,
+    pub(crate) pending: BTreeMap<usize, ChunkDone<V>>,
+    pub(crate) stats: PruneStats,
+    pub(crate) blocks: BlockStats,
+    pub(crate) lanes: LaneStats,
+    pub(crate) faults: Vec<FaultRecord>,
+    pub(crate) visitor: Option<V>,
+    pub(crate) schedule: Option<Vec<Vec<u32>>>,
+    pub(crate) outer_len: usize,
+    pub(crate) chunk_len: usize,
+    pub(crate) chunks: usize,
+    pub(crate) since_save: usize,
 }
 
 impl<V: Visitor> Collector<V> {
     /// Park `done` under chunk index `i`, fold the contiguous prefix, and
     /// persist a checkpoint when the sink interval elapsed.
-    fn add(
+    pub(crate) fn add(
         &mut self,
         i: usize,
         done: ChunkDone<V>,
@@ -332,7 +332,7 @@ impl<V: Visitor> Collector<V> {
         Ok(())
     }
 
-    fn save(&mut self, sink: &CkSink<'_, V>) -> Result<(), String> {
+    pub(crate) fn save(&mut self, sink: &CkSink<'_, V>) -> Result<(), String> {
         // The visitor may be `None` before any chunk folded; persist only
         // once there is real progress (a fresh run needs no checkpoint).
         if let Some(visitor) = &self.visitor {
@@ -805,7 +805,7 @@ where
 }
 
 /// Render a caught panic payload (almost always a `String` or `&str`).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(s) => *s,
         Err(payload) => match payload.downcast::<&'static str>() {
@@ -824,7 +824,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// whether the plan's inner loop domains are statically sized
 /// ([`LoweredPlan::static_fanout_below_outer`]): dependent or opaque inner
 /// domains mean skewed subtree costs and get 4× finer chunks.
-fn chunk_len_for(
+pub(crate) fn chunk_len_for(
     lp: &LoweredPlan,
     outer_len: usize,
     threads: usize,

@@ -12,11 +12,53 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request head (request line + headers), in bytes.
 const MAX_HEAD: usize = 16 * 1024;
 /// Largest accepted request body, in bytes.
 const MAX_BODY: usize = 4 * 1024 * 1024;
+/// Per-call socket I/O timeout applied to every accepted connection: a peer
+/// that goes fully silent (or never drains a response) is cut off after this
+/// long, instead of pinning a handler thread forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Hard ceiling on reading one complete request. The per-call timeout alone
+/// does not stop a slow-loris client that drips one byte per poll — each
+/// `read` succeeds, so no call ever times out. The deadline is checked
+/// before every socket read, bounding the whole parse regardless of how the
+/// bytes trickle in.
+pub const MAX_REQUEST_DURATION: Duration = Duration::from_secs(30);
+
+/// Apply the service's socket timeouts ([`IO_TIMEOUT`] in both directions)
+/// to a freshly accepted connection.
+pub fn configure_stream(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))
+}
+
+/// A [`Read`] adapter that enforces an absolute deadline across every read
+/// of one request: before each socket read the remaining window is checked
+/// (and the socket read timeout shrunk to it), so neither silence nor a
+/// byte-at-a-time drip can hold the parse open past the deadline.
+struct DeadlineStream<'a> {
+    inner: &'a mut TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            ));
+        }
+        let remaining = (self.deadline - now).min(IO_TIMEOUT).max(Duration::from_millis(1));
+        let _ = self.inner.set_read_timeout(Some(remaining));
+        self.inner.read(buf)
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -42,7 +84,17 @@ impl Request {
 /// request line (a common health-probe pattern), and `Err` with a short
 /// diagnostic for malformed or oversized requests.
 pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
-    let mut reader = BufReader::new(stream);
+    read_request_deadline(stream, MAX_REQUEST_DURATION)
+}
+
+/// [`read_request`] with an explicit overall deadline (the production entry
+/// point always uses [`MAX_REQUEST_DURATION`]; tests use shorter windows).
+pub fn read_request_deadline(
+    stream: &mut TcpStream,
+    max_duration: Duration,
+) -> Result<Option<Request>, String> {
+    let deadline = Instant::now() + max_duration;
+    let mut reader = BufReader::new(DeadlineStream { inner: stream, deadline });
     let mut line = String::new();
     let n = reader.read_line(&mut line).map_err(|e| format!("read request line: {e}"))?;
     if n == 0 {
@@ -243,6 +295,51 @@ mod tests {
             .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
             .unwrap();
         assert!(read_request(&mut server).is_err());
+    }
+
+    /// A client that opens a connection, sends half a request, and then goes
+    /// silent must not pin the handler: the per-request deadline cuts the
+    /// parse off with an error in bounded time.
+    #[test]
+    fn stalling_client_is_cut_off_by_the_deadline() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"POST /sweeps HTTP/1.1\r\nContent-Le").unwrap();
+        // No more bytes — the client stalls with the head incomplete.
+        let t = std::time::Instant::now();
+        let result = read_request_deadline(&mut server, Duration::from_millis(200));
+        assert!(result.is_err(), "a stalled request must not parse");
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "the deadline must fire in bounded time, took {:?}",
+            t.elapsed()
+        );
+        drop(client);
+    }
+
+    /// A slow-loris client that drips bytes fast enough to keep every
+    /// individual read alive is still bounded by the absolute deadline.
+    #[test]
+    fn dripping_client_is_bounded_by_the_deadline() {
+        let (mut client, mut server) = pair();
+        let feeder = std::thread::spawn(move || {
+            // One byte every 20 ms, forever (until the peer closes).
+            for b in b"GET /healthz-but-very-slowly HTTP/1.1\r\nX: y\r\n".iter().cycle() {
+                if client.write_all(&[*b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let t = std::time::Instant::now();
+        let result = read_request_deadline(&mut server, Duration::from_millis(300));
+        assert!(result.is_err(), "a dripped request must not parse past the deadline");
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "the deadline must bound a dripping client, took {:?}",
+            t.elapsed()
+        );
+        drop(server);
+        feeder.join().unwrap();
     }
 
     #[test]

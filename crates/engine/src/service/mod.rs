@@ -413,6 +413,11 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
     if stream.set_nonblocking(false).is_err() {
         return;
     }
+    // Socket timeouts in both directions, so a silent or undraining client
+    // cannot pin this handler thread indefinitely.
+    if crate::service::http::configure_stream(&stream).is_err() {
+        return;
+    }
     let request = match read_request(&mut stream) {
         Ok(Some(request)) => request,
         Ok(None) => return,

@@ -124,14 +124,28 @@ pub struct FaultCounters {
     /// Chunks dropped (quarantine policy, escalated skip-point faults, or
     /// retries running out).
     pub chunks_quarantined: u64,
-    /// Chunk attempts re-run under [`FaultPolicy::Retry`](crate::fault::FaultPolicy).
+    /// Chunk attempts re-run under [`FaultPolicy::Retry`](crate::fault::FaultPolicy)
+    /// (in-process) or re-dealt after a worker-process fault (distributed).
     pub retries: u64,
     /// Panics caught at the chunk boundary.
     pub panics: u64,
+    /// Worker processes launched by the distributed supervisor, including
+    /// replacements ([`crate::distribute`]; zero for in-process sweeps).
+    pub workers_spawned: u64,
+    /// Replacement workers spawned after a worker died, stalled, or lied.
+    pub worker_restarts: u64,
+    /// Shards re-dealt to another worker after a worker-level fault
+    /// (the [`FaultKind::is_worker`] subset of `retries`).
+    pub shards_retried: u64,
+    /// Workers killed because their heartbeat/read deadline expired.
+    pub heartbeat_timeouts: u64,
 }
 
 impl FaultCounters {
-    /// Aggregate the counters from a record list.
+    /// Aggregate the counters from a record list. `workers_spawned` and
+    /// `worker_restarts` describe supervisor activity rather than faults, so
+    /// they are not derivable from records — the distributed supervisor sets
+    /// them after this.
     pub fn from_records(records: &[FaultRecord]) -> FaultCounters {
         let mut c = FaultCounters::default();
         for r in records {
@@ -142,6 +156,12 @@ impl FaultCounters {
             }
             if r.kind == FaultKind::Panic {
                 c.panics += 1;
+            }
+            if r.kind.is_worker() && r.action == FaultAction::Retried {
+                c.shards_retried += 1;
+            }
+            if r.kind == FaultKind::WorkerTimeout {
+                c.heartbeat_timeouts += 1;
             }
         }
         c

@@ -442,6 +442,14 @@ impl SweepReport {
         json_num(&mut out, "retries", self.fault_counters.retries as f64);
         out.push(',');
         json_num(&mut out, "panics", self.fault_counters.panics as f64);
+        out.push(',');
+        json_num(&mut out, "workers_spawned", self.fault_counters.workers_spawned as f64);
+        out.push(',');
+        json_num(&mut out, "worker_restarts", self.fault_counters.worker_restarts as f64);
+        out.push(',');
+        json_num(&mut out, "shards_retried", self.fault_counters.shards_retried as f64);
+        out.push(',');
+        json_num(&mut out, "heartbeat_timeouts", self.fault_counters.heartbeat_timeouts as f64);
         out.push_str("},\"faults\":[");
         for (i, r) in self.faults.iter().enumerate() {
             if i > 0 {
@@ -618,6 +626,17 @@ impl SweepReport {
                 c.chunks_quarantined,
                 c.retries,
                 c.panics
+            );
+        }
+        if self.fault_counters.workers_spawned > 0 {
+            let c = self.fault_counters;
+            let _ = writeln!(
+                out,
+                "workers: {} spawned, {} restart(s), {} shard retry(ies), {} heartbeat timeout(s)",
+                c.workers_spawned,
+                c.worker_restarts,
+                c.shards_retried,
+                c.heartbeat_timeouts
             );
         }
         let _ = writeln!(
@@ -898,7 +917,7 @@ mod tests {
             "\"partial\":false",
             "\"resumed_at\":null",
             "\"fault_policy\":\"abort\"",
-            "\"fault_counters\":{\"points_skipped\":0,\"chunks_quarantined\":0,\"retries\":0,\"panics\":0}",
+            "\"fault_counters\":{\"points_skipped\":0,\"chunks_quarantined\":0,\"retries\":0,\"panics\":0,\"workers_spawned\":0,\"worker_restarts\":0,\"shards_retried\":0,\"heartbeat_timeouts\":0}",
             "\"faults\":[]",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
@@ -927,7 +946,19 @@ mod tests {
             error: "division by zero".to_string(),
             bindings: vec![("blk_m".to_string(), 96)],
         });
+        r.faults.push(FaultRecord {
+            chunk: 9,
+            ordinal: 0,
+            attempt: 0,
+            kind: FaultKind::WorkerExit,
+            action: FaultAction::Retried,
+            site: "worker".to_string(),
+            error: "worker exited: signal 9".to_string(),
+            bindings: vec![],
+        });
         r.fault_counters = crate::stats::FaultCounters::from_records(&r.faults);
+        r.fault_counters.workers_spawned = 4;
+        r.fault_counters.worker_restarts = 1;
         let json = r.to_json();
         assert!(json.contains("\"partial\":true"), "{json}");
         assert!(json.contains("\"resumed_at\":4"), "{json}");
@@ -939,11 +970,30 @@ mod tests {
             ),
             "fault record shape changed: {json}"
         );
+        assert!(
+            json.contains(
+                "{\"chunk\":9,\"ordinal\":0,\"attempt\":0,\"kind\":\"worker_exit\",\
+                 \"action\":\"retried\",\"site\":\"worker\",\
+                 \"error\":\"worker exited: signal 9\",\"bindings\":[]}"
+            ),
+            "worker fault record shape changed: {json}"
+        );
         assert!(json.contains("\"chunks_quarantined\":1"), "{json}");
+        assert!(
+            json.contains(
+                "\"workers_spawned\":4,\"worker_restarts\":1,\
+                 \"shards_retried\":1,\"heartbeat_timeouts\":0"
+            ),
+            "worker counter shape changed: {json}"
+        );
         let text = r.render_text();
         assert!(text.contains("partial=true"), "{text}");
         assert!(text.contains("resumed at chunk 4"), "{text}");
         assert!(text.contains("1 chunk(s) quarantined"), "{text}");
+        assert!(
+            text.contains("workers: 4 spawned, 1 restart(s), 1 shard retry(ies), 0 heartbeat timeout(s)"),
+            "{text}"
+        );
     }
 
     /// The lint block degrades to an explicit `null` (not a missing key)
